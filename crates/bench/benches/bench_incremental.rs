@@ -1,0 +1,43 @@
+//! Criterion: incremental (DNA-style) vs full candidate validation — the
+//! quantitative basis of the paper's §3.2 observation (3).
+
+use acr_bench::scaled_network;
+use acr_cfg::{Edit, Patch, PlAction, Stmt};
+use acr_net_types::RouterId;
+use acr_verify::{IncrementalVerifier, Verifier};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn local_candidate(net: &acr_workloads::GeneratedNetwork) -> (acr_cfg::NetworkConfig, Patch) {
+    let patch = Patch::single(Edit::Insert {
+        router: RouterId(0),
+        index: net.cfg.device(RouterId(0)).unwrap().len(),
+        stmt: Stmt::PrefixListEntry {
+            list: "cust_space".into(),
+            index: 90,
+            action: PlAction::Permit,
+            prefix: "10.9.0.0/16".parse().unwrap(),
+            ge: None,
+            le: None,
+        },
+    });
+    (patch.apply_cloned(&net.cfg).unwrap(), patch)
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let net = scaled_network(12);
+    let (candidate, patch) = local_candidate(&net);
+
+    c.bench_function("validate_full_36_routers", |b| {
+        let verifier = Verifier::new(&net.topo, &net.spec);
+        b.iter(|| std::hint::black_box(verifier.run_full(&candidate)))
+    });
+
+    c.bench_function("validate_incremental_36_routers", |b| {
+        let mut iv = IncrementalVerifier::new(&net.topo, &net.spec);
+        iv.commit(&net.cfg);
+        b.iter(|| std::hint::black_box(iv.verify_candidate(&candidate, &patch)))
+    });
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

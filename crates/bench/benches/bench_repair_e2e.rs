@@ -1,0 +1,44 @@
+//! Criterion: end-to-end localize–fix–validate repair latency (feeds the
+//! Figure 1 comparison — automatic resolving time).
+
+use acr_bench::standard_network;
+use acr_core::{RepairConfig, RepairEngine};
+use acr_workloads::{fig2::fig2_incident, try_inject, FaultType};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2_repair(c: &mut Criterion) {
+    let fig2 = fig2_incident();
+    c.bench_function("repair_fig2_incident", |b| {
+        b.iter(|| {
+            let engine = RepairEngine::with_defaults(&fig2.topo, &fig2.spec);
+            std::hint::black_box(engine.repair(&fig2.broken))
+        })
+    });
+}
+
+fn bench_incident_repairs(c: &mut Criterion) {
+    let net = standard_network();
+    let mut group = c.benchmark_group("repair_incident");
+    group.sample_size(20);
+    for fault in [
+        FaultType::MissingRedistribution,
+        FaultType::WrongOverrideAsn,
+        FaultType::MissingPeerGroup,
+    ] {
+        let Some(incident) = try_inject(fault, &net, 0) else { continue };
+        group.bench_function(format!("{fault}"), |b| {
+            b.iter(|| {
+                let engine = RepairEngine::new(
+                    &net.topo,
+                    &net.spec,
+                    RepairConfig { seed: 11, ..RepairConfig::default() },
+                );
+                std::hint::black_box(engine.repair(&incident.broken))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_repair, bench_incident_repairs);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: repair latency as the network grows (extension S1's
+//! companion series).
+
+use acr_bench::scaled_network;
+use acr_core::{RepairConfig, RepairEngine};
+use acr_workloads::{try_inject, FaultType};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_repair_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_scaling");
+    group.sample_size(10);
+    for n_bb in [4usize, 8, 12] {
+        let net = scaled_network(n_bb);
+        let Some(incident) = try_inject(FaultType::MissingPrefixListItems, &net, 0) else {
+            continue;
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.topo.len()),
+            &(net, incident),
+            |b, (net, incident)| {
+                b.iter(|| {
+                    let engine =
+                        RepairEngine::new(&net.topo, &net.spec, RepairConfig::default());
+                    std::hint::black_box(engine.repair(&incident.broken))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: the cost of *measuring and traversing* each method's search
+//! space (Figure 3's companion): SBFL localization, provenance leaf
+//! enumeration, template instantiation, and the local SMT solve.
+
+use acr_bench::standard_network;
+use acr_core::engine::models_of;
+use acr_core::templates::candidates_for_line;
+use acr_core::ctx::RepairCtx;
+use acr_localize::{cel_localize, localize, SbflFormula};
+use acr_prov::Provenance;
+use acr_verify::Verifier;
+use acr_workloads::{try_inject, FaultType};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_spaces(c: &mut Criterion) {
+    let net = standard_network();
+    let incident = try_inject(FaultType::StaleRouteMap, &net, 1).expect("injectable");
+    let verifier = Verifier::new(&net.topo, &net.spec);
+    let (v, out) = verifier.run_full(&incident.broken);
+
+    c.bench_function("sbfl_tarantula_localize", |b| {
+        b.iter(|| std::hint::black_box(localize(&v.matrix, SbflFormula::Tarantula)))
+    });
+
+    c.bench_function("cel_maxsat_localize", |b| {
+        b.iter(|| std::hint::black_box(cel_localize(&v.matrix)))
+    });
+
+    let roots: Vec<_> = v.failures().flat_map(|r| r.deriv_roots.iter().copied()).collect();
+    c.bench_function("provenance_leaf_enumeration", |b| {
+        let prov = Provenance::new(&out.arena);
+        b.iter(|| std::hint::black_box(prov.leaves(roots.iter().copied())))
+    });
+
+    let models = models_of(&net.topo, &incident.broken);
+    let ctx = RepairCtx {
+        topo: &net.topo,
+        cfg: &incident.broken,
+        verification: &v,
+        arena: &out.arena,
+        models: &models,
+    };
+    let ranking = localize(&v.matrix, SbflFormula::Tarantula);
+    let top = ranking.top().expect("failures exist").0;
+    c.bench_function("template_instantiation_with_smt", |b| {
+        b.iter(|| std::hint::black_box(candidates_for_line(top, &ctx)))
+    });
+}
+
+criterion_group!(benches, bench_spaces);
+criterion_main!(benches);

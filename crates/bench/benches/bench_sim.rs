@@ -1,0 +1,42 @@
+//! Criterion: raw control-plane simulation throughput.
+//!
+//! Benchmarks the substrate everything else pays for — full per-prefix
+//! BGP simulation plus FIB assembly — across network sizes.
+
+use acr_bench::scaled_network;
+use acr_sim::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_full_network");
+    for n_bb in [4usize, 8, 16] {
+        let net = scaled_network(n_bb);
+        group.bench_with_input(BenchmarkId::from_parameter(net.topo.len()), &net, |b, net| {
+            b.iter(|| {
+                let sim = Simulator::new(&net.topo, &net.cfg);
+                std::hint::black_box(sim.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_compilation(c: &mut Criterion) {
+    let net = scaled_network(8);
+    c.bench_function("compile_models_24_routers", |b| {
+        b.iter(|| std::hint::black_box(Simulator::new(&net.topo, &net.cfg)))
+    });
+}
+
+fn bench_single_prefix(c: &mut Criterion) {
+    let net = scaled_network(8);
+    let sim = Simulator::new(&net.topo, &net.cfg);
+    let universe = sim.universe();
+    let one: std::collections::BTreeSet<_> = universe.iter().take(1).copied().collect();
+    c.bench_function("simulate_one_prefix_24_routers", |b| {
+        b.iter(|| std::hint::black_box(sim.run_prefixes(&one)))
+    });
+}
+
+criterion_group!(benches, bench_full_simulation, bench_model_compilation, bench_single_prefix);
+criterion_main!(benches);

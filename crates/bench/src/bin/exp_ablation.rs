@@ -1,0 +1,228 @@
+//! **Ablations** (extension S2) — the design choices DESIGN.md calls out:
+//!
+//! 1. SBFL formula (the paper's §6 "computing suspiciousness scores"):
+//!    EXAM score of the ground-truth faulty line and repair outcome per
+//!    formula,
+//! 2. generation strategy: brute force vs genetic,
+//! 3. validation: incremental (DNA-style) vs full re-verification.
+//!
+//! ```sh
+//! cargo run --release -p acr-bench --bin exp_ablation
+//! ```
+
+use acr_bench::{corpus, fmt_duration, rule, standard_network};
+use acr_cfg::{Edit, LineId};
+use acr_core::{RepairConfig, RepairEngine, Strategy};
+use acr_localize::{localize, SbflFormula};
+use acr_verify::{IncrementalVerifier, Verifier};
+use acr_workloads::Incident;
+use std::time::Instant;
+
+/// Ground-truth faulty lines of an incident, when the fault *added* lines
+/// (insert/replace faults have an identifiable culprit in the broken
+/// config; omission faults do not).
+fn ground_truth_lines(incident: &Incident) -> Vec<LineId> {
+    incident
+        .patch
+        .edits
+        .iter()
+        .filter_map(|e| match e {
+            Edit::Insert { router, index, .. } | Edit::Replace { router, index, .. } => {
+                Some(LineId::new(*router, *index as u32 + 1))
+            }
+            Edit::Delete { .. } => None,
+        })
+        .collect()
+}
+
+fn main() {
+    let net = standard_network();
+    let incidents = corpus(&net, 60, 31);
+
+    // ---- 1. SBFL formula comparison --------------------------------
+    println!("=== SBFL formula ablation (§6 future work, implemented) ===\n");
+    let header = format!(
+        "{:>12} {:>10} {:>10} {:>10} {:>9}",
+        "formula", "meanEXAM", "top1", "top5", "repaired"
+    );
+    println!("{header}");
+    rule(header.len());
+    for formula in [
+        SbflFormula::Tarantula,
+        SbflFormula::Ochiai,
+        SbflFormula::Jaccard,
+        SbflFormula::DStar(2),
+    ] {
+        let mut exams: Vec<f64> = Vec::new();
+        let (mut top1, mut top5, mut localizable) = (0usize, 0usize, 0usize);
+        let mut repaired = 0usize;
+        for (i, incident) in incidents.iter().enumerate() {
+            // Localization accuracy on addition-faults.
+            let truth = ground_truth_lines(incident);
+            if !truth.is_empty() {
+                let verifier = Verifier::new(&net.topo, &net.spec);
+                let (v, _) = verifier.run_full(&incident.broken);
+                let ranking = localize(&v.matrix, formula);
+                if let Some(best_rank) = truth.iter().filter_map(|l| ranking.rank_of(*l)).min() {
+                    localizable += 1;
+                    exams.push(best_rank as f64 / ranking.len().max(1) as f64);
+                    if best_rank == 1 {
+                        top1 += 1;
+                    }
+                    if best_rank <= 5 {
+                        top5 += 1;
+                    }
+                }
+            }
+            // End-to-end repair with this formula.
+            let engine = RepairEngine::new(
+                &net.topo,
+                &net.spec,
+                RepairConfig { formula, seed: i as u64, ..RepairConfig::default() },
+            );
+            if engine.repair(&incident.broken).outcome.is_fixed() {
+                repaired += 1;
+            }
+        }
+        let mean_exam = if exams.is_empty() {
+            f64::NAN
+        } else {
+            exams.iter().sum::<f64>() / exams.len() as f64
+        };
+        println!(
+            "{:>12} {:>10.3} {:>10} {:>10} {:>9}",
+            formula.to_string(),
+            mean_exam,
+            format!("{top1}/{localizable}"),
+            format!("{top5}/{localizable}"),
+            format!("{repaired}/{}", incidents.len()),
+        );
+    }
+
+    // ---- 2. strategy ablation ----------------------------------------
+    println!("\n=== generation strategy ablation ===\n");
+    let header = format!("{:>12} {:>9} {:>9} {:>11} {:>10}", "strategy", "repaired", "medIter", "medValid", "medTime");
+    println!("{header}");
+    rule(header.len());
+    for (name, strategy) in [
+        ("brute-force", Strategy::brute_force()),
+        ("genetic", Strategy::default()),
+    ] {
+        let mut iters = Vec::new();
+        let mut valids = Vec::new();
+        let mut times = Vec::new();
+        let mut repaired = 0usize;
+        for (i, incident) in incidents.iter().enumerate() {
+            let engine = RepairEngine::new(
+                &net.topo,
+                &net.spec,
+                RepairConfig { strategy: strategy.clone(), seed: i as u64, ..RepairConfig::default() },
+            );
+            let r = engine.repair(&incident.broken);
+            if r.outcome.is_fixed() {
+                repaired += 1;
+                iters.push(r.iteration_count());
+                valids.push(r.validations);
+                times.push(r.wall);
+            }
+        }
+        iters.sort_unstable();
+        valids.sort_unstable();
+        times.sort();
+        let med = |v: &[usize]| v.get(v.len() / 2).copied().unwrap_or(0);
+        println!(
+            "{:>12} {:>9} {:>9} {:>11} {:>10}",
+            name,
+            format!("{repaired}/{}", incidents.len()),
+            med(&iters),
+            med(&valids),
+            times.get(times.len() / 2).map(|t| fmt_duration(*t)).unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // ---- 2b. operator-set ablation (§6 universal change operators) ----
+    println!("\n=== operator-set ablation: curated templates vs §6 universal donors ===\n");
+    let header = format!("{:>10} {:>9} {:>11} {:>10}", "operators", "repaired", "medValid", "medTime");
+    println!("{header}");
+    rule(header.len());
+    for (name, ops) in [
+        ("curated", acr_core::OperatorSet::Curated),
+        ("universal", acr_core::OperatorSet::Universal),
+        ("both", acr_core::OperatorSet::Both),
+    ] {
+        let mut valids = Vec::new();
+        let mut times = Vec::new();
+        let mut repaired = 0usize;
+        for (i, incident) in incidents.iter().enumerate() {
+            let engine = RepairEngine::new(
+                &net.topo,
+                &net.spec,
+                RepairConfig { operators: ops, seed: i as u64, ..RepairConfig::default() },
+            );
+            let r = engine.repair(&incident.broken);
+            if r.outcome.is_fixed() {
+                repaired += 1;
+                valids.push(r.validations);
+                times.push(r.wall);
+            }
+        }
+        valids.sort_unstable();
+        times.sort();
+        println!(
+            "{:>10} {:>9} {:>11} {:>10}",
+            name,
+            format!("{repaired}/{}", incidents.len()),
+            valids.get(valids.len() / 2).copied().unwrap_or(0),
+            times.get(times.len() / 2).map(|t| fmt_duration(*t)).unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // ---- 3. incremental vs full validation -----------------------------
+    println!("\n=== validation ablation: incremental (DNA-style) vs full ===\n");
+    // A larger network so the per-prefix decomposition has room to pay
+    // off; candidates of two shapes: a localized prefix-list edit (the
+    // common template output) and a session-shaping edit (conservative
+    // full invalidation).
+    let big = acr_bench::scaled_network(12);
+    let rounds = 20u32;
+    let local_patch = acr_cfg::Patch::single(Edit::Insert {
+        router: acr_net_types::RouterId(0),
+        index: big.cfg.device(acr_net_types::RouterId(0)).unwrap().len(),
+        stmt: acr_cfg::Stmt::PrefixListEntry {
+            list: "cust_space".into(),
+            index: 90,
+            action: acr_cfg::PlAction::Permit,
+            prefix: "10.12.0.0/16".parse().unwrap(),
+            ge: None,
+            le: None,
+        },
+    });
+    let session_patch = acr_cfg::Patch::single(Edit::Delete {
+        router: acr_net_types::RouterId(0),
+        index: 2,
+    });
+    for (label, patch) in [("prefix-list edit", &local_patch), ("session edit", &session_patch)] {
+        let candidate = patch.apply_cloned(&big.cfg).unwrap();
+        let verifier = Verifier::new(&big.topo, &big.spec);
+        let t = Instant::now();
+        for _ in 0..rounds {
+            let _ = verifier.run_full(&candidate);
+        }
+        let full = t.elapsed() / rounds;
+        let mut iv = IncrementalVerifier::new(&big.topo, &big.spec);
+        iv.commit(&big.cfg);
+        let t = Instant::now();
+        for _ in 0..rounds {
+            let _ = iv.verify_candidate(&candidate, patch);
+        }
+        let incremental = t.elapsed() / rounds;
+        println!(
+            "{label:>18}: full {} vs incremental {} ({:.1}x; {} of {} prefixes reused)",
+            fmt_duration(full),
+            fmt_duration(incremental),
+            full.as_secs_f64() / incremental.as_secs_f64(),
+            iv.last_stats().reused,
+            iv.last_stats().reused + iv.last_stats().recomputed,
+        );
+    }
+}

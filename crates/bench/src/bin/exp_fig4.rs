@@ -1,0 +1,86 @@
+//! **Figure 4** — the localize–fix–validate workflow, traced.
+//!
+//! Runs the engine on a compound incident (two simultaneous faults) and
+//! prints the per-iteration fitness trajectory — the evolution loop of
+//! the paper's workflow figure — plus termination-condition statistics
+//! over the corpus.
+//!
+//! ```sh
+//! cargo run --release -p acr-bench --bin exp_fig4
+//! ```
+
+use acr_bench::{corpus, fmt_duration, repair, rule, standard_network};
+use acr_core::{RepairConfig, RepairEngine, RepairOutcome};
+use acr_workloads::{try_inject, FaultType};
+
+fn main() {
+    let net = standard_network();
+
+    // ---- a compound incident: two independent faults at once ----------
+    let a = try_inject(FaultType::MissingRedistribution, &net, 0).expect("injectable");
+    let b = try_inject(FaultType::WrongOverrideAsn, &net, 1).expect("injectable");
+    let compound = a.patch.concat(&b.patch);
+    let broken = compound
+        .apply_cloned(&net.cfg)
+        .expect("independent faults compose");
+    println!("compound incident: [{}] + [{}]", a.description, b.description);
+
+    let engine = RepairEngine::new(&net.topo, &net.spec, RepairConfig::default());
+    let report = engine.repair(&broken);
+    println!("\nfitness trajectory (fitness = number of failed tests, paper §5):");
+    let header = format!(
+        "{:>5} {:>8} {:>6} {:>10} {:>6} {:>11} {:>9}",
+        "iter", "fitness", "best", "generated", "kept", "recomputed", "reused"
+    );
+    println!("{header}");
+    rule(header.len());
+    for it in &report.iterations {
+        println!(
+            "{:>5} {:>8} {:>6} {:>10} {:>6} {:>11} {:>9}",
+            it.iteration, it.fitness, it.best_fitness, it.generated, it.kept,
+            it.recomputed_prefixes, it.reused_prefixes
+        );
+    }
+    rule(header.len());
+    match &report.outcome {
+        RepairOutcome::Fixed { patch, .. } => println!(
+            "terminated: feasible update found (fitness 0) — {} edits in {}, {} validations",
+            patch.len(),
+            fmt_duration(report.wall),
+            report.validations
+        ),
+        other => println!("terminated: {other:?}"),
+    }
+
+    // ---- termination-condition statistics over the corpus --------------
+    let incidents = corpus(&net, 60, 99);
+    let (mut fixed, mut no_candidates, mut iteration_limit) = (0, 0, 0);
+    let mut iteration_counts: Vec<usize> = Vec::new();
+    for (i, incident) in incidents.iter().enumerate() {
+        let r = repair(&net, incident, i as u64);
+        match r.outcome {
+            RepairOutcome::Fixed { .. } => {
+                fixed += 1;
+                iteration_counts.push(r.iteration_count());
+            }
+            RepairOutcome::NoCandidates { .. } => no_candidates += 1,
+            RepairOutcome::IterationLimit { .. } => iteration_limit += 1,
+        }
+    }
+    iteration_counts.sort_unstable();
+    println!(
+        "\ntermination over {} incidents: fitness-0 {}, S=∅ {}, iteration-cap(500) {}",
+        incidents.len(),
+        fixed,
+        no_candidates,
+        iteration_limit
+    );
+    if !iteration_counts.is_empty() {
+        println!(
+            "iterations to repair: median {}, p90 {}, max {}",
+            iteration_counts[iteration_counts.len() / 2],
+            iteration_counts[(iteration_counts.len() * 9 / 10).min(iteration_counts.len() - 1)],
+            iteration_counts.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! **Hypothesis validation** (§6 "Hypotheses for ACR").
+//!
+//! The plastic-surgery hypothesis transplanted to networks: *devices in
+//! DCNs are grouped into several roles, and devices with the same role
+//! often have similar configurations* — so repair material can be grafted
+//! from siblings. This experiment measures it two ways:
+//!
+//! 1. **configuration similarity** within vs across roles (Jaccard over
+//!    parameter-stripped statement shapes),
+//! 2. **graftability**: the fraction of each device's statements whose
+//!    shape appears verbatim on some same-role sibling — an upper bound
+//!    on what donor-copy operators can supply.
+//!
+//! ```sh
+//! cargo run --release -p acr-bench --bin exp_hypothesis
+//! ```
+
+use acr_bench::rule;
+use acr_cfg::Stmt;
+use acr_topo::gen;
+use acr_workloads::generate;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parameter-stripped statement shape: addresses, prefixes and numbers
+/// removed so that role-structural similarity is visible.
+fn shape(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::BgpProcess(_) => "bgp".into(),
+        Stmt::RouterId(_) => "router-id".into(),
+        Stmt::Network(_) => "network".into(),
+        Stmt::ImportRoute(p) => format!("import-route {p}"),
+        Stmt::GroupDef(g) => format!("group {g}"),
+        Stmt::PeerAs { peer, .. } => match peer {
+            acr_cfg::PeerRef::Group(g) => format!("peer-as group {g}"),
+            acr_cfg::PeerRef::Ip(_) => "peer-as ip".into(),
+        },
+        Stmt::PeerGroup { group, .. } => format!("peer-group {group}"),
+        Stmt::PeerPolicy { peer, policy, dir } => match peer {
+            acr_cfg::PeerRef::Group(g) => format!("peer-policy group {g} {policy} {dir}"),
+            acr_cfg::PeerRef::Ip(_) => format!("peer-policy ip {policy} {dir}"),
+        },
+        Stmt::RoutePolicyDef { name, action, .. } => format!("route-policy {name} {action}"),
+        Stmt::IfMatchPrefixList(l) => format!("if-match {l}"),
+        Stmt::IfMatchCommunity(_) => "if-match community".into(),
+        Stmt::ApplyAsPathOverwrite(_) => "apply overwrite".into(),
+        Stmt::ApplyAsPathPrepend { .. } => "apply prepend".into(),
+        Stmt::ApplyLocalPref(_) => "apply local-pref".into(),
+        Stmt::ApplyMed(_) => "apply med".into(),
+        Stmt::ApplyCommunity(_) => "apply community".into(),
+        Stmt::AclRule(_) => "acl-rule".into(),
+        Stmt::PbrRule { action, .. } => format!(
+            "pbr-rule {}",
+            match action {
+                acr_cfg::PbrAction::Permit => "permit",
+                acr_cfg::PbrAction::Deny => "deny",
+                acr_cfg::PbrAction::Redirect(_) => "redirect",
+            }
+        ),
+        Stmt::IpAddress { .. } => "ip-address".into(),
+        Stmt::PrefixListEntry { list, action, .. } => format!("prefix-list {list} {action}"),
+        Stmt::StaticRoute { .. } => "static-route".into(),
+        Stmt::AclDef(_) => "acl".into(),
+        Stmt::PbrPolicyDef(n) => format!("traffic-policy {n}"),
+        Stmt::ApplyTrafficPolicy(n) => format!("apply traffic-policy {n}"),
+        Stmt::Interface(_) => "interface".into(),
+        Stmt::Remark(_) => "description".into(),
+    }
+}
+
+fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+fn main() {
+    for (name, topo) in [
+        ("leaf-spine DCN (4x8)", gen::leaf_spine(4, 8)),
+        ("WAN (6 bb, 12 customers)", gen::wan(6, 12)),
+        ("full mesh (8)", gen::full_mesh(8)),
+    ] {
+        let net = generate(&topo);
+        // Shape sets per device, grouped by role.
+        let mut by_role: BTreeMap<String, Vec<BTreeSet<String>>> = BTreeMap::new();
+        for info in topo.routers() {
+            let shapes: BTreeSet<String> = net
+                .cfg
+                .device(info.id)
+                .map(|d| d.stmts().iter().map(shape).collect())
+                .unwrap_or_default();
+            by_role.entry(info.role.to_string()).or_default().push(shapes);
+        }
+
+        println!("=== {name} ===");
+        let header = format!(
+            "{:>10} {:>8} {:>14} {:>15} {:>13}",
+            "role", "devices", "intra-Jaccard", "inter-Jaccard", "graftable"
+        );
+        println!("{header}");
+        rule(header.len());
+        for (role, devices) in &by_role {
+            // Mean pairwise similarity inside the role.
+            let mut intra = Vec::new();
+            for i in 0..devices.len() {
+                for j in (i + 1)..devices.len() {
+                    intra.push(jaccard(&devices[i], &devices[j]));
+                }
+            }
+            // Mean similarity against devices of other roles.
+            let mut inter = Vec::new();
+            for (other_role, others) in &by_role {
+                if other_role == role {
+                    continue;
+                }
+                for a in devices {
+                    for b in others {
+                        inter.push(jaccard(a, b));
+                    }
+                }
+            }
+            // Graftability: fraction of a device's shapes present on some
+            // same-role sibling.
+            let mut graftable = Vec::new();
+            for (i, dev) in devices.iter().enumerate() {
+                if devices.len() < 2 || dev.is_empty() {
+                    continue;
+                }
+                let donors: BTreeSet<&String> = devices
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, d)| d.iter())
+                    .collect();
+                let hit = dev.iter().filter(|s| donors.contains(s)).count();
+                graftable.push(hit as f64 / dev.len() as f64);
+            }
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    f64::NAN
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
+            println!(
+                "{:>10} {:>8} {:>14.2} {:>15.2} {:>12.0}%",
+                role,
+                devices.len(),
+                mean(&intra),
+                mean(&inter),
+                mean(&graftable) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("reading: intra-role similarity far above inter-role similarity, with high");
+    println!("graftability, is the plastic-surgery hypothesis the paper's §6 assumes for");
+    println!("DCNs — and the reason donor-copy universal operators (and history-template");
+    println!("reuse) have material to work with.");
+}

@@ -1,0 +1,93 @@
+//! **Scalability** (extension S1) — repair time vs network size,
+//! ACR vs the MetaProv-like and AED-like baselines.
+//!
+//! One injected fault per network size; each method gets the same
+//! verifier. The paper's qualitative claim: provenance is fast but may
+//! regress, synthesis is correct but explodes, localize–fix–validate
+//! stays both correct and tractable.
+//!
+//! ```sh
+//! cargo run --release -p acr-bench --bin exp_scale
+//! ```
+
+use acr_baselines::{aed_repair, metaprov_repair, AedOutcome};
+use acr_bench::{fmt_duration, rule, scaled_network};
+use acr_core::{RepairConfig, RepairEngine, RepairOutcome};
+use acr_workloads::{try_inject, FaultType};
+use std::time::Instant;
+
+fn main() {
+    // A single-line fault (where provenance methods shine) and a
+    // multi-line omission fault (where they cannot help and synthesis
+    // exhausts) — the two regimes of the paper's §2.3 comparison.
+    run_sweep("extra redirect rule in PBR (single-line)", FaultType::ExtraPbrRedirect);
+    println!();
+    run_sweep("missing peer group (multi-line omission)", FaultType::MissingPeerGroup);
+    println!("\nREGR = the accepted provenance fix broke previously passing intents (§2.3);");
+    println!("EXHAUSTED = the synthesis sweep ran out of validation budget (Figure 3b's blow-up).");
+}
+
+fn run_sweep(title: &str, fault: FaultType) {
+    let header = format!(
+        "{:>4} {:>6} | {:>16} {:>9} | {:>14} {:>9} | {:>16} {:>9}",
+        "bb", "lines", "ACR", "time", "MetaProv", "time", "AED(300 budget)", "time"
+    );
+    println!("one `{title}` incident per size:\n");
+    println!("{header}");
+    rule(header.len());
+
+    for n_bb in [2usize, 4, 8, 12, 16, 24] {
+        let net = scaled_network(n_bb);
+        let Some(incident) = try_inject(fault, &net, 0) else {
+            continue;
+        };
+
+        // ACR.
+        let t = Instant::now();
+        let engine = RepairEngine::new(&net.topo, &net.spec, RepairConfig::default());
+        let acr_report = engine.repair(&incident.broken);
+        let acr_time = t.elapsed();
+        let acr_out = match &acr_report.outcome {
+            RepairOutcome::Fixed { patch, .. } => format!("fixed ({} edits)", patch.len()),
+            RepairOutcome::NoCandidates { .. } => "no-candidates".into(),
+            RepairOutcome::IterationLimit { .. } => "iter-limit".into(),
+        };
+
+        // MetaProv.
+        let t = Instant::now();
+        let mp = metaprov_repair(&net.topo, &net.spec, &incident.broken);
+        let mp_time = t.elapsed();
+        let mp_out = if mp.fixed_target {
+            if mp.regressions > 0 {
+                format!("fixed+{}REGR", mp.regressions)
+            } else {
+                "fixed".into()
+            }
+        } else {
+            "unfixed".into()
+        };
+
+        // AED with a budget.
+        let t = Instant::now();
+        let aed = aed_repair(&net.topo, &net.spec, &incident.broken, 300);
+        let aed_time = t.elapsed();
+        let aed_out = match aed.outcome {
+            AedOutcome::Fixed { .. } => format!("fixed ({} val)", aed.validations),
+            AedOutcome::BudgetExhausted => format!("EXHAUSTED@{}", aed.validations),
+            AedOutcome::SpaceExhausted => "space-exhausted".into(),
+        };
+
+        println!(
+            "{:>4} {:>6} | {:>16} {:>9} | {:>14} {:>9} | {:>16} {:>9}",
+            n_bb,
+            incident.broken.total_lines(),
+            acr_out,
+            fmt_duration(acr_time),
+            mp_out,
+            fmt_duration(mp_time),
+            aed_out,
+            fmt_duration(aed_time),
+        );
+    }
+    rule(header.len());
+}

@@ -1,0 +1,477 @@
+//! The configuration statement AST.
+//!
+//! A device configuration is an ordered list of [`Stmt`]s. Statements that
+//! open a block (`bgp`, `route-policy … node …`, `acl`, `traffic-policy`,
+//! `interface`) own the sub-statements that follow them until the next
+//! header or top-level statement. `Display` renders exactly the concrete
+//! syntax the parser accepts, giving a lossless print→parse round trip.
+
+use acr_net_types::{Asn, Community, Ipv4Addr, Prefix};
+use std::fmt;
+
+/// Redistribution source protocol (`import-route <proto>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    Static,
+    Connected,
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Proto::Static => "static",
+            Proto::Connected => "connected",
+        })
+    }
+}
+
+/// Permit/deny action used by route policies, prefix lists and ACLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlAction {
+    Permit,
+    Deny,
+}
+
+impl fmt::Display for PlAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlAction::Permit => "permit",
+            PlAction::Deny => "deny",
+        })
+    }
+}
+
+/// Direction in which a per-peer route policy applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    Import,
+    Export,
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dir::Import => "import",
+            Dir::Export => "export",
+        })
+    }
+}
+
+/// Target of a `peer …` statement: a concrete neighbor address or a peer
+/// group name (groups hold shared settings that members inherit).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PeerRef {
+    Ip(Ipv4Addr),
+    Group(String),
+}
+
+impl fmt::Display for PeerRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerRef::Ip(ip) => write!(f, "{ip}"),
+            PeerRef::Group(g) => f.write_str(g),
+        }
+    }
+}
+
+/// Next hop of a static route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextHop {
+    Addr(Ipv4Addr),
+    /// Discard route (`NULL0`), used to originate aggregates.
+    Null0,
+}
+
+impl fmt::Display for NextHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NextHop::Addr(ip) => write!(f, "{ip}"),
+            NextHop::Null0 => f.write_str("NULL0"),
+        }
+    }
+}
+
+/// Action of a PBR (policy-based routing) rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PbrAction {
+    /// Forward normally (fall through to the FIB).
+    Permit,
+    /// Drop the packet.
+    Deny,
+    /// Bypass the FIB and send to this next hop.
+    Redirect(Ipv4Addr),
+}
+
+impl fmt::Display for PbrAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbrAction::Permit => f.write_str("permit"),
+            PbrAction::Deny => f.write_str("deny"),
+            PbrAction::Redirect(ip) => write!(f, "redirect next-hop {ip}"),
+        }
+    }
+}
+
+/// Protocol selector of an ACL rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchProto {
+    Ip,
+    Tcp,
+    Udp,
+    Icmp,
+}
+
+impl fmt::Display for MatchProto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MatchProto::Ip => "ip",
+            MatchProto::Tcp => "tcp",
+            MatchProto::Udp => "udp",
+            MatchProto::Icmp => "icmp",
+        })
+    }
+}
+
+/// Body of an ACL `rule` statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AclRuleCfg {
+    pub index: u32,
+    pub action: PlAction,
+    pub proto: MatchProto,
+    pub src: Prefix,
+    pub dst: Prefix,
+    /// Optional `destination-port eq N` qualifier.
+    pub dst_port: Option<u16>,
+}
+
+/// One configuration statement (one printed line).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    // ---- block headers -------------------------------------------------
+    /// `bgp <asn>` — opens the BGP process block.
+    BgpProcess(Asn),
+    /// `route-policy <name> <permit|deny> node <n>` — opens a policy node.
+    RoutePolicyDef {
+        name: String,
+        action: PlAction,
+        node: u32,
+    },
+    /// `acl <number>` — opens an ACL block.
+    AclDef(u32),
+    /// `traffic-policy <name>` — opens a PBR policy block.
+    PbrPolicyDef(String),
+    /// `interface <name>` — opens an interface block.
+    Interface(String),
+
+    // ---- bgp block -----------------------------------------------------
+    /// `router-id <ip>`.
+    RouterId(Ipv4Addr),
+    /// `network <prefix>` — originate this prefix into BGP.
+    Network(Prefix),
+    /// `import-route <proto>` — redistribute into BGP.
+    ImportRoute(Proto),
+    /// `group <name> external` — declare a peer group.
+    GroupDef(String),
+    /// `peer <ip|group> as-number <asn>`.
+    PeerAs { peer: PeerRef, asn: Asn },
+    /// `peer <ip> group <name>` — join a peer group.
+    PeerGroup { peer: Ipv4Addr, group: String },
+    /// `peer <ip|group> route-policy <name> <import|export>`.
+    PeerPolicy {
+        peer: PeerRef,
+        policy: String,
+        dir: Dir,
+    },
+
+    // ---- route-policy block ---------------------------------------------
+    /// `if-match ip-prefix <list>`.
+    IfMatchPrefixList(String),
+    /// `if-match community <asn:value>` — true when the route carries the
+    /// community.
+    IfMatchCommunity(Community),
+    /// `apply as-path overwrite [asn]` — replace the AS_PATH with the local
+    /// AS (or an explicit one). The paper's Figure 2 mechanism.
+    ApplyAsPathOverwrite(Option<Asn>),
+    /// `apply as-path prepend <asn> <count>`.
+    ApplyAsPathPrepend { asn: Asn, count: u32 },
+    /// `apply local-preference <v>`.
+    ApplyLocalPref(u32),
+    /// `apply med <v>`.
+    ApplyMed(u32),
+    /// `apply community <asn:value>`.
+    ApplyCommunity(Community),
+
+    // ---- acl block -------------------------------------------------------
+    /// `rule <n> <permit|deny> <proto> source <prefix> destination <prefix>
+    /// [destination-port eq <p>]`.
+    AclRule(AclRuleCfg),
+
+    // ---- traffic-policy block --------------------------------------------
+    /// `match acl <n> <action>` — a PBR rule.
+    PbrRule { acl: u32, action: PbrAction },
+
+    // ---- interface block --------------------------------------------------
+    /// `ip address <ip> <len>`.
+    IpAddress { addr: Ipv4Addr, len: u8 },
+
+    // ---- top level ---------------------------------------------------------
+    /// `ip prefix-list <list> index <n> <permit|deny> <addr> <len> [le <n>]`.
+    ///
+    /// Match semantics follow the paper's worked example: an entry matches
+    /// a route whose prefix is covered by the entry's prefix (so
+    /// `0.0.0.0 0` matches *every* route, as the `default_all` list in
+    /// Figure 2b does), optionally bounded by `ge`/`le` on the route length.
+    PrefixListEntry {
+        list: String,
+        index: u32,
+        action: PlAction,
+        prefix: Prefix,
+        ge: Option<u8>,
+        le: Option<u8>,
+    },
+    /// `ip route-static <prefix> <nexthop>`.
+    StaticRoute { prefix: Prefix, next_hop: NextHop },
+    /// `apply traffic-policy <name>` — activate a PBR policy on this device
+    /// (top level, applies to all transit traffic).
+    ApplyTrafficPolicy(String),
+    /// `description <text>` — free-text annotation, semantically inert.
+    Remark(String),
+}
+
+impl Stmt {
+    /// Whether this statement opens a block.
+    pub fn is_header(&self) -> bool {
+        matches!(
+            self,
+            Stmt::BgpProcess(_)
+                | Stmt::RoutePolicyDef { .. }
+                | Stmt::AclDef(_)
+                | Stmt::PbrPolicyDef(_)
+                | Stmt::Interface(_)
+        )
+    }
+
+    /// The block a sub-statement must live in, or `None` for top-level
+    /// statements and headers.
+    pub fn required_block(&self) -> Option<BlockKind> {
+        match self {
+            Stmt::RouterId(_)
+            | Stmt::Network(_)
+            | Stmt::ImportRoute(_)
+            | Stmt::GroupDef(_)
+            | Stmt::PeerAs { .. }
+            | Stmt::PeerGroup { .. }
+            | Stmt::PeerPolicy { .. } => Some(BlockKind::Bgp),
+            Stmt::IfMatchPrefixList(_)
+            | Stmt::IfMatchCommunity(_)
+            | Stmt::ApplyAsPathOverwrite(_)
+            | Stmt::ApplyAsPathPrepend { .. }
+            | Stmt::ApplyLocalPref(_)
+            | Stmt::ApplyMed(_)
+            | Stmt::ApplyCommunity(_) => Some(BlockKind::RoutePolicy),
+            Stmt::AclRule(_) => Some(BlockKind::Acl),
+            Stmt::PbrRule { .. } => Some(BlockKind::TrafficPolicy),
+            Stmt::IpAddress { .. } => Some(BlockKind::Interface),
+            _ => None,
+        }
+    }
+
+    /// The block this statement opens, if it is a header.
+    pub fn opens_block(&self) -> Option<BlockKind> {
+        match self {
+            Stmt::BgpProcess(_) => Some(BlockKind::Bgp),
+            Stmt::RoutePolicyDef { .. } => Some(BlockKind::RoutePolicy),
+            Stmt::AclDef(_) => Some(BlockKind::Acl),
+            Stmt::PbrPolicyDef(_) => Some(BlockKind::TrafficPolicy),
+            Stmt::Interface(_) => Some(BlockKind::Interface),
+            _ => None,
+        }
+    }
+}
+
+/// The five block kinds of the configuration language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    Bgp,
+    RoutePolicy,
+    Acl,
+    TrafficPolicy,
+    Interface,
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BlockKind::Bgp => "bgp",
+            BlockKind::RoutePolicy => "route-policy",
+            BlockKind::Acl => "acl",
+            BlockKind::TrafficPolicy => "traffic-policy",
+            BlockKind::Interface => "interface",
+        })
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Sub-statements are indented one space, matching Figure 2b.
+        if self.required_block().is_some() {
+            f.write_str(" ")?;
+        }
+        match self {
+            Stmt::BgpProcess(asn) => write!(f, "bgp {}", asn.0),
+            Stmt::RoutePolicyDef { name, action, node } => {
+                write!(f, "route-policy {name} {action} node {node}")
+            }
+            Stmt::AclDef(n) => write!(f, "acl {n}"),
+            Stmt::PbrPolicyDef(name) => write!(f, "traffic-policy {name}"),
+            Stmt::Interface(name) => write!(f, "interface {name}"),
+            Stmt::RouterId(ip) => write!(f, "router-id {ip}"),
+            Stmt::Network(p) => write!(f, "network {} {}", p.addr(), p.len()),
+            Stmt::ImportRoute(proto) => write!(f, "import-route {proto}"),
+            Stmt::GroupDef(name) => write!(f, "group {name} external"),
+            Stmt::PeerAs { peer, asn } => write!(f, "peer {peer} as-number {}", asn.0),
+            Stmt::PeerGroup { peer, group } => write!(f, "peer {peer} group {group}"),
+            Stmt::PeerPolicy { peer, policy, dir } => {
+                write!(f, "peer {peer} route-policy {policy} {dir}")
+            }
+            Stmt::IfMatchPrefixList(list) => write!(f, "if-match ip-prefix {list}"),
+            Stmt::IfMatchCommunity(c) => write!(f, "if-match community {c}"),
+            Stmt::ApplyAsPathOverwrite(None) => write!(f, "apply as-path overwrite"),
+            Stmt::ApplyAsPathOverwrite(Some(asn)) => {
+                write!(f, "apply as-path overwrite {}", asn.0)
+            }
+            Stmt::ApplyAsPathPrepend { asn, count } => {
+                write!(f, "apply as-path prepend {} {count}", asn.0)
+            }
+            Stmt::ApplyLocalPref(v) => write!(f, "apply local-preference {v}"),
+            Stmt::ApplyMed(v) => write!(f, "apply med {v}"),
+            Stmt::ApplyCommunity(c) => write!(f, "apply community {c}"),
+            Stmt::AclRule(r) => {
+                write!(
+                    f,
+                    "rule {} {} {} source {} {} destination {} {}",
+                    r.index,
+                    r.action,
+                    r.proto,
+                    r.src.addr(),
+                    r.src.len(),
+                    r.dst.addr(),
+                    r.dst.len()
+                )?;
+                if let Some(p) = r.dst_port {
+                    write!(f, " destination-port eq {p}")?;
+                }
+                Ok(())
+            }
+            Stmt::PbrRule { acl, action } => write!(f, "match acl {acl} {action}"),
+            Stmt::IpAddress { addr, len } => write!(f, "ip address {addr} {len}"),
+            Stmt::PrefixListEntry {
+                list,
+                index,
+                action,
+                prefix,
+                ge,
+                le,
+            } => {
+                write!(
+                    f,
+                    "ip prefix-list {list} index {index} {action} {} {}",
+                    prefix.addr(),
+                    prefix.len()
+                )?;
+                if let Some(g) = ge {
+                    write!(f, " ge {g}")?;
+                }
+                if let Some(l) = le {
+                    write!(f, " le {l}")?;
+                }
+                Ok(())
+            }
+            Stmt::StaticRoute { prefix, next_hop } => {
+                write!(
+                    f,
+                    "ip route-static {} {} {next_hop}",
+                    prefix.addr(),
+                    prefix.len()
+                )
+            }
+            Stmt::ApplyTrafficPolicy(name) => write!(f, "apply traffic-policy {name}"),
+            Stmt::Remark(text) => write!(f, "description {text}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn headers_open_their_blocks() {
+        assert_eq!(Stmt::BgpProcess(Asn(1)).opens_block(), Some(BlockKind::Bgp));
+        assert!(Stmt::BgpProcess(Asn(1)).is_header());
+        assert_eq!(Stmt::Network(p("10.0.0.0/8")).opens_block(), None);
+        assert_eq!(
+            Stmt::Network(p("10.0.0.0/8")).required_block(),
+            Some(BlockKind::Bgp)
+        );
+        assert_eq!(Stmt::StaticRoute {
+            prefix: p("10.0.0.0/8"),
+            next_hop: NextHop::Null0
+        }
+        .required_block(), None);
+    }
+
+    #[test]
+    fn display_matches_concrete_syntax() {
+        assert_eq!(Stmt::BgpProcess(Asn(65001)).to_string(), "bgp 65001");
+        assert_eq!(
+            Stmt::PeerPolicy {
+                peer: PeerRef::Ip(Ipv4Addr::new(10, 1, 1, 2)),
+                policy: "Override_All".into(),
+                dir: Dir::Import,
+            }
+            .to_string(),
+            " peer 10.1.1.2 route-policy Override_All import"
+        );
+        assert_eq!(
+            Stmt::PrefixListEntry {
+                list: "default_all".into(),
+                index: 10,
+                action: PlAction::Permit,
+                prefix: Prefix::DEFAULT,
+                ge: None,
+                le: None,
+            }
+            .to_string(),
+            "ip prefix-list default_all index 10 permit 0.0.0.0 0"
+        );
+        assert_eq!(
+            Stmt::PbrRule {
+                acl: 3000,
+                action: PbrAction::Redirect(Ipv4Addr::new(10, 1, 1, 2)),
+            }
+            .to_string(),
+            " match acl 3000 redirect next-hop 10.1.1.2"
+        );
+        assert_eq!(
+            Stmt::StaticRoute {
+                prefix: p("20.0.0.0/16"),
+                next_hop: NextHop::Null0
+            }
+            .to_string(),
+            "ip route-static 20.0.0.0 16 NULL0"
+        );
+    }
+
+    #[test]
+    fn sub_statements_are_indented() {
+        assert!(Stmt::RouterId(Ipv4Addr::new(1, 1, 1, 1))
+            .to_string()
+            .starts_with(' '));
+        assert!(!Stmt::BgpProcess(Asn(1)).to_string().starts_with(' '));
+    }
+}

@@ -1,0 +1,195 @@
+//! Configuration diffing.
+//!
+//! [`diff`] computes a [`Patch`] that transforms one network configuration
+//! into another — an LCS-based, per-device statement diff. The repair
+//! harness uses it to compare a found repair against the ground-truth
+//! intended configuration, and operators can use it to review a repair as
+//! a familiar changeset.
+//!
+//! Invariant (property-tested): `apply(diff(a, b), a) == b`.
+
+use crate::ast::Stmt;
+use crate::config::NetworkConfig;
+use crate::patch::{Edit, Patch};
+use acr_net_types::RouterId;
+
+/// Computes the patch that rewrites `from` into `to`.
+///
+/// Devices present only in `to` contribute inserts of their entire
+/// statement list; devices present only in `from` cannot be expressed
+/// (patches cannot remove devices) and are ignored — network membership
+/// is topology, not configuration.
+pub fn diff(from: &NetworkConfig, to: &NetworkConfig) -> Patch {
+    let mut patch = Patch::new();
+    for (router, to_device) in to.devices() {
+        let from_stmts: &[Stmt] = from.device(router).map(|d| d.stmts()).unwrap_or(&[]);
+        device_diff(router, from_stmts, to_device.stmts(), &mut patch);
+    }
+    patch
+}
+
+/// Emits edits turning `from` into `to` for one device.
+///
+/// Classic LCS alignment; non-common statements become deletes (emitted
+/// back-to-front so indices stay valid) followed by inserts (front-to-
+/// back against the already-deleted document).
+fn device_diff(router: RouterId, from: &[Stmt], to: &[Stmt], patch: &mut Patch) {
+    let keep = lcs_keep(from, to);
+    // Deletions: every `from` index not kept, descending.
+    let deletions: Vec<usize> = (0..from.len()).filter(|i| !keep.0.contains(i)).collect();
+    for &i in deletions.iter().rev() {
+        patch.push(Edit::Delete { router, index: i });
+    }
+    // After deletions the document is exactly the kept subsequence, in
+    // order. Insertions: walk `to`, inserting every non-kept statement at
+    // its final position.
+    for (j, stmt) in to.iter().enumerate() {
+        if !keep.1.contains(&j) {
+            patch.push(Edit::Insert { router, index: j, stmt: stmt.clone() });
+        }
+    }
+}
+
+/// Returns the index sets (in `a`, in `b`) of one longest common
+/// subsequence.
+fn lcs_keep(a: &[Stmt], b: &[Stmt]) -> (Vec<usize>, Vec<usize>) {
+    let (n, m) = (a.len(), b.len());
+    // DP table of LCS lengths.
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut keep_a = Vec::new();
+    let mut keep_b = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            keep_a.push(i);
+            keep_b.push(j);
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (keep_a, keep_b)
+}
+
+/// A human-readable unified-style rendering of the differences.
+pub fn render(from: &NetworkConfig, to: &NetworkConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (router, to_device) in to.devices() {
+        let from_stmts: &[Stmt] = from.device(router).map(|d| d.stmts()).unwrap_or(&[]);
+        let (keep_a, keep_b) = lcs_keep(from_stmts, to_device.stmts());
+        if keep_a.len() == from_stmts.len() && keep_b.len() == to_device.len() {
+            continue; // identical
+        }
+        let _ = writeln!(out, "--- {}", to_device.name());
+        for (i, stmt) in from_stmts.iter().enumerate() {
+            if !keep_a.contains(&i) {
+                let _ = writeln!(out, "-{stmt}");
+            }
+        }
+        for (j, stmt) in to_device.stmts().iter().enumerate() {
+            if !keep_b.contains(&j) {
+                let _ = writeln!(out, "+{stmt}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_device;
+
+    fn net(pairs: &[(u32, &str)]) -> NetworkConfig {
+        let mut n = NetworkConfig::new();
+        for (id, text) in pairs {
+            n.insert(RouterId(*id), parse_device(format!("R{id}"), text).unwrap());
+        }
+        n
+    }
+
+    #[test]
+    fn identical_configs_diff_empty() {
+        let a = net(&[(0, "bgp 1\n network 10.0.0.0 8\n")]);
+        let p = diff(&a, &a);
+        assert!(p.is_empty());
+        assert!(render(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn single_insertion() {
+        let a = net(&[(0, "bgp 1\n")]);
+        let b = net(&[(0, "bgp 1\n network 10.0.0.0 8\n")]);
+        let p = diff(&a, &b);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.apply_cloned(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn single_deletion() {
+        let a = net(&[(0, "bgp 1\n network 10.0.0.0 8\n import-route static\n")]);
+        let b = net(&[(0, "bgp 1\n import-route static\n")]);
+        let p = diff(&a, &b);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.apply_cloned(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn replacement_is_delete_plus_insert() {
+        let a = net(&[(0, "bgp 1\n network 10.0.0.0 8\n")]);
+        let b = net(&[(0, "bgp 1\n network 20.0.0.0 8\n")]);
+        let p = diff(&a, &b);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.apply_cloned(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn multi_device_diff() {
+        let a = net(&[(0, "bgp 1\n"), (1, "bgp 2\n network 10.0.0.0 8\n")]);
+        let b = net(&[(0, "bgp 1\n import-route static\n"), (1, "bgp 2\n")]);
+        let p = diff(&a, &b);
+        assert_eq!(p.apply_cloned(&a).unwrap(), b);
+        assert_eq!(p.routers().len(), 2);
+    }
+
+    #[test]
+    fn render_marks_changes() {
+        let a = net(&[(0, "bgp 1\n network 10.0.0.0 8\n")]);
+        let b = net(&[(0, "bgp 1\n network 20.0.0.0 8\n")]);
+        let text = render(&a, &b);
+        assert!(text.contains("- network 10.0.0.0 8"), "{text}");
+        assert!(text.contains("+ network 20.0.0.0 8"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_statements_align() {
+        // Repeated identical lines must not confuse the alignment.
+        let a = net(&[(0, "description x\ndescription x\ndescription x\n")]);
+        let b = net(&[(0, "description x\ndescription y\ndescription x\n")]);
+        let p = diff(&a, &b);
+        assert_eq!(p.apply_cloned(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn device_only_in_target_is_fully_inserted() {
+        let a = NetworkConfig::new();
+        let mut a2 = a.clone();
+        a2.insert(RouterId(0), parse_device("R0", "").unwrap());
+        let b = net(&[(0, "bgp 1\n router-id 1.1.1.1\n")]);
+        let p = diff(&a2, &b);
+        assert_eq!(p.apply_cloned(&a2).unwrap(), b);
+    }
+}

@@ -1,0 +1,42 @@
+//! Configuration errors.
+
+use std::fmt;
+
+/// Any error raised while parsing, validating or patching a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// A line could not be parsed. Carries the 1-based line number and the
+    /// offending text.
+    Parse { line: u32, text: String, reason: String },
+    /// A sub-statement appeared outside the block kind it requires.
+    OutOfBlock { line: u32, text: String, needs: String },
+    /// Semantic validation failed (e.g. a peer references an undefined
+    /// group).
+    Semantic { device: String, reason: String },
+    /// A patch edit referenced a statement index that does not exist.
+    BadEditTarget { device: String, index: usize, len: usize },
+    /// A patch named a device that is not part of the network.
+    UnknownDevice(String),
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::Parse { line, text, reason } => {
+                write!(f, "parse error at line {line}: {reason} (`{text}`)")
+            }
+            CfgError::OutOfBlock { line, text, needs } => {
+                write!(f, "line {line}: `{text}` must appear inside a `{needs}` block")
+            }
+            CfgError::Semantic { device, reason } => {
+                write!(f, "semantic error on {device}: {reason}")
+            }
+            CfgError::BadEditTarget { device, index, len } => {
+                write!(f, "edit target {index} out of range for {device} ({len} statements)")
+            }
+            CfgError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}

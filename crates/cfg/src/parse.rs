@@ -1,0 +1,444 @@
+//! Line-oriented configuration parser.
+//!
+//! Each non-empty, non-comment line parses to exactly one [`Stmt`]. Block
+//! membership is tracked by the most recent header statement; a
+//! sub-statement outside its required block is an error with the precise
+//! line number. Blank lines and `#` comments are permitted in input but do
+//! not survive printing (statement indices are assigned over statements
+//! only, so patched configs keep dense line numbering).
+
+use crate::ast::{AclRuleCfg, BlockKind, Dir, MatchProto, NextHop, PbrAction, PeerRef, PlAction, Proto, Stmt};
+use crate::config::DeviceConfig;
+use crate::error::CfgError;
+use acr_net_types::{Asn, Ipv4Addr, Prefix};
+
+/// Parses a full device configuration from text.
+pub fn parse_device(name: impl Into<String>, text: &str) -> Result<DeviceConfig, CfgError> {
+    let mut stmts = Vec::new();
+    let mut current_block: Option<BlockKind> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let stmt = parse_stmt(line, current_block).map_err(|reason| CfgError::Parse {
+            line: line_no,
+            text: line.to_string(),
+            reason,
+        })?;
+        if let Some(block) = stmt.opens_block() {
+            current_block = Some(block);
+        } else if let Some(needed) = stmt.required_block() {
+            if current_block != Some(needed) {
+                return Err(CfgError::OutOfBlock {
+                    line: line_no,
+                    text: line.to_string(),
+                    needs: needed.to_string(),
+                });
+            }
+        } else {
+            current_block = None;
+        }
+        stmts.push(stmt);
+    }
+    Ok(DeviceConfig::new(name, stmts))
+}
+
+/// Parses one statement given the enclosing block context (context is only
+/// needed to disambiguate `apply …`, which is a policy action inside a
+/// `route-policy` block and a PBR activation at top level).
+pub fn parse_stmt(line: &str, block: Option<BlockKind>) -> Result<Stmt, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let t = |i: usize| -> Result<&str, String> {
+        toks.get(i).copied().ok_or_else(|| "unexpected end of line".to_string())
+    };
+    let asn = |s: &str| -> Result<Asn, String> {
+        s.parse::<u32>().map(Asn).map_err(|_| format!("bad AS number `{s}`"))
+    };
+    let ip = |s: &str| -> Result<Ipv4Addr, String> {
+        s.parse().map_err(|_| format!("bad IPv4 address `{s}`"))
+    };
+    let num = |s: &str| -> Result<u32, String> {
+        s.parse().map_err(|_| format!("bad number `{s}`"))
+    };
+    let prefix2 = |a: &str, l: &str| -> Result<Prefix, String> {
+        let addr = ip(a)?;
+        let len: u8 = l.parse().map_err(|_| format!("bad prefix length `{l}`"))?;
+        if len > 32 {
+            return Err(format!("prefix length {len} > 32"));
+        }
+        Ok(Prefix::new(addr, len))
+    };
+    let action = |s: &str| -> Result<PlAction, String> {
+        match s {
+            "permit" => Ok(PlAction::Permit),
+            "deny" => Ok(PlAction::Deny),
+            other => Err(format!("expected permit|deny, got `{other}`")),
+        }
+    };
+
+    match t(0)? {
+        "bgp" => Ok(Stmt::BgpProcess(asn(t(1)?)?)),
+        "router-id" => Ok(Stmt::RouterId(ip(t(1)?)?)),
+        "network" => Ok(Stmt::Network(prefix2(t(1)?, t(2)?)?)),
+        "import-route" => match t(1)? {
+            "static" => Ok(Stmt::ImportRoute(Proto::Static)),
+            "connected" => Ok(Stmt::ImportRoute(Proto::Connected)),
+            other => Err(format!("unknown import-route protocol `{other}`")),
+        },
+        "group" => {
+            if t(2)? != "external" {
+                return Err("expected `group <name> external`".to_string());
+            }
+            Ok(Stmt::GroupDef(t(1)?.to_string()))
+        }
+        "peer" => {
+            let target = t(1)?;
+            let peer_ref = match target.parse::<Ipv4Addr>() {
+                Ok(addr) => PeerRef::Ip(addr),
+                Err(_) => PeerRef::Group(target.to_string()),
+            };
+            match t(2)? {
+                "as-number" => Ok(Stmt::PeerAs { peer: peer_ref, asn: asn(t(3)?)? }),
+                "group" => match peer_ref {
+                    PeerRef::Ip(peer) => Ok(Stmt::PeerGroup {
+                        peer,
+                        group: t(3)?.to_string(),
+                    }),
+                    PeerRef::Group(_) => Err("`peer <x> group <g>` needs an IP peer".to_string()),
+                },
+                "route-policy" => {
+                    let dir = match t(4)? {
+                        "import" => Dir::Import,
+                        "export" => Dir::Export,
+                        other => return Err(format!("expected import|export, got `{other}`")),
+                    };
+                    Ok(Stmt::PeerPolicy {
+                        peer: peer_ref,
+                        policy: t(3)?.to_string(),
+                        dir,
+                    })
+                }
+                other => Err(format!("unknown peer attribute `{other}`")),
+            }
+        }
+        "route-policy" => {
+            if t(3)? != "node" {
+                return Err("expected `route-policy <name> <permit|deny> node <n>`".to_string());
+            }
+            Ok(Stmt::RoutePolicyDef {
+                name: t(1)?.to_string(),
+                action: action(t(2)?)?,
+                node: num(t(4)?)?,
+            })
+        }
+        "if-match" => match t(1)? {
+            "ip-prefix" => Ok(Stmt::IfMatchPrefixList(t(2)?.to_string())),
+            "community" => Ok(Stmt::IfMatchCommunity(
+                t(2)?.parse().map_err(|e| format!("bad community: {e}"))?,
+            )),
+            other => Err(format!("unknown if-match kind `{other}`")),
+        },
+        "apply" => match (block, t(1)?) {
+            (Some(BlockKind::RoutePolicy), "as-path") => match t(2)? {
+                "overwrite" => Ok(Stmt::ApplyAsPathOverwrite(match toks.get(3) {
+                    Some(s) => Some(asn(s)?),
+                    None => None,
+                })),
+                "prepend" => Ok(Stmt::ApplyAsPathPrepend {
+                    asn: asn(t(3)?)?,
+                    count: num(t(4)?)?,
+                }),
+                other => Err(format!("unknown as-path action `{other}`")),
+            },
+            (Some(BlockKind::RoutePolicy), "local-preference") => {
+                Ok(Stmt::ApplyLocalPref(num(t(2)?)?))
+            }
+            (Some(BlockKind::RoutePolicy), "med") => Ok(Stmt::ApplyMed(num(t(2)?)?)),
+            (Some(BlockKind::RoutePolicy), "community") => Ok(Stmt::ApplyCommunity(
+                t(2)?.parse().map_err(|e| format!("bad community: {e}"))?,
+            )),
+            (_, "traffic-policy") => Ok(Stmt::ApplyTrafficPolicy(t(2)?.to_string())),
+            (b, other) => Err(format!(
+                "`apply {other}` not valid here (block: {})",
+                b.map(|k| k.to_string()).unwrap_or_else(|| "top level".into())
+            )),
+        },
+        "acl" => Ok(Stmt::AclDef(num(t(1)?)?)),
+        "rule" => {
+            let index = num(t(1)?)?;
+            let act = action(t(2)?)?;
+            let proto = match t(3)? {
+                "ip" => MatchProto::Ip,
+                "tcp" => MatchProto::Tcp,
+                "udp" => MatchProto::Udp,
+                "icmp" => MatchProto::Icmp,
+                other => return Err(format!("unknown ACL protocol `{other}`")),
+            };
+            if t(4)? != "source" {
+                return Err("expected `source`".to_string());
+            }
+            let src = prefix2(t(5)?, t(6)?)?;
+            if t(7)? != "destination" {
+                return Err("expected `destination`".to_string());
+            }
+            let dst = prefix2(t(8)?, t(9)?)?;
+            let dst_port = match toks.get(10) {
+                None => None,
+                Some(&"destination-port") => {
+                    if t(11)? != "eq" {
+                        return Err("expected `destination-port eq <p>`".to_string());
+                    }
+                    Some(
+                        t(12)?
+                            .parse::<u16>()
+                            .map_err(|e| format!("bad port: {e}"))?,
+                    )
+                }
+                Some(other) => return Err(format!("unexpected token `{other}`")),
+            };
+            Ok(Stmt::AclRule(AclRuleCfg {
+                index,
+                action: act,
+                proto,
+                src,
+                dst,
+                dst_port,
+            }))
+        }
+        "traffic-policy" => Ok(Stmt::PbrPolicyDef(t(1)?.to_string())),
+        "match" => {
+            if t(1)? != "acl" {
+                return Err("expected `match acl <n> <action>`".to_string());
+            }
+            let acl = num(t(2)?)?;
+            let act = match t(3)? {
+                "permit" => PbrAction::Permit,
+                "deny" => PbrAction::Deny,
+                "redirect" => {
+                    if t(4)? != "next-hop" {
+                        return Err("expected `redirect next-hop <ip>`".to_string());
+                    }
+                    PbrAction::Redirect(ip(t(5)?)?)
+                }
+                other => return Err(format!("unknown PBR action `{other}`")),
+            };
+            Ok(Stmt::PbrRule { acl, action: act })
+        }
+        "interface" => Ok(Stmt::Interface(t(1)?.to_string())),
+        "ip" => match t(1)? {
+            "address" => Ok(Stmt::IpAddress {
+                addr: ip(t(2)?)?,
+                len: t(3)?.parse().map_err(|e| format!("bad mask length: {e}"))?,
+            }),
+            "prefix-list" => {
+                if t(3)? != "index" {
+                    return Err("expected `ip prefix-list <list> index <n> …`".to_string());
+                }
+                let prefix = prefix2(t(6)?, t(7)?)?;
+                let mut ge = None;
+                let mut le = None;
+                let mut i = 8;
+                while i < toks.len() {
+                    match toks[i] {
+                        "ge" => {
+                            ge = Some(
+                                t(i + 1)?
+                                    .parse::<u8>()
+                                    .map_err(|_| format!("bad ge `{}`", t(i + 1).unwrap_or("")))?,
+                            );
+                            i += 2;
+                        }
+                        "le" => {
+                            le = Some(
+                                t(i + 1)?
+                                    .parse::<u8>()
+                                    .map_err(|_| format!("bad le `{}`", t(i + 1).unwrap_or("")))?,
+                            );
+                            i += 2;
+                        }
+                        other => return Err(format!("unexpected token `{other}`")),
+                    }
+                }
+                Ok(Stmt::PrefixListEntry {
+                    list: t(2)?.to_string(),
+                    index: num(t(4)?)?,
+                    action: action(t(5)?)?,
+                    prefix,
+                    ge,
+                    le,
+                })
+            }
+            "route-static" => {
+                let prefix = prefix2(t(2)?, t(3)?)?;
+                let next_hop = match t(4)? {
+                    "NULL0" => NextHop::Null0,
+                    other => NextHop::Addr(ip(other)?),
+                };
+                Ok(Stmt::StaticRoute { prefix, next_hop })
+            }
+            other => Err(format!("unknown `ip` statement `{other}`")),
+        },
+        "description" => Ok(Stmt::Remark(toks[1..].join(" "))),
+        other => Err(format!("unknown statement `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2b snippet for router A, transliterated into our
+    /// concrete syntax (same 16-line shape: bgp block with peers, the
+    /// override policy, and the catch-all prefix list).
+    pub const FIG2B_ROUTER_A: &str = "\
+bgp 65001
+ router-id 1.1.1.1
+ network 10.70.0.0 16
+ import-route static
+ peer 10.1.1.2 as-number 65002
+ peer 10.1.1.2 route-policy Override_All import
+ group PoPSide external
+ peer PoPSide as-number 65100
+ peer PoPSide route-policy Override_All import
+ peer 10.2.1.2 group PoPSide
+route-policy Override_All permit node 10
+ if-match ip-prefix default_all
+ apply as-path overwrite
+ip prefix-list default_all index 10 permit 0.0.0.0 0
+ip route-static 20.0.0.0 16 NULL0
+apply traffic-policy pbr1
+";
+
+    #[test]
+    fn parses_fig2b_snippet() {
+        let cfg = parse_device("A", FIG2B_ROUTER_A).unwrap();
+        assert_eq!(cfg.len(), 16);
+        assert_eq!(cfg.line(1), Some(&Stmt::BgpProcess(Asn(65001))));
+        assert!(matches!(cfg.line(13), Some(Stmt::ApplyAsPathOverwrite(None))));
+        assert!(matches!(
+            cfg.line(14),
+            Some(Stmt::PrefixListEntry { prefix, .. }) if prefix.is_default()
+        ));
+    }
+
+    #[test]
+    fn roundtrip_print_reparse() {
+        let cfg = parse_device("A", FIG2B_ROUTER_A).unwrap();
+        let text = cfg.to_text();
+        let again = parse_device("A", &text).unwrap();
+        assert_eq!(cfg, again);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let cfg = parse_device("X", "# header\n\nbgp 1\n # note\n router-id 1.1.1.1\n").unwrap();
+        assert_eq!(cfg.len(), 2);
+    }
+
+    #[test]
+    fn sub_statement_outside_block_is_rejected() {
+        let err = parse_device("X", "router-id 1.1.1.1\n").unwrap_err();
+        assert!(matches!(err, CfgError::OutOfBlock { line: 1, .. }), "{err}");
+        // apply policy action outside a route-policy block
+        let err = parse_device("X", "apply local-preference 100\n").unwrap_err();
+        assert!(matches!(err, CfgError::Parse { line: 1, .. }), "{err}");
+        // a top-level statement closes the current block
+        let err = parse_device(
+            "X",
+            "bgp 1\nip route-static 10.0.0.0 8 NULL0\n network 10.0.0.0 8\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CfgError::OutOfBlock { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_device("X", "bgp 1\n peer 10.0.0.1 as-number banana\n").unwrap_err();
+        match err {
+            CfgError::Parse { line, reason, .. } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("banana"), "{reason}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_pbr_and_acl() {
+        let text = "\
+acl 3000
+ rule 5 permit tcp source 10.0.0.0 16 destination 20.0.0.0 16 destination-port eq 80
+traffic-policy pbr1
+ match acl 3000 redirect next-hop 10.1.1.2
+ match acl 3000 deny
+apply traffic-policy pbr1
+";
+        let cfg = parse_device("X", text).unwrap();
+        assert_eq!(cfg.len(), 6);
+        assert!(matches!(
+            cfg.line(4),
+            Some(Stmt::PbrRule { acl: 3000, action: PbrAction::Redirect(_) })
+        ));
+        let rt = parse_device("X", &cfg.to_text()).unwrap();
+        assert_eq!(cfg, rt);
+    }
+
+    #[test]
+    fn parses_prefix_list_bounds() {
+        let cfg = parse_device(
+            "X",
+            "ip prefix-list all index 10 permit 0.0.0.0 0 le 32\nip prefix-list x index 5 deny 10.0.0.0 8 ge 16 le 24\n",
+        )
+        .unwrap();
+        match cfg.line(2).unwrap() {
+            Stmt::PrefixListEntry { action, ge, le, .. } => {
+                assert_eq!(*action, PlAction::Deny);
+                assert_eq!((*ge, *le), (Some(16), Some(24)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_overwrite_asn() {
+        let cfg = parse_device(
+            "X",
+            "route-policy P permit node 10\n apply as-path overwrite 65009\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.line(2), Some(&Stmt::ApplyAsPathOverwrite(Some(Asn(65009)))));
+    }
+
+    #[test]
+    fn parses_community_match() {
+        let cfg = parse_device(
+            "X",
+            "route-policy P permit node 10\n if-match community 65001:300\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.line(2),
+            Some(&Stmt::IfMatchCommunity("65001:300".parse().unwrap()))
+        );
+        let rt = parse_device("X", &cfg.to_text()).unwrap();
+        assert_eq!(cfg, rt);
+        assert!(parse_device("X", "route-policy P permit node 10\n if-match community nope\n").is_err());
+        assert!(parse_device("X", "route-policy P permit node 10\n if-match as-path x\n").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "frobnicate",
+            "bgp abc",
+            "ip prefix-list x index y permit 0.0.0.0 0",
+            "peer 1.2.3.4 as-number",
+            "network 10.0.0.0 99",
+            "match acl 1 teleport",
+        ] {
+            assert!(parse_device("X", bad).is_err(), "`{bad}` should fail");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the configuration substrate.
+//!
+//! The central invariant is the lossless round trip: printing any
+//! statement list and re-parsing it yields the same list. Patches are
+//! additionally checked for length accounting and for preserving
+//! parseability when inserts respect block context.
+
+use acr_cfg::ast::{NextHop, PlAction, Proto, Stmt};
+use acr_cfg::diff::diff;
+use acr_cfg::parse::parse_device;
+use acr_cfg::{DeviceConfig, Edit, NetworkConfig, Patch};
+use acr_net_types::{Asn, Ipv4Addr, Prefix, RouterId};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(Ipv4Addr(a), l))
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+/// Strategy over *top-level* statements (always parseable standalone).
+fn arb_top_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        arb_prefix().prop_map(|p| Stmt::StaticRoute { prefix: p, next_hop: NextHop::Null0 }),
+        (arb_prefix(), any::<u32>()).prop_map(|(p, ip)| Stmt::StaticRoute {
+            prefix: p,
+            next_hop: NextHop::Addr(Ipv4Addr(ip)),
+        }),
+        (arb_name(), 1u32..100, arb_prefix(), proptest::option::of(0u8..=32))
+            .prop_map(|(list, index, prefix, le)| Stmt::PrefixListEntry {
+                list,
+                index,
+                action: PlAction::Permit,
+                prefix,
+                ge: None,
+                le,
+            }),
+        arb_name().prop_map(Stmt::ApplyTrafficPolicy),
+        // Remark text is whitespace-tokenized by the parser, so generate
+        // already-normalized text (single spaces, no leading/trailing).
+        "[a-z]{1,8}( [a-z]{1,8}){0,3}".prop_map(Stmt::Remark),
+    ]
+}
+
+/// Strategy over a bgp block: header + valid sub-statements.
+fn arb_bgp_block() -> impl Strategy<Value = Vec<Stmt>> {
+    (
+        1u32..65000,
+        proptest::collection::vec(
+            prop_oneof![
+                any::<u32>().prop_map(|ip| Stmt::RouterId(Ipv4Addr(ip))),
+                arb_prefix().prop_map(Stmt::Network),
+                Just(Stmt::ImportRoute(Proto::Static)),
+                Just(Stmt::ImportRoute(Proto::Connected)),
+                (any::<u32>(), 1u32..65000).prop_map(|(ip, asn)| Stmt::PeerAs {
+                    peer: acr_cfg::PeerRef::Ip(Ipv4Addr(ip)),
+                    asn: Asn(asn),
+                }),
+                (any::<u32>(), arb_name()).prop_map(|(ip, g)| Stmt::PeerGroup {
+                    peer: Ipv4Addr(ip),
+                    group: g,
+                }),
+                arb_name().prop_map(Stmt::GroupDef),
+            ],
+            0..8,
+        ),
+    )
+        .prop_map(|(asn, mut subs)| {
+            let mut v = vec![Stmt::BgpProcess(Asn(asn))];
+            v.append(&mut subs);
+            v
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = DeviceConfig> {
+    (
+        proptest::collection::vec(arb_top_stmt(), 0..6),
+        arb_bgp_block(),
+        proptest::collection::vec(arb_top_stmt(), 0..6),
+    )
+        .prop_map(|(pre, block, post)| {
+            let mut stmts = pre;
+            stmts.extend(block);
+            stmts.extend(post);
+            DeviceConfig::new("P", stmts)
+        })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(cfg in arb_config()) {
+        let text = cfg.to_text();
+        let parsed = parse_device("P", &text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(cfg.stmts(), parsed.stmts());
+    }
+
+    #[test]
+    fn patch_insert_then_delete_is_identity(cfg in arb_config(), stmt in arb_top_stmt(), pos_seed in any::<usize>()) {
+        let mut net = NetworkConfig::new();
+        net.insert(RouterId(0), cfg.clone());
+        let before = net.fingerprint();
+        // Insert at the very end (always a legal top-level position), then
+        // delete the same index: the document must be unchanged.
+        let idx = cfg.len();
+        let _ = pos_seed; // position variation covered by roundtrip test
+        Patch::single(Edit::Insert { router: RouterId(0), index: idx, stmt })
+            .apply(&mut net)
+            .unwrap();
+        prop_assert_eq!(net.device(RouterId(0)).unwrap().len(), cfg.len() + 1);
+        Patch::single(Edit::Delete { router: RouterId(0), index: idx })
+            .apply(&mut net)
+            .unwrap();
+        prop_assert_eq!(net.fingerprint(), before);
+    }
+
+    #[test]
+    fn replace_preserves_length(cfg in arb_config(), stmt in arb_top_stmt(), seed in any::<u32>()) {
+        prop_assume!(cfg.len() > 0);
+        let mut net = NetworkConfig::new();
+        let len = cfg.len();
+        net.insert(RouterId(0), cfg);
+        let idx = (seed as usize) % len;
+        // Replacement may produce a context-invalid document (a bgp
+        // sub-statement swapped for a top-level one is fine; the reverse
+        // appears only via templates which respect context), but length
+        // accounting must always hold.
+        Patch::single(Edit::Replace { router: RouterId(0), index: idx, stmt })
+            .apply(&mut net)
+            .unwrap();
+        prop_assert_eq!(net.device(RouterId(0)).unwrap().len(), len);
+    }
+
+    #[test]
+    fn line_ids_cover_exactly_the_statements(cfg in arb_config()) {
+        let mut net = NetworkConfig::new();
+        let len = cfg.len();
+        net.insert(RouterId(3), cfg);
+        let ids: Vec<_> = net.all_lines().collect();
+        prop_assert_eq!(ids.len(), len);
+        for id in ids {
+            prop_assert!(net.stmt(id).is_some());
+        }
+        prop_assert!(net.stmt(acr_cfg::LineId::new(RouterId(3), len as u32 + 1)).is_none());
+    }
+}
+
+proptest! {
+    /// The differ's defining property: applying `diff(a, b)` to `a`
+    /// yields `b`, for arbitrary statement lists on both sides.
+    #[test]
+    fn diff_then_apply_reaches_target(a in arb_config(), b in arb_config()) {
+        let mut from = NetworkConfig::new();
+        from.insert(RouterId(0), a);
+        let mut to = NetworkConfig::new();
+        to.insert(RouterId(0), DeviceConfig::new("P", b.stmts().to_vec()));
+        let patch = diff(&from, &to);
+        let reached = patch.apply_cloned(&from).unwrap();
+        prop_assert_eq!(
+            reached.device(RouterId(0)).unwrap().stmts(),
+            to.device(RouterId(0)).unwrap().stmts()
+        );
+    }
+
+    /// Diffing a configuration against itself is a no-op.
+    #[test]
+    fn self_diff_is_empty(a in arb_config()) {
+        let mut net = NetworkConfig::new();
+        net.insert(RouterId(0), a);
+        prop_assert!(diff(&net, &net).is_empty());
+    }
+}

@@ -1,0 +1,443 @@
+//! The localize–fix–validate repair loop (Figure 4).
+//!
+//! Each iteration:
+//!
+//! 1. **Localize** — score every covered line of each surviving variant
+//!    with SBFL (Tarantula by default) and take the most suspicious ones,
+//! 2. **Fix** — instantiate the templates attached to those lines
+//!    (brute-force Cartesian product, or genetic mutation + crossover),
+//! 3. **Validate** — run each candidate through the DNA-style incremental
+//!    verifier; the fitness of a candidate is its number of failed tests,
+//!    and candidates with fitness above the previous iteration's are
+//!    discarded (§5, Fitness Function).
+//!
+//! Termination (§5): a feasible update is found (fitness 0), no more
+//! candidates can be generated (S = ∅), or the iteration cap (500) is hit.
+
+use crate::ctx::RepairCtx;
+use crate::strategy::{crossover, Strategy};
+use crate::templates::{candidates_for_line, CandidateFix, TemplateKind};
+use crate::universal::universal_candidates;
+use acr_cfg::{DeviceModel, LineId, NetworkConfig, Patch};
+use acr_localize::{localize, SbflFormula};
+use acr_topo::Topology;
+use acr_verify::{IncrementalVerifier, Spec, Verification};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// The paper's iteration cap.
+pub const DEFAULT_MAX_ITERATIONS: usize = 500;
+
+/// Which change-operator vocabulary the engine draws candidates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorSet {
+    /// The curated Table-1 templates (the paper's current design).
+    Curated,
+    /// Donor-based universal operators only (the paper's §6 direction).
+    Universal,
+    /// Both vocabularies, deduplicated by the candidate patch.
+    Both,
+}
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    pub max_iterations: usize,
+    pub strategy: Strategy,
+    pub formula: SbflFormula,
+    /// RNG seed — repairs are fully reproducible.
+    pub seed: u64,
+    /// Population cap across iterations.
+    pub max_population: usize,
+    /// Test packets sampled per property.
+    pub samples_per_property: u32,
+    /// Restrict fix generation to these templates (`None` = all). Useful
+    /// to reproduce a specific repair style, e.g. the paper's prefix-list
+    /// adjustments on the Figure 2 incident. Only filters the curated
+    /// vocabulary.
+    pub allowed_templates: Option<Vec<TemplateKind>>,
+    /// The operator vocabulary (curated templates, §6 universal donors,
+    /// or both).
+    pub operators: OperatorSet,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+            strategy: Strategy::default(),
+            formula: SbflFormula::Tarantula,
+            seed: 7,
+            max_population: 8,
+            samples_per_property: 1,
+            allowed_templates: None,
+            operators: OperatorSet::Curated,
+        }
+    }
+}
+
+/// Per-iteration accounting (feeds the Figure 4 workflow experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationStats {
+    pub iteration: usize,
+    /// The iteration's fitness: the largest fitness among preserved
+    /// updates (§5), or the previous fitness if nothing was preserved.
+    pub fitness: usize,
+    /// Best (lowest) fitness in the population after this iteration.
+    pub best_fitness: usize,
+    pub generated: usize,
+    pub kept: usize,
+    /// Control-plane prefixes re-simulated / reused across this
+    /// iteration's validations.
+    pub recomputed_prefixes: usize,
+    pub reused_prefixes: usize,
+}
+
+/// How a repair run ended.
+#[derive(Debug, Clone)]
+pub enum RepairOutcome {
+    /// A feasible update: every test passes.
+    Fixed { patch: Patch, repaired: NetworkConfig },
+    /// The candidate set dried up before reaching fitness 0.
+    NoCandidates { best_patch: Patch, best_fitness: usize },
+    /// The iteration cap was reached.
+    IterationLimit { best_patch: Patch, best_fitness: usize },
+}
+
+impl RepairOutcome {
+    /// Whether the run produced a feasible update.
+    pub fn is_fixed(&self) -> bool {
+        matches!(self, RepairOutcome::Fixed { .. })
+    }
+}
+
+/// The full report of one repair run.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    pub outcome: RepairOutcome,
+    pub iterations: Vec<IterationStats>,
+    pub initial_failed: usize,
+    pub validations: usize,
+    pub wall: Duration,
+}
+
+impl RepairReport {
+    /// Number of iterations executed.
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+}
+
+/// One surviving repair variant.
+struct Variant {
+    cfg: NetworkConfig,
+    /// Patch from the *original* configuration (edits apply sequentially).
+    patch: Patch,
+    verification: Verification,
+    fitness: usize,
+}
+
+/// The repair engine, bound to a topology and spec.
+pub struct RepairEngine<'a> {
+    topo: &'a Topology,
+    spec: &'a Spec,
+    config: RepairConfig,
+}
+
+impl<'a> RepairEngine<'a> {
+    /// Creates an engine with the given tunables.
+    pub fn new(topo: &'a Topology, spec: &'a Spec, config: RepairConfig) -> Self {
+        RepairEngine { topo, spec, config }
+    }
+
+    /// Creates an engine with default tunables.
+    pub fn with_defaults(topo: &'a Topology, spec: &'a Spec) -> Self {
+        Self::new(topo, spec, RepairConfig::default())
+    }
+
+    /// Runs localize–fix–validate on `original` until one of the paper's
+    /// three termination conditions fires.
+    pub fn repair(&self, original: &NetworkConfig) -> RepairReport {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut iv =
+            IncrementalVerifier::with_samples(self.topo, self.spec, self.config.samples_per_property);
+        let base_verification = iv.commit(original);
+        let initial_failed = base_verification.failed_count();
+
+        let mut iterations = Vec::new();
+        let mut validations = 0usize;
+
+        if initial_failed == 0 {
+            return RepairReport {
+                outcome: RepairOutcome::Fixed { patch: Patch::new(), repaired: original.clone() },
+                iterations,
+                initial_failed,
+                validations,
+                wall: start.elapsed(),
+            };
+        }
+
+        let mut population: Vec<Variant> = vec![Variant {
+            cfg: original.clone(),
+            patch: Patch::new(),
+            fitness: initial_failed,
+            verification: base_verification,
+        }];
+        let mut prev_fitness = initial_failed;
+        let mut seen: HashSet<Patch> = HashSet::new();
+        seen.insert(Patch::new());
+
+        for iteration in 1..=self.config.max_iterations {
+            // ---- localize + fix: generate candidate full patches -------
+            let proposals = self.generate(&population, &iv, &mut rng);
+            let fresh: Vec<Patch> =
+                proposals.into_iter().filter(|p| seen.insert(p.clone())).collect();
+            let generated = fresh.len();
+            if generated == 0 {
+                let best = best_of(&population);
+                return RepairReport {
+                    outcome: RepairOutcome::NoCandidates {
+                        best_patch: best.patch.clone(),
+                        best_fitness: best.fitness,
+                    },
+                    iterations,
+                    initial_failed,
+                    validations,
+                    wall: start.elapsed(),
+                };
+            }
+
+            // ---- validate ------------------------------------------------
+            let mut kept: Vec<Variant> = Vec::new();
+            let mut recomputed = 0;
+            let mut reused = 0;
+            for patch in fresh {
+                let Ok(candidate_cfg) = patch.apply_cloned(original) else { continue };
+                if !reparses(&candidate_cfg, &patch) {
+                    continue;
+                }
+                let verification = iv.verify_candidate(&candidate_cfg, &patch);
+                validations += 1;
+                recomputed += iv.last_stats().recomputed;
+                reused += iv.last_stats().reused;
+                let fitness = verification.failed_count();
+                // §5: discard candidates whose fitness exceeds the
+                // previous iteration's fitness.
+                if fitness > prev_fitness {
+                    continue;
+                }
+                kept.push(Variant { cfg: candidate_cfg, patch, verification, fitness });
+            }
+
+            let kept_count = kept.len();
+            let iter_fitness = kept.iter().map(|v| v.fitness).max().unwrap_or(prev_fitness);
+            let done = kept.iter().any(|v| v.fitness == 0);
+
+            population.extend(kept);
+            population.sort_by_key(|v| (v.fitness, v.patch.len()));
+            population.truncate(self.config.max_population);
+            let best_fitness = population.first().map(|v| v.fitness).unwrap_or(prev_fitness);
+
+            iterations.push(IterationStats {
+                iteration,
+                fitness: iter_fitness,
+                best_fitness,
+                generated,
+                kept: kept_count,
+                recomputed_prefixes: recomputed,
+                reused_prefixes: reused,
+            });
+            prev_fitness = iter_fitness;
+
+            if done {
+                let winner = population
+                    .iter()
+                    .filter(|v| v.fitness == 0)
+                    .min_by_key(|v| v.patch.len())
+                    .expect("done implies a zero-fitness variant");
+                return RepairReport {
+                    outcome: RepairOutcome::Fixed {
+                        patch: winner.patch.clone(),
+                        repaired: winner.cfg.clone(),
+                    },
+                    iterations,
+                    initial_failed,
+                    validations,
+                    wall: start.elapsed(),
+                };
+            }
+        }
+
+        let best = best_of(&population);
+        RepairReport {
+            outcome: RepairOutcome::IterationLimit {
+                best_patch: best.patch.clone(),
+                best_fitness: best.fitness,
+            },
+            iterations,
+            initial_failed,
+            validations,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Generates candidate *full* patches (relative to the original
+    /// configuration) according to the strategy.
+    fn generate(
+        &self,
+        population: &[Variant],
+        iv: &IncrementalVerifier<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<Patch> {
+        let mut out = Vec::new();
+        match &self.config.strategy {
+            Strategy::BruteForce { top_lines } => {
+                // Expand every surviving variant: multi-place repairs
+                // accrete one template application per iteration.
+                for parent in population {
+                    let fixes = self.fixes_of(parent, iv, *top_lines, None, rng);
+                    out.extend(fixes.into_iter().map(|f| parent.patch.concat(&f.patch)));
+                }
+            }
+            Strategy::Genetic { mutations, crossovers, top_k } => {
+                for _ in 0..*mutations {
+                    let parent = &population[rng.gen_range(0..population.len())];
+                    let fixes = self.fixes_of(parent, iv, *top_k, Some(rng.gen()), rng);
+                    if let Some(fix) = pick(rng, &fixes) {
+                        out.push(parent.patch.concat(&fix.patch));
+                    }
+                }
+                for _ in 0..*crossovers {
+                    if population.len() < 2 {
+                        break;
+                    }
+                    let a = &population[rng.gen_range(0..population.len())];
+                    let b = &population[rng.gen_range(0..population.len())];
+                    if a.patch.is_empty() && b.patch.is_empty() {
+                        continue;
+                    }
+                    let pa = rng.gen_range(0..=a.patch.len());
+                    let pb = rng.gen_range(0..=b.patch.len());
+                    let child = crossover(&a.patch, &b.patch, pa, pb);
+                    if !child.is_empty() {
+                        out.push(child);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Localizes a variant and instantiates templates at its suspicious
+    /// lines. With `pick_line`, only one (seeded-random) line from the top
+    /// pool is expanded — the genetic mutation primitive; otherwise the
+    /// full tied-top set plus up to `width` runners-up are expanded.
+    fn fixes_of(
+        &self,
+        variant: &Variant,
+        iv: &IncrementalVerifier<'_>,
+        width: usize,
+        pick_line: Option<u64>,
+        _rng: &mut StdRng,
+    ) -> Vec<CandidateFix> {
+        let ranking = localize(&variant.verification.matrix, self.config.formula);
+        if ranking.is_empty() {
+            return Vec::new();
+        }
+        let models = models_of(self.topo, &variant.cfg);
+        let ctx = RepairCtx {
+            topo: self.topo,
+            cfg: &variant.cfg,
+            verification: &variant.verification,
+            arena: iv.arena(),
+            models: &models,
+        };
+        let mut pool: Vec<LineId> = ranking.top_tied();
+        for (line, score) in ranking.entries().iter().skip(pool.len()).take(width) {
+            if *score <= 0.0 {
+                break;
+            }
+            pool.push(*line);
+        }
+        let allowed = |f: &CandidateFix| {
+            self.config
+                .allowed_templates
+                .as_ref()
+                .map_or(true, |ts| ts.contains(&f.template))
+        };
+        // One line's candidates under the configured operator vocabulary.
+        let expand = |line: LineId| -> Vec<CandidateFix> {
+            let mut fixes = Vec::new();
+            if self.config.operators != OperatorSet::Universal {
+                fixes.extend(candidates_for_line(line, &ctx).into_iter().filter(allowed));
+            }
+            if self.config.operators != OperatorSet::Curated {
+                for patch in universal_candidates(line, &ctx) {
+                    if !fixes.iter().any(|f: &CandidateFix| f.patch == patch) {
+                        fixes.push(CandidateFix {
+                            patch,
+                            template: TemplateKind::DonorCopy,
+                            origin: line,
+                        });
+                    }
+                }
+            }
+            fixes
+        };
+        match pick_line {
+            Some(seed) if !pool.is_empty() => {
+                let line = pool[(seed % pool.len() as u64) as usize];
+                expand(line)
+            }
+            _ => {
+                let mut out = Vec::new();
+                for line in pool {
+                    out.extend(expand(line));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The best variant: lowest fitness, then smallest patch.
+fn best_of(population: &[Variant]) -> &Variant {
+    population
+        .iter()
+        .min_by_key(|v| (v.fitness, v.patch.len()))
+        .expect("population never empties")
+}
+
+/// Semantic models of every router in `cfg`.
+pub fn models_of(topo: &Topology, cfg: &NetworkConfig) -> Vec<DeviceModel> {
+    topo.routers()
+        .iter()
+        .map(|r| match cfg.device(r.id) {
+            Some(dc) => DeviceModel::from_config(dc),
+            None => DeviceModel { name: r.name.clone(), ..DeviceModel::default() },
+        })
+        .collect()
+}
+
+/// Safety net: a candidate's touched devices must print to parseable text.
+fn reparses(cfg: &NetworkConfig, patch: &Patch) -> bool {
+    patch.routers().into_iter().all(|r| match cfg.device(r) {
+        Some(d) => acr_cfg::parse::parse_device(d.name(), &d.to_text()).is_ok(),
+        None => false,
+    })
+}
+
+/// Uniform pick from a slice.
+fn pick<'t, T>(rng: &mut StdRng, xs: &'t [T]) -> Option<&'t T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+// A tiny usage of TemplateKind keeps the import honest for rustdoc links.
+const _: fn(&CandidateFix) -> TemplateKind = |f| f.template;

@@ -1,0 +1,702 @@
+//! Change operators: atomic edits bundled into the nine Table-1 templates.
+//!
+//! A template set is attached to each statement kind ([`templates_for`]);
+//! when SBFL marks a line suspicious, the associated templates are
+//! instantiated against the repair context ([`candidates_for_line`]),
+//! producing zero or more candidate patches. As the paper's §5 notes, the
+//! *fix place* a template edits is chosen by the template, not by the
+//! suspicious line — e.g. a suspicious `peer … route-policy … import`
+//! statement leads to edits in the prefix list its policy matches on.
+//!
+//! Every emitted patch keeps the printed configuration re-parseable:
+//! block sub-statements are only inserted inside their blocks, and block
+//! headers are never deleted.
+
+use crate::ctx::RepairCtx;
+use crate::symbolize::{failing_dsts, solve_prefix_set};
+use acr_cfg::ast::{NextHop, PbrAction, PeerRef, PlAction, Proto};
+use acr_cfg::{AclRuleCfg, Edit, LineId, MatchProto, Patch, Stmt};
+use acr_net_types::{Prefix, RouterId};
+use acr_sim::SessionFailure;
+use std::fmt;
+
+/// The template vocabulary (one or more per Table-1 misconfiguration
+/// class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateKind {
+    /// Re-solve a prefix list's contents symbolically (Table 1: "missing
+    /// items in ip prefix-list"; the §5 worked example).
+    PrefixListAdjust,
+    /// Remove a route-policy application from a peer (Table 1: "fail to
+    /// dis-enable route map").
+    DisablePolicy,
+    /// Fix an `as-path overwrite <wrong-asn>` to use the local AS
+    /// (Table 1: "override to wrong AS number").
+    FixOverrideAsn,
+    /// Recreate a missing policy with a solved prefix list — two
+    /// variants are proposed: a *filter* (deny the solved set, permit the
+    /// rest) and an *override ingress* (permit-and-overwrite the solved
+    /// set, as the role's sibling sessions do) — validation keeps the
+    /// right one (Table 1: "missing a routing policy").
+    RecreateFilterPolicy,
+    /// Insert `import-route static` (Table 1: "missing redistribution of
+    /// static route").
+    AddRedistribution,
+    /// Delete an `import-route` statement (the inverse regression fix).
+    RemoveRedistribution,
+    /// Originate a failing destination with a `network` statement.
+    AddNetworkStmt,
+    /// Originate a failing destination with a NULL0 static plus
+    /// redistribution.
+    AddStaticRouteOrigin,
+    /// Delete a static route.
+    RemoveStaticRoute,
+    /// Define a missing peer group with the neighbor's true AS (Table 1:
+    /// "missing peer group").
+    CreateMissingGroup,
+    /// Mirror a one-sided peering on the remote router.
+    CreateMissingPeer,
+    /// Remove a peer from a group (Table 1: "extra items in peer group").
+    RemovePeerFromGroup,
+    /// Correct a peer's AS number to the neighbor's true AS.
+    FixPeerAsn,
+    /// Insert a PBR permit rule (plus its ACL) ahead of harmful rules
+    /// (Table 1: "missing permit rules in PBR").
+    AddPbrPermit,
+    /// Delete a PBR rule (Table 1: "extra redirect rule in PBR").
+    RemovePbrRule,
+    /// Apply a locally defined route policy to a peer/group that has
+    /// none (restores a lost `peer … route-policy … import`).
+    ApplyImportPolicy,
+    /// A donor-based universal operator (see [`crate::universal`]); never
+    /// produced by `templates_for`, only tagged onto candidates the
+    /// universal vocabulary emits.
+    DonorCopy,
+    /// Generic atomic fallback: delete the (non-header) line.
+    DeleteLine,
+}
+
+impl fmt::Display for TemplateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TemplateKind::PrefixListAdjust => "prefix-list-adjust",
+            TemplateKind::DisablePolicy => "disable-policy",
+            TemplateKind::FixOverrideAsn => "fix-override-asn",
+            TemplateKind::RecreateFilterPolicy => "recreate-filter-policy",
+            TemplateKind::AddRedistribution => "add-redistribution",
+            TemplateKind::RemoveRedistribution => "remove-redistribution",
+            TemplateKind::AddNetworkStmt => "add-network",
+            TemplateKind::AddStaticRouteOrigin => "add-static-origin",
+            TemplateKind::RemoveStaticRoute => "remove-static-route",
+            TemplateKind::CreateMissingGroup => "create-missing-group",
+            TemplateKind::CreateMissingPeer => "create-missing-peer",
+            TemplateKind::RemovePeerFromGroup => "remove-peer-from-group",
+            TemplateKind::FixPeerAsn => "fix-peer-asn",
+            TemplateKind::AddPbrPermit => "add-pbr-permit",
+            TemplateKind::RemovePbrRule => "remove-pbr-rule",
+            TemplateKind::ApplyImportPolicy => "apply-import-policy",
+            TemplateKind::DonorCopy => "donor-copy",
+            TemplateKind::DeleteLine => "delete-line",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A candidate fix: the patch plus where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateFix {
+    pub patch: Patch,
+    pub template: TemplateKind,
+    /// The suspicious line the template fired from.
+    pub origin: LineId,
+}
+
+/// The template set associated with a statement kind.
+pub fn templates_for(stmt: &Stmt) -> Vec<TemplateKind> {
+    use TemplateKind::*;
+    match stmt {
+        Stmt::PrefixListEntry { .. } => vec![PrefixListAdjust, DeleteLine],
+        Stmt::IfMatchPrefixList(_) => vec![PrefixListAdjust, DeleteLine],
+        Stmt::IfMatchCommunity(_) => vec![DeleteLine],
+        Stmt::RoutePolicyDef { .. } => vec![PrefixListAdjust, DisablePolicy],
+        Stmt::ApplyAsPathOverwrite(_) => vec![FixOverrideAsn, PrefixListAdjust, DeleteLine],
+        Stmt::ApplyAsPathPrepend { .. }
+        | Stmt::ApplyLocalPref(_)
+        | Stmt::ApplyMed(_)
+        | Stmt::ApplyCommunity(_) => vec![PrefixListAdjust, DeleteLine],
+        Stmt::PeerPolicy { .. } => vec![PrefixListAdjust, DisablePolicy, RecreateFilterPolicy],
+        Stmt::PeerAs { .. } => vec![FixPeerAsn, CreateMissingPeer, ApplyImportPolicy, DeleteLine],
+        Stmt::PeerGroup { .. } => vec![CreateMissingGroup, RemovePeerFromGroup, ApplyImportPolicy],
+        Stmt::GroupDef(_) => vec![CreateMissingPeer, ApplyImportPolicy],
+        Stmt::ImportRoute(_) => vec![RemoveRedistribution],
+        Stmt::StaticRoute { .. } => vec![AddRedistribution, RemoveStaticRoute, AddNetworkStmt],
+        Stmt::Network(_) => vec![AddRedistribution, DeleteLine],
+        Stmt::BgpProcess(_) => vec![AddRedistribution, AddNetworkStmt, AddStaticRouteOrigin],
+        Stmt::PbrRule { .. } => vec![RemovePbrRule, AddPbrPermit],
+        Stmt::AclRule(_) => vec![AddPbrPermit, DeleteLine],
+        Stmt::ApplyTrafficPolicy(_) => vec![AddPbrPermit, DeleteLine],
+        Stmt::AclDef(_) | Stmt::PbrPolicyDef(_) | Stmt::Interface(_) => vec![],
+        Stmt::IpAddress { .. } | Stmt::RouterId(_) | Stmt::Remark(_) => vec![],
+    }
+}
+
+/// Instantiates every applicable template at a suspicious line.
+pub fn candidates_for_line(line: LineId, ctx: &RepairCtx<'_>) -> Vec<CandidateFix> {
+    let Some(stmt) = ctx.stmt(line) else { return Vec::new() };
+    let mut out = Vec::new();
+    for kind in templates_for(stmt) {
+        for patch in instantiate(kind, line, ctx) {
+            if !patch.is_empty() {
+                out.push(CandidateFix { patch, template: kind, origin: line });
+            }
+        }
+    }
+    out
+}
+
+/// Instantiates one template at one line.
+pub fn instantiate(kind: TemplateKind, line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    match kind {
+        TemplateKind::PrefixListAdjust => prefix_list_adjust(line, ctx),
+        TemplateKind::DisablePolicy => disable_policy(line, ctx),
+        TemplateKind::FixOverrideAsn => fix_override_asn(line, ctx),
+        TemplateKind::RecreateFilterPolicy => recreate_filter_policy(line, ctx),
+        TemplateKind::AddRedistribution => add_redistribution(line, ctx),
+        TemplateKind::RemoveRedistribution => delete_stmt(line, ctx),
+        TemplateKind::AddNetworkStmt => add_network(line, ctx),
+        TemplateKind::AddStaticRouteOrigin => add_static_origin(line, ctx),
+        TemplateKind::RemoveStaticRoute => delete_stmt(line, ctx),
+        TemplateKind::CreateMissingGroup => create_missing_group(line, ctx),
+        TemplateKind::CreateMissingPeer => create_missing_peer(line, ctx),
+        TemplateKind::RemovePeerFromGroup => delete_stmt(line, ctx),
+        TemplateKind::FixPeerAsn => fix_peer_asn(line, ctx),
+        TemplateKind::AddPbrPermit => add_pbr_permit(line, ctx),
+        TemplateKind::RemovePbrRule => delete_stmt(line, ctx),
+        TemplateKind::ApplyImportPolicy => apply_import_policy(line, ctx),
+        TemplateKind::DonorCopy => crate::universal::universal_candidates(line, ctx),
+        TemplateKind::DeleteLine => delete_stmt(line, ctx),
+    }
+}
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+/// Deletes the statement, refusing to orphan a block.
+fn delete_stmt(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    match ctx.stmt(line) {
+        Some(stmt) if !stmt.is_header() => {
+            vec![Patch::single(Edit::Delete { router: line.router, index: line.index() })]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The 0-based index right after the `bgp` header on `router`, or `None`
+/// when the device runs no BGP.
+fn after_bgp_header(ctx: &RepairCtx<'_>, router: RouterId) -> Option<usize> {
+    ctx.model(router).asn.map(|(_, header_line)| header_line as usize)
+}
+
+/// Names of prefix lists a suspicious line leads to (chasing policy
+/// references).
+fn target_lists(line: LineId, ctx: &RepairCtx<'_>) -> Vec<String> {
+    let model = ctx.model(line.router);
+    let lists_of_policy = |name: &str| -> Vec<String> {
+        model
+            .route_policies
+            .get(name)
+            .into_iter()
+            .flatten()
+            .flat_map(|n| {
+                n.matches.iter().filter_map(|(cond, _)| match cond {
+                    acr_cfg::MatchCond::PrefixList(l) => Some(l.clone()),
+                    acr_cfg::MatchCond::Community(_) => None,
+                })
+            })
+            .collect()
+    };
+    match ctx.stmt(line) {
+        Some(Stmt::PrefixListEntry { list, .. }) => vec![list.clone()],
+        Some(Stmt::IfMatchPrefixList(list)) => vec![list.clone()],
+        Some(Stmt::RoutePolicyDef { name, .. }) => lists_of_policy(name),
+        Some(Stmt::PeerPolicy { policy, .. }) => lists_of_policy(policy),
+        Some(
+            Stmt::ApplyAsPathOverwrite(_)
+            | Stmt::ApplyAsPathPrepend { .. }
+            | Stmt::ApplyLocalPref(_)
+            | Stmt::ApplyMed(_)
+            | Stmt::ApplyCommunity(_),
+        ) => {
+            // Find the enclosing policy header above this line.
+            let device = ctx.cfg.device(line.router);
+            let Some(device) = device else { return Vec::new() };
+            for idx in (0..line.index()).rev() {
+                if let Some(Stmt::RoutePolicyDef { name, .. }) = device.stmts().get(idx) {
+                    return lists_of_policy(name);
+                }
+            }
+            Vec::new()
+        }
+        _ => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// template bodies
+// ---------------------------------------------------------------------
+
+/// Rebuilds a prefix list so it matches exactly the solved set (§5 worked
+/// example: replace `0.0.0.0 0` with `{10.70/16, 20.0/16}`).
+fn prefix_list_adjust(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let router = line.router;
+    let model = ctx.model(router);
+    let mut patches = Vec::new();
+    for list in target_lists(line, ctx) {
+        let entries = model.prefix_lists.get(&list).cloned().unwrap_or_default();
+        // Anchor: the list's own lines plus the suspicious line.
+        let mut anchors: Vec<LineId> =
+            entries.iter().map(|e| LineId::new(router, e.line)).collect();
+        anchors.push(line);
+        let Some(solution) = solve_prefix_set(ctx, &anchors) else { continue };
+        // No-op guard: identical contents produce nothing.
+        let current: std::collections::BTreeSet<Prefix> = entries
+            .iter()
+            .filter(|e| e.action == PlAction::Permit && e.ge.is_none() && e.le.is_none())
+            .map(|e| e.prefix)
+            .collect();
+        if entries.len() == current.len() && current == solution {
+            continue;
+        }
+        let mut positions: Vec<usize> =
+            entries.iter().map(|e| (e.line - 1) as usize).collect();
+        positions.sort_unstable();
+        let insert_at = positions
+            .first()
+            .copied()
+            .unwrap_or_else(|| ctx.cfg.device(router).map_or(0, |d| d.len()) - positions.len());
+        let mut patch = Patch::new();
+        for idx in positions.iter().rev() {
+            patch.push(Edit::Delete { router, index: *idx });
+        }
+        // Insert in reverse so the final order is ascending.
+        for (i, p) in solution.iter().enumerate().rev() {
+            patch.push(Edit::Insert {
+                router,
+                index: insert_at,
+                stmt: Stmt::PrefixListEntry {
+                    list: list.clone(),
+                    index: (i as u32 + 1) * 10,
+                    action: PlAction::Permit,
+                    prefix: *p,
+                    ge: None,
+                    le: None,
+                },
+            });
+        }
+        patches.push(patch);
+    }
+    patches
+}
+
+/// Deletes the policy application(s) the suspicious line points at.
+fn disable_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    match ctx.stmt(line) {
+        Some(Stmt::PeerPolicy { .. }) => delete_stmt(line, ctx),
+        Some(Stmt::RoutePolicyDef { name, .. }) => {
+            // One candidate per peer statement applying this policy.
+            let device = ctx.cfg.device(line.router);
+            let Some(device) = device else { return Vec::new() };
+            device
+                .lines()
+                .filter_map(|(ln, stmt)| match stmt {
+                    Stmt::PeerPolicy { policy, .. } if policy == name => {
+                        Some(Patch::single(Edit::Delete {
+                            router: line.router,
+                            index: (ln - 1) as usize,
+                        }))
+                    }
+                    _ => None,
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Replaces `apply as-path overwrite <explicit>` with the local-AS form.
+fn fix_override_asn(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    match ctx.stmt(line) {
+        Some(Stmt::ApplyAsPathOverwrite(Some(explicit))) => {
+            let own = ctx.model(line.router).asn.map(|(a, _)| a);
+            if own == Some(*explicit) {
+                return Vec::new(); // already correct
+            }
+            vec![Patch::single(Edit::Replace {
+                router: line.router,
+                index: line.index(),
+                stmt: Stmt::ApplyAsPathOverwrite(None),
+            })]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Recreates a missing policy around the failing destinations. Proposes
+/// two shapes and lets validation decide:
+///
+/// - **filter**: deny the solved set, permit everything else (repairs
+///   isolation-style breaches),
+/// - **override ingress**: permit-and-overwrite the solved set with an
+///   implicit deny (the customer-facing pattern of this repo's generated
+///   networks and of the paper's Figure 2 backbone).
+fn recreate_filter_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let Some(Stmt::PeerPolicy { policy, .. }) = ctx.stmt(line) else {
+        return Vec::new();
+    };
+    let model = ctx.model(line.router);
+    if model.route_policies.contains_key(policy) {
+        return Vec::new(); // policy exists; this template targets omissions
+    }
+    let set = failing_dsts(ctx, &[line]);
+    if set.is_empty() {
+        return Vec::new();
+    }
+    let router = line.router;
+    let Some(device) = ctx.cfg.device(router) else { return Vec::new() };
+    let end = device.len();
+    let push = |patch: &mut Patch, at: &mut usize, stmt: Stmt| {
+        patch.push(Edit::Insert { router, index: *at, stmt });
+        *at += 1;
+    };
+    let entries = |patch: &mut Patch, at: &mut usize, list: &str| {
+        for (i, p) in set.iter().enumerate() {
+            push(patch, at, Stmt::PrefixListEntry {
+                list: list.to_string(),
+                index: (i as u32 + 1) * 10,
+                action: PlAction::Permit,
+                prefix: *p,
+                ge: None,
+                le: None,
+            });
+        }
+    };
+
+    // Variant 1: filter.
+    let mut filter = Patch::new();
+    let mut at = end;
+    let list = format!("{policy}_blk");
+    push(&mut filter, &mut at, Stmt::RoutePolicyDef {
+        name: policy.clone(),
+        action: PlAction::Deny,
+        node: 5,
+    });
+    push(&mut filter, &mut at, Stmt::IfMatchPrefixList(list.clone()));
+    push(&mut filter, &mut at, Stmt::RoutePolicyDef {
+        name: policy.clone(),
+        action: PlAction::Permit,
+        node: 100,
+    });
+    entries(&mut filter, &mut at, &list);
+
+    // Variant 2: override ingress.
+    let mut over = Patch::new();
+    let mut at = end;
+    let list = format!("{policy}_ovr");
+    push(&mut over, &mut at, Stmt::RoutePolicyDef {
+        name: policy.clone(),
+        action: PlAction::Permit,
+        node: 10,
+    });
+    push(&mut over, &mut at, Stmt::IfMatchPrefixList(list.clone()));
+    push(&mut over, &mut at, Stmt::ApplyAsPathOverwrite(None));
+    entries(&mut over, &mut at, &list);
+
+    vec![filter, over]
+}
+
+/// Inserts `import-route static` into the BGP block.
+fn add_redistribution(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let router = line.router;
+    let model = ctx.model(router);
+    if model.redistribute.iter().any(|(p, _)| *p == Proto::Static) {
+        return Vec::new();
+    }
+    if model.static_routes.is_empty() {
+        return Vec::new(); // nothing to redistribute
+    }
+    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    vec![Patch::single(Edit::Insert {
+        router,
+        index: at,
+        stmt: Stmt::ImportRoute(Proto::Static),
+    })]
+}
+
+/// Originates failing destinations owned by this router with `network`.
+fn add_network(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let router = line.router;
+    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let model = ctx.model(router);
+    let mut out = Vec::new();
+    for rec in ctx.failures() {
+        let Some((prefix, owner)) = ctx.prefix_owning(rec.flow.dst) else { continue };
+        if owner != router {
+            continue;
+        }
+        if model.networks.iter().any(|(p, _)| *p == prefix) {
+            continue;
+        }
+        let patch = Patch::single(Edit::Insert {
+            router,
+            index: at,
+            stmt: Stmt::Network(prefix),
+        });
+        if !out.contains(&patch) {
+            out.push(patch);
+        }
+    }
+    out
+}
+
+/// Originates failing destinations with a NULL0 static + redistribution.
+fn add_static_origin(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let router = line.router;
+    let Some(bgp_at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let Some(device) = ctx.cfg.device(router) else { return Vec::new() };
+    let model = ctx.model(router);
+    let mut out = Vec::new();
+    for rec in ctx.failures() {
+        let Some((prefix, owner)) = ctx.prefix_owning(rec.flow.dst) else { continue };
+        if owner != router {
+            continue;
+        }
+        if model.static_routes.iter().any(|s| s.prefix == prefix) {
+            continue;
+        }
+        let mut patch = Patch::new();
+        patch.push(Edit::Insert {
+            router,
+            index: device.len(),
+            stmt: Stmt::StaticRoute { prefix, next_hop: NextHop::Null0 },
+        });
+        if !model.redistribute.iter().any(|(p, _)| *p == Proto::Static) {
+            patch.push(Edit::Insert {
+                router,
+                index: bgp_at,
+                stmt: Stmt::ImportRoute(Proto::Static),
+            });
+        }
+        if !out.contains(&patch) {
+            out.push(patch);
+        }
+    }
+    out
+}
+
+/// Defines the missing peer group (with the neighbor's true AS).
+fn create_missing_group(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let Some(Stmt::PeerGroup { peer, group }) = ctx.stmt(line) else {
+        return Vec::new();
+    };
+    let router = line.router;
+    let model = ctx.model(router);
+    let group_known = model
+        .groups
+        .get(group)
+        .map(|g| g.asn.is_some())
+        .unwrap_or(false);
+    if group_known {
+        return Vec::new();
+    }
+    let Some(remote_as) = ctx.actual_as_of(*peer) else { return Vec::new() };
+    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let mut patch = Patch::new();
+    if model.groups.get(group).and_then(|g| g.def_line).is_none() {
+        patch.push(Edit::Insert { router, index: at, stmt: Stmt::GroupDef(group.clone()) });
+    }
+    patch.push(Edit::Insert {
+        router,
+        index: at + patch.len(),
+        stmt: Stmt::PeerAs { peer: PeerRef::Group(group.clone()), asn: remote_as },
+    });
+    // Plastic-surgery hypothesis (§6): devices with the same role carry
+    // near-identical configs, so copy the import policy other devices
+    // apply to a same-named group — if this device defines that policy.
+    if let Some(policy) = sibling_group_policy(ctx, group) {
+        if model.route_policies.contains_key(&policy) {
+            patch.push(Edit::Insert {
+                router,
+                index: at + patch.len(),
+                stmt: Stmt::PeerPolicy {
+                    peer: PeerRef::Group(group.clone()),
+                    policy,
+                    dir: acr_cfg::Dir::Import,
+                },
+            });
+        }
+    }
+    vec![patch]
+}
+
+/// The import policy other devices apply to a group of the same name.
+fn sibling_group_policy(ctx: &RepairCtx<'_>, group: &str) -> Option<String> {
+    for (_, device) in ctx.cfg.devices() {
+        for stmt in device.stmts() {
+            if let Stmt::PeerPolicy {
+                peer: PeerRef::Group(g),
+                policy,
+                dir: acr_cfg::Dir::Import,
+            } = stmt
+            {
+                if g == group {
+                    return Some(policy.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Mirrors a one-sided peering on the remote device.
+fn create_missing_peer(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let router = line.router;
+    let mut out = Vec::new();
+    for diag in &ctx.verification.session_diags {
+        if diag.router != router {
+            continue;
+        }
+        let SessionFailure::NotConfiguredRemotely { remote } = diag.failure else {
+            continue;
+        };
+        let Some(local_as) = ctx.model(router).asn.map(|(a, _)| a) else { continue };
+        let Some(our_addr) = ctx.topo.addr_towards(router, remote) else { continue };
+        let Some(at) = after_bgp_header(ctx, remote) else { continue };
+        let patch = Patch::single(Edit::Insert {
+            router: remote,
+            index: at,
+            stmt: Stmt::PeerAs { peer: PeerRef::Ip(our_addr), asn: local_as },
+        });
+        if !out.contains(&patch) {
+            out.push(patch);
+        }
+    }
+    out
+}
+
+/// Rewrites a peer's AS number to the neighbor's true AS.
+fn fix_peer_asn(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let Some(Stmt::PeerAs { peer, asn }) = ctx.stmt(line) else {
+        return Vec::new();
+    };
+    let router = line.router;
+    let actual = match peer {
+        PeerRef::Ip(addr) => ctx.actual_as_of(*addr),
+        PeerRef::Group(group) => {
+            // Resolve through any member of the group.
+            let model = ctx.model(router);
+            model
+                .peers
+                .iter()
+                .find(|(_, p)| p.group.as_ref().map(|(g, _)| g.as_str()) == Some(group))
+                .and_then(|(addr, _)| ctx.actual_as_of(*addr))
+        }
+    };
+    match actual {
+        Some(actual) if actual != *asn => vec![Patch::single(Edit::Replace {
+            router,
+            index: line.index(),
+            stmt: Stmt::PeerAs { peer: peer.clone(), asn: actual },
+        })],
+        _ => Vec::new(),
+    }
+}
+
+/// Restores a lost policy application: for a peer/group without an import
+/// policy, propose applying each locally defined route policy.
+fn apply_import_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let router = line.router;
+    let model = ctx.model(router);
+    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let target: Option<PeerRef> = match ctx.stmt(line) {
+        Some(Stmt::PeerGroup { group, .. }) | Some(Stmt::GroupDef(group)) => {
+            let bare = model
+                .groups
+                .get(group)
+                .map(|g| g.import_policy.is_none())
+                .unwrap_or(true);
+            bare.then(|| PeerRef::Group(group.clone()))
+        }
+        Some(Stmt::PeerAs { peer: PeerRef::Ip(ip), .. }) => model
+            .peers
+            .get(ip)
+            .is_some_and(|p| p.import_policy.is_none())
+            .then_some(PeerRef::Ip(*ip)),
+        _ => None,
+    };
+    let Some(target) = target else { return Vec::new() };
+    model
+        .route_policies
+        .keys()
+        .map(|policy| {
+            Patch::single(Edit::Insert {
+                router,
+                index: at,
+                stmt: Stmt::PeerPolicy {
+                    peer: target.clone(),
+                    policy: policy.clone(),
+                    dir: acr_cfg::Dir::Import,
+                },
+            })
+        })
+        .collect()
+}
+
+/// Inserts a PBR permit rule (with its ACL) ahead of the applied policy's
+/// existing rules, for the failing destinations this line touches.
+fn add_pbr_permit(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
+    let router = line.router;
+    let model = ctx.model(router);
+    let Some((policy_name, _)) = &model.pbr_applied else { return Vec::new() };
+    let Some(rules) = model.pbr_policies.get(policy_name) else { return Vec::new() };
+    let dsts = failing_dsts(ctx, &[line]);
+    if dsts.is_empty() {
+        return Vec::new();
+    }
+    let Some(device) = ctx.cfg.device(router) else { return Vec::new() };
+    // Insertion point: before the first existing rule, or right after the
+    // policy header.
+    let first_rule_at = rules.first().map(|r| (r.line - 1) as usize).or_else(|| {
+        device.lines().find_map(|(ln, stmt)| match stmt {
+            Stmt::PbrPolicyDef(name) if name == policy_name => Some(ln as usize),
+            _ => None,
+        })
+    });
+    let Some(rule_at) = first_rule_at else { return Vec::new() };
+    let acl_num = model.acls.keys().max().copied().unwrap_or(3000) + 1;
+    let mut patch = Patch::new();
+    // Append the ACL block at the end (does not shift `rule_at`).
+    let end = device.len();
+    patch.push(Edit::Insert { router, index: end, stmt: Stmt::AclDef(acl_num) });
+    for (i, p) in dsts.iter().enumerate() {
+        patch.push(Edit::Insert {
+            router,
+            index: end + 1 + i,
+            stmt: Stmt::AclRule(AclRuleCfg {
+                index: (i as u32 + 1) * 5,
+                action: PlAction::Permit,
+                proto: MatchProto::Ip,
+                src: Prefix::DEFAULT,
+                dst: *p,
+                dst_port: None,
+            }),
+        });
+    }
+    // Then the permit rule ahead of the existing rules.
+    patch.push(Edit::Insert {
+        router,
+        index: rule_at,
+        stmt: Stmt::PbrRule { acl: acl_num, action: PbrAction::Permit },
+    });
+    vec![patch]
+}

@@ -1,0 +1,126 @@
+//! CEL-style MaxSAT localization.
+//!
+//! CEL (Gember-Jacobson et al., "Localizing router configuration errors
+//! using minimal correction sets") frames localization as MaxSAT: assume
+//! every configuration line is correct (soft), require that each observed
+//! violation be explained by at least one faulty covered line (hard), and
+//! read the *correction set* — the softs that cannot be kept — as the
+//! localization. Our simplified rendition reuses the SBFL coverage matrix
+//! as the explanation structure and the `acr-smt` grow-MSS as the engine.
+
+use acr_cfg::LineId;
+use acr_prov::CoverageMatrix;
+use acr_smt::{Formula, Solver, VarId};
+use std::collections::BTreeMap;
+
+/// Localizes by minimal-correction-set: returns candidate faulty lines
+/// (the complement of a maximal "everything is correct" subset). Empty
+/// when there are no failures. Lines covered by no failed test are never
+/// blamed.
+pub fn cel_localize(matrix: &CoverageMatrix) -> Vec<LineId> {
+    let pool: Vec<LineId> = matrix.failure_covered_lines().into_iter().collect();
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let mut solver = Solver::new();
+    let faulty: BTreeMap<LineId, VarId> =
+        pool.iter().map(|l| (*l, solver.new_bool())).collect();
+
+    // Hard: each failed test is explained by some faulty covered line.
+    for t in matrix.tests().iter().filter(|t| !t.passed) {
+        let clause = Formula::or(
+            t.lines
+                .iter()
+                .filter_map(|l| faulty.get(l))
+                .map(|v| Formula::bool_true(*v)),
+        );
+        solver.assert(clause);
+    }
+
+    // Soft: every line is correct. Order softs so lines covered by more
+    // passed tests are kept first (they are the least plausible faults),
+    // making the correction set favour failure-specific lines.
+    let counts = matrix.per_line_counts();
+    let mut ordered: Vec<LineId> = pool.clone();
+    ordered.sort_by_key(|l| {
+        let (p, _) = counts.get(l).copied().unwrap_or((0, 0));
+        std::cmp::Reverse(p)
+    });
+    let softs: Vec<Formula> = ordered
+        .iter()
+        .map(|l| Formula::not(Formula::bool_true(faulty[l])))
+        .collect();
+
+    match solver.maximal_satisfiable_subset(&softs) {
+        Some((_, kept)) => {
+            let kept_set: std::collections::BTreeSet<usize> = kept.into_iter().collect();
+            ordered
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !kept_set.contains(i))
+                .map(|(_, l)| *l)
+                .collect()
+        }
+        None => Vec::new(), // hard constraints unsat: no failure coverage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_net_types::RouterId;
+    use acr_prov::{TestCoverage, TestId};
+
+    fn l(n: u32) -> LineId {
+        LineId::new(RouterId(0), n)
+    }
+
+    fn cov(id: u32, passed: bool, lines: &[u32]) -> TestCoverage {
+        TestCoverage {
+            test: TestId(id),
+            passed,
+            lines: lines.iter().map(|n| l(*n)).collect(),
+        }
+    }
+
+    #[test]
+    fn no_failures_blames_nothing() {
+        let mut m = CoverageMatrix::new();
+        m.push(cov(0, true, &[1, 2]));
+        assert!(cel_localize(&m).is_empty());
+    }
+
+    #[test]
+    fn blames_failure_specific_line() {
+        let mut m = CoverageMatrix::new();
+        m.push(cov(0, true, &[1, 2]));
+        m.push(cov(1, true, &[1]));
+        m.push(cov(2, false, &[1, 3]));
+        let blamed = cel_localize(&m);
+        // Line 1 is covered by two passes; line 3 only by the failure —
+        // the correction set should be {3}.
+        assert_eq!(blamed, vec![l(3)]);
+    }
+
+    #[test]
+    fn two_independent_failures_need_two_lines() {
+        let mut m = CoverageMatrix::new();
+        m.push(cov(0, false, &[1]));
+        m.push(cov(1, false, &[2]));
+        let blamed = cel_localize(&m);
+        assert_eq!(blamed, vec![l(1), l(2)]);
+    }
+
+    #[test]
+    fn shared_line_explains_both_failures() {
+        let mut m = CoverageMatrix::new();
+        m.push(cov(0, false, &[1, 9]));
+        m.push(cov(1, false, &[2, 9]));
+        m.push(cov(2, true, &[1]));
+        m.push(cov(3, true, &[2]));
+        let blamed = cel_localize(&m);
+        // Lines 1 and 2 each carry a pass; 9 carries none — one faulty
+        // line (9) explains everything.
+        assert_eq!(blamed, vec![l(9)]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Suspiciousness rankings.
+
+use acr_cfg::LineId;
+use std::fmt;
+
+/// A deterministic ranking of configuration lines by suspiciousness
+/// (descending score, ties broken by line id for reproducibility).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    entries: Vec<(LineId, f64)>,
+}
+
+impl Ranking {
+    /// Builds a ranking from unordered scores.
+    pub fn new(mut entries: Vec<(LineId, f64)>) -> Self {
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Ranking { entries }
+    }
+
+    /// All entries, most suspicious first.
+    pub fn entries(&self) -> &[(LineId, f64)] {
+        &self.entries
+    }
+
+    /// The most suspicious line.
+    pub fn top(&self) -> Option<(LineId, f64)> {
+        self.entries.first().copied()
+    }
+
+    /// The `k` most suspicious lines.
+    pub fn top_k(&self, k: usize) -> &[(LineId, f64)] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// Every line tied for the maximum score (the paper's Step 2 selects
+    /// "the statements with the highest suspiciousness across all
+    /// routers").
+    pub fn top_tied(&self) -> Vec<LineId> {
+        let Some((_, best)) = self.top() else { return Vec::new() };
+        self.entries
+            .iter()
+            .take_while(|(_, s)| (s - best).abs() < 1e-12)
+            .map(|(l, _)| *l)
+            .collect()
+    }
+
+    /// Score of a specific line, if ranked.
+    pub fn score_of(&self, line: LineId) -> Option<f64> {
+        self.entries.iter().find(|(l, _)| *l == line).map(|(_, s)| *s)
+    }
+
+    /// 1-based rank of a line (ties share the better rank region as
+    /// positioned deterministically).
+    pub fn rank_of(&self, line: LineId) -> Option<usize> {
+        self.entries.iter().position(|(l, _)| *l == line).map(|i| i + 1)
+    }
+
+    /// EXAM score: fraction of ranked lines an operator inspects (in rank
+    /// order) before reaching `line`. Lower is better; `None` when the
+    /// line is unranked.
+    pub fn exam_score(&self, line: LineId) -> Option<f64> {
+        let rank = self.rank_of(line)?;
+        Some(rank as f64 / self.entries.len() as f64)
+    }
+
+    /// Number of ranked lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Ranking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (line, score)) in self.entries.iter().enumerate() {
+            writeln!(f, "{:>3}. {line}  {score:.4}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_net_types::RouterId;
+
+    fn l(r: u32, n: u32) -> LineId {
+        LineId::new(RouterId(r), n)
+    }
+
+    #[test]
+    fn sorted_descending_with_deterministic_ties() {
+        let r = Ranking::new(vec![(l(0, 2), 0.5), (l(0, 1), 0.9), (l(1, 1), 0.5)]);
+        assert_eq!(r.top(), Some((l(0, 1), 0.9)));
+        assert_eq!(r.entries()[1].0, l(0, 2), "tie broken by line id");
+        assert_eq!(r.entries()[2].0, l(1, 1));
+        assert_eq!(r.rank_of(l(1, 1)), Some(3));
+        assert_eq!(r.rank_of(l(9, 9)), None);
+    }
+
+    #[test]
+    fn top_tied_returns_all_maxima() {
+        let r = Ranking::new(vec![(l(0, 1), 0.67), (l(1, 5), 0.67), (l(0, 2), 0.5)]);
+        assert_eq!(r.top_tied(), vec![l(0, 1), l(1, 5)]);
+        assert_eq!(r.top_k(2).len(), 2);
+        assert_eq!(r.top_k(99).len(), 3);
+    }
+
+    #[test]
+    fn exam_score_is_rank_fraction() {
+        let r = Ranking::new(vec![(l(0, 1), 0.9), (l(0, 2), 0.8), (l(0, 3), 0.1), (l(0, 4), 0.0)]);
+        assert_eq!(r.exam_score(l(0, 1)), Some(0.25));
+        assert_eq!(r.exam_score(l(0, 4)), Some(1.0));
+        assert_eq!(r.exam_score(l(9, 9)), None);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = Ranking::new(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.top(), None);
+        assert!(r.top_tied().is_empty());
+    }
+}

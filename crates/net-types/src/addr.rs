@@ -1,0 +1,123 @@
+//! IPv4 addresses.
+//!
+//! We deliberately use our own thin wrapper over `u32` instead of
+//! `std::net::Ipv4Addr` so that address arithmetic (masking, offsetting,
+//! sampling inside a prefix) stays one-line and allocation-free, and so the
+//! type can grow ACR-specific helpers without orphan-rule friction.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address stored in host byte order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr(0);
+
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets most-significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Address obtained by adding `offset` (wrapping) — used to enumerate
+    /// hosts inside a prefix when sampling test packets.
+    pub const fn offset(self, offset: u32) -> Self {
+        Ipv4Addr(self.0.wrapping_add(offset))
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    // Delegate to `Display` so simulator traces stay readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a dotted-quad address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError(pub String);
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAddrError {}
+
+impl FromStr for Ipv4Addr {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split('.');
+        let mut octets = [0u8; 4];
+        for slot in octets.iter_mut() {
+            let part = it.next().ok_or_else(|| ParseAddrError(s.to_string()))?;
+            *slot = part
+                .parse::<u8>()
+                .map_err(|_| ParseAddrError(s.to_string()))?;
+        }
+        if it.next().is_some() {
+            return Err(ParseAddrError(s.to_string()));
+        }
+        Ok(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for s in ["0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.200"] {
+            let a: Ipv4Addr = s.parse().unwrap();
+            assert_eq!(a.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"] {
+            assert!(s.parse::<Ipv4Addr>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn octet_order_is_big_endian() {
+        let a = Ipv4Addr::new(10, 20, 30, 40);
+        assert_eq!(a.0, 0x0A14_1E28);
+        assert_eq!(a.octets(), [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(
+            Ipv4Addr::new(255, 255, 255, 255).offset(1),
+            Ipv4Addr::UNSPECIFIED
+        );
+        assert_eq!(
+            Ipv4Addr::new(10, 0, 0, 0).offset(5),
+            Ipv4Addr::new(10, 0, 0, 5)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! BGP AS numbers and AS paths.
+//!
+//! [`AsPath::overwrite`] models the vendor `apply as-path overwrite`
+//! action from the paper's Figure 2b: it *replaces* the entire path with
+//! the local AS number, shortening the path and thereby raising the
+//! route's preference — the exact mechanism behind the flapping incident.
+
+use std::fmt;
+
+/// A BGP autonomous-system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// A BGP AS_PATH, most-recent hop first (index 0 is the neighbor that last
+/// exported the route).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AsPath(Vec<Asn>);
+
+impl AsPath {
+    /// The empty path (a locally originated route).
+    pub fn empty() -> Self {
+        AsPath(Vec::new())
+    }
+
+    /// A path consisting of the single AS `asn`.
+    pub fn origin(asn: Asn) -> Self {
+        AsPath(vec![asn])
+    }
+
+    /// Builds a path from hops, most recent first.
+    pub fn from_hops(hops: impl IntoIterator<Item = Asn>) -> Self {
+        AsPath(hops.into_iter().collect())
+    }
+
+    /// Path length — the BGP best-path comparison key.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for locally originated routes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `asn` appears anywhere in the path (BGP loop detection).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// The standard export action: prepend the local AS once.
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut hops = Vec::with_capacity(self.0.len() + 1);
+        hops.push(asn);
+        hops.extend_from_slice(&self.0);
+        AsPath(hops)
+    }
+
+    /// Prepend the local AS `count` times (route-policy `as-path prepend`).
+    pub fn prepend_n(&self, asn: Asn, count: usize) -> AsPath {
+        let mut hops = Vec::with_capacity(self.0.len() + count);
+        hops.extend(std::iter::repeat(asn).take(count));
+        hops.extend_from_slice(&self.0);
+        AsPath(hops)
+    }
+
+    /// The `as-path overwrite` action: replace the whole path with the
+    /// local AS. This defeats AS-path loop prevention and shortens the
+    /// path, which is what makes the Figure 2 incident possible.
+    pub fn overwrite(asn: Asn) -> AsPath {
+        AsPath(vec![asn])
+    }
+
+    /// The hops, most recent first.
+    pub fn hops(&self) -> &[Asn] {
+        &self.0
+    }
+
+    /// The originating AS (last hop), if any.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.0.last().copied()
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "[]");
+        }
+        write!(f, "[")?;
+        for (i, hop) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", hop.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepend_grows_front() {
+        let p = AsPath::origin(Asn(100)).prepend(Asn(200)).prepend(Asn(300));
+        assert_eq!(p.hops(), &[Asn(300), Asn(200), Asn(100)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.origin_as(), Some(Asn(100)));
+    }
+
+    #[test]
+    fn prepend_n_repeats() {
+        let p = AsPath::origin(Asn(1)).prepend_n(Asn(2), 3);
+        assert_eq!(p.hops(), &[Asn(2), Asn(2), Asn(2), Asn(1)]);
+    }
+
+    #[test]
+    fn overwrite_discards_history() {
+        let long = AsPath::from_hops([Asn(1), Asn(2), Asn(3)]);
+        let short = AsPath::overwrite(Asn(9));
+        assert_eq!(short.len(), 1);
+        assert!(short.len() < long.len());
+        assert!(!short.contains(Asn(1)), "overwrite must erase loop evidence");
+    }
+
+    #[test]
+    fn loop_detection_via_contains() {
+        let p = AsPath::from_hops([Asn(10), Asn(20)]);
+        assert!(p.contains(Asn(20)));
+        assert!(!p.contains(Asn(30)));
+    }
+
+    #[test]
+    fn empty_path_is_local() {
+        let p = AsPath::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.origin_as(), None);
+        assert_eq!(p.to_string(), "[]");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(AsPath::from_hops([Asn(65001), Asn(65002)]).to_string(), "[65001 65002]");
+    }
+}

@@ -1,0 +1,67 @@
+//! BGP communities.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A standard BGP community, displayed as `asn:value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Community {
+    pub asn: u16,
+    pub value: u16,
+}
+
+impl Community {
+    /// Builds a community from its two 16-bit halves.
+    pub const fn new(asn: u16, value: u16) -> Self {
+        Community { asn, value }
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+/// Error returned when a community string is not `u16:u16`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommunityError(pub String);
+
+impl fmt::Display for ParseCommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid community: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommunityError {}
+
+impl FromStr for Community {
+    type Err = ParseCommunityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, v) = s.split_once(':').ok_or_else(|| ParseCommunityError(s.into()))?;
+        Ok(Community {
+            asn: a.parse().map_err(|_| ParseCommunityError(s.into()))?,
+            value: v.parse().map_err(|_| ParseCommunityError(s.into()))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let c: Community = "65001:300".parse().unwrap();
+        assert_eq!(c, Community::new(65001, 300));
+        assert_eq!(c.to_string(), "65001:300");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["", "1", "1:2:3", "70000:1", "x:y"] {
+            assert!(s.parse::<Community>().is_err(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! CIDR prefixes.
+//!
+//! A [`Prefix`] is always stored in canonical form: bits below the mask are
+//! zero. Construction via [`Prefix::new`] canonicalizes, so two prefixes
+//! that denote the same address block always compare equal — an invariant
+//! the provenance and localization layers rely on when they use prefixes as
+//! map keys.
+
+use crate::addr::Ipv4Addr;
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix in canonical (host-bits-zeroed) form.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix {
+        addr: Ipv4Addr::UNSPECIFIED,
+        len: 0,
+    };
+
+    /// Builds a prefix, zeroing any bits below the mask.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix {
+            addr: Ipv4Addr(addr.0 & Self::mask_of(len)),
+            len,
+        }
+    }
+
+    /// Convenience constructor from dotted-quad octets.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8, len: u8) -> Self {
+        Prefix::new(Ipv4Addr::new(a, b, c, d), len)
+    }
+
+    /// The network address (canonical base address).
+    pub fn addr(self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for the default route `0.0.0.0/0`.
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask corresponding to `len` bits.
+    pub fn mask(self) -> u32 {
+        Self::mask_of(self.len)
+    }
+
+    fn mask_of(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Number of addresses covered (saturating at `u32::MAX` for /0).
+    pub fn size(self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.len as u32)
+        }
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        (addr.0 & self.mask()) == self.addr.0
+    }
+
+    /// Whether `other` is fully contained in (or equal to) this prefix.
+    pub fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && self.contains(other.addr)
+    }
+
+    /// Whether the two prefixes share any address.
+    pub fn overlaps(self, other: Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// The `i`-th host address inside the prefix (wrapping inside the block).
+    ///
+    /// Used to deterministically sample test packets from a header space.
+    pub fn host(self, i: u32) -> Ipv4Addr {
+        if self.len >= 32 {
+            return self.addr;
+        }
+        let span = self.size();
+        self.addr.offset(i % span)
+    }
+
+    /// The two halves of this prefix, or `None` for a /32.
+    pub fn children(self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let left = Prefix::new(self.addr, self.len + 1);
+        let bit = 1u32 << (32 - (self.len as u32 + 1));
+        let right = Prefix::new(Ipv4Addr(self.addr.0 | bit), self.len + 1);
+        Some((left, right))
+    }
+
+    /// The enclosing prefix one bit shorter, or `None` for /0.
+    pub fn parent(self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix::new(self.addr, self.len - 1))
+        }
+    }
+
+    /// The value of the `depth`-th bit of the network address (0 = MSB),
+    /// used by the trie to pick a branch.
+    pub fn bit(self, depth: u8) -> bool {
+        debug_assert!(depth < 32);
+        (self.addr.0 >> (31 - depth as u32)) & 1 == 1
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when a CIDR string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(pub String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    /// Parses `a.b.c.d/len`. Also accepts the vendor-config style
+    /// `a.b.c.d len` (space-separated), as in `ip route-static 20.0.0.0 16`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_s, len_s) = s
+            .split_once('/')
+            .or_else(|| s.split_once(' '))
+            .ok_or_else(|| ParsePrefixError(s.to_string()))?;
+        let addr: Ipv4Addr = addr_s
+            .trim()
+            .parse()
+            .map_err(|_| ParsePrefixError(s.to_string()))?;
+        let len: u8 = len_s
+            .trim()
+            .parse()
+            .map_err(|_| ParsePrefixError(s.to_string()))?;
+        if len > 32 {
+            return Err(ParsePrefixError(s.to_string()));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        assert_eq!(p("10.1.2.3/16"), p("10.1.0.0/16"));
+        assert_eq!(p("10.1.2.3/16").addr(), Ipv4Addr::new(10, 1, 0, 0));
+    }
+
+    #[test]
+    fn parses_both_separators() {
+        assert_eq!(p("10.0.0.0/16"), "10.0.0.0 16".parse().unwrap());
+        assert_eq!("0.0.0.0 0".parse::<Prefix>().unwrap(), Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn rejects_bad_cidr() {
+        for s in ["10.0.0.0/33", "10.0.0.0", "junk/8", "10.0.0.0/x"] {
+            assert!(s.parse::<Prefix>().is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn containment() {
+        assert!(p("10.0.0.0/8").covers(p("10.5.0.0/16")));
+        assert!(!p("10.5.0.0/16").covers(p("10.0.0.0/8")));
+        assert!(p("10.0.0.0/8").contains(Ipv4Addr::new(10, 255, 0, 1)));
+        assert!(!p("10.0.0.0/8").contains(Ipv4Addr::new(11, 0, 0, 0)));
+        assert!(Prefix::DEFAULT.covers(p("1.2.3.4/32")));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_nesting() {
+        assert!(p("10.0.0.0/8").overlaps(p("10.1.0.0/16")));
+        assert!(p("10.1.0.0/16").overlaps(p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/16").overlaps(p("10.1.0.0/16")));
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let parent = p("10.0.0.0/16");
+        let (l, r) = parent.children().unwrap();
+        assert_eq!(l, p("10.0.0.0/17"));
+        assert_eq!(r, p("10.0.128.0/17"));
+        assert!(parent.covers(l) && parent.covers(r));
+        assert!(!l.overlaps(r));
+        assert_eq!(l.parent(), Some(parent));
+        assert_eq!(r.parent(), Some(parent));
+        assert!(p("1.2.3.4/32").children().is_none());
+        assert!(Prefix::DEFAULT.parent().is_none());
+    }
+
+    #[test]
+    fn host_sampling_stays_inside() {
+        let pre = p("10.7.0.0/16");
+        for i in [0u32, 1, 100, 65535, 65536, 1 << 30] {
+            assert!(pre.contains(pre.host(i)), "host({i}) escaped {pre}");
+        }
+        assert_eq!(p("9.9.9.9/32").host(12345), Ipv4Addr::new(9, 9, 9, 9));
+    }
+
+    #[test]
+    fn bit_extraction_matches_msb_order() {
+        let pre = p("128.0.0.0/1");
+        assert!(pre.bit(0));
+        let pre = p("64.0.0.0/2");
+        assert!(!pre.bit(0));
+        assert!(pre.bit(1));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/16", "10.70.0.0/16", "1.2.3.4/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! A binary prefix trie with longest-prefix-match lookup.
+//!
+//! This is the FIB data structure used by the simulator's forwarding walk
+//! and by the verifier when it intersects header spaces with routing state.
+//! The design goal is correctness and predictability rather than raw speed:
+//! nodes are arena-allocated in a `Vec`, there is no `unsafe`, and removal
+//! leaves tombstones that are reused on the next insert along the same path.
+
+use crate::prefix::Prefix;
+use crate::Ipv4Addr;
+
+/// A map from [`Prefix`] to `T` supporting exact and longest-prefix-match
+/// queries.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<(Prefix, T)>,
+    children: [Option<usize>; 2],
+}
+
+impl<T> Node<T> {
+    fn empty() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` under `prefix`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let branch = prefix.bit(depth) as usize;
+            node = match self.nodes[node].children[branch] {
+                Some(child) => child,
+                None => {
+                    let child = self.nodes.len();
+                    self.nodes.push(Node::empty());
+                    self.nodes[node].children[branch] = Some(child);
+                    child
+                }
+            };
+        }
+        let old = self.nodes[node].value.replace((prefix, value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old.map(|(_, v)| v)
+    }
+
+    /// Removes `prefix`, returning its value if present.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        let node = self.locate(prefix)?;
+        let old = self.nodes[node].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old.map(|(_, v)| v)
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let node = self.locate(prefix)?;
+        self.nodes[node].value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut T> {
+        let node = self.locate(prefix)?;
+        self.nodes[node].value.as_mut().map(|(_, v)| v)
+    }
+
+    fn locate(&self, prefix: Prefix) -> Option<usize> {
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            node = self.nodes[node].children[prefix.bit(depth) as usize]?;
+        }
+        Some(node)
+    }
+
+    /// Longest-prefix-match: the most specific stored prefix containing
+    /// `addr`, together with its value.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Prefix, &T)> {
+        let mut node = 0usize;
+        let mut best: Option<(Prefix, &T)> = None;
+        for depth in 0..=32u8 {
+            if let Some((p, v)) = &self.nodes[node].value {
+                best = Some((*p, v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let branch = ((addr.0 >> (31 - depth as u32)) & 1) as usize;
+            match self.nodes[node].children[branch] {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes covered by `prefix` (including itself),
+    /// in trie order.
+    pub fn covered_by(&self, prefix: Prefix) -> Vec<(Prefix, &T)> {
+        let mut out = Vec::new();
+        if let Some(root) = self.locate(prefix) {
+            self.collect(root, &mut out);
+        }
+        out
+    }
+
+    fn collect<'a>(&'a self, node: usize, out: &mut Vec<(Prefix, &'a T)>) {
+        if let Some((p, v)) = &self.nodes[node].value {
+            out.push((*p, v));
+        }
+        for child in self.nodes[node].children.into_iter().flatten() {
+            self.collect(child, out);
+        }
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in trie (DFS) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.collect(0, &mut out);
+        out.into_iter()
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), "a"), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&"b"));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some("b"));
+        assert_eq!(t.remove(p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let t: PrefixTrie<&str> = [
+            (p("0.0.0.0/0"), "default"),
+            (p("10.0.0.0/8"), "eight"),
+            (p("10.0.0.0/16"), "sixteen"),
+        ]
+        .into_iter()
+        .collect();
+        let hit = |a: &str| t.lookup(a.parse().unwrap()).map(|(_, v)| *v);
+        assert_eq!(hit("10.0.1.1"), Some("sixteen"));
+        assert_eq!(hit("10.9.0.1"), Some("eight"));
+        assert_eq!(hit("11.0.0.1"), Some("default"));
+    }
+
+    #[test]
+    fn lpm_without_default_misses() {
+        let t: PrefixTrie<u32> = [(p("10.0.0.0/8"), 1)].into_iter().collect();
+        assert!(t.lookup("11.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn covered_by_returns_subtree() {
+        let t: PrefixTrie<u32> = [
+            (p("10.0.0.0/8"), 1),
+            (p("10.1.0.0/16"), 2),
+            (p("10.1.128.0/17"), 3),
+            (p("11.0.0.0/8"), 4),
+        ]
+        .into_iter()
+        .collect();
+        let got: Vec<Prefix> = t.covered_by(p("10.1.0.0/16")).into_iter().map(|(p, _)| p).collect();
+        assert!(got.contains(&p("10.1.0.0/16")));
+        assert!(got.contains(&p("10.1.128.0/17")));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn host_route_lookup() {
+        let t: PrefixTrie<u32> = [(p("1.2.3.4/32"), 9)].into_iter().collect();
+        assert_eq!(t.lookup("1.2.3.4".parse().unwrap()).map(|(_, v)| *v), Some(9));
+        assert!(t.lookup("1.2.3.5".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let items = [
+            (p("0.0.0.0/0"), 0),
+            (p("10.0.0.0/8"), 1),
+            (p("192.168.0.0/16"), 2),
+        ];
+        let t: PrefixTrie<u32> = items.into_iter().collect();
+        let mut got: Vec<_> = t.iter().map(|(p, v)| (p, *v)).collect();
+        got.sort();
+        let mut want = items.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+    }
+}

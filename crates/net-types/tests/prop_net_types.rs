@@ -1,0 +1,117 @@
+//! Property-based tests for the foundation types.
+//!
+//! The trie is checked against a naive linear-scan longest-prefix-match
+//! model, and prefixes/paths against their algebraic laws.
+
+use acr_net_types::{AsPath, Asn, HeaderSpace, Ipv4Addr, Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4Addr(addr), len))
+}
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr)
+}
+
+/// Naive LPM over a list — the reference model for the trie.
+fn naive_lpm(entries: &[(Prefix, u32)], addr: Ipv4Addr) -> Option<(Prefix, u32)> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .copied()
+}
+
+proptest! {
+    #[test]
+    fn prefix_parse_display_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn prefix_contains_its_hosts(p in arb_prefix(), i in any::<u32>()) {
+        prop_assert!(p.contains(p.host(i)));
+    }
+
+    #[test]
+    fn covers_implies_contains_base(a in arb_prefix(), b in arb_prefix()) {
+        if a.covers(b) {
+            prop_assert!(a.contains(b.addr()));
+            prop_assert!(a.len() <= b.len());
+        }
+    }
+
+    #[test]
+    fn parent_covers_child(p in arb_prefix()) {
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.covers(p));
+        }
+        if let Some((l, r)) = p.children() {
+            prop_assert!(p.covers(l) && p.covers(r));
+            prop_assert!(!l.overlaps(r));
+        }
+    }
+
+    #[test]
+    fn trie_matches_naive_lpm(
+        entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 0..40),
+        addrs in proptest::collection::vec(arb_addr(), 1..20),
+    ) {
+        // Deduplicate by prefix: last writer wins in both models.
+        let mut dedup: Vec<(Prefix, u32)> = Vec::new();
+        for (p, v) in &entries {
+            if let Some(slot) = dedup.iter_mut().find(|(q, _)| q == p) {
+                slot.1 = *v;
+            } else {
+                dedup.push((*p, *v));
+            }
+        }
+        let trie: PrefixTrie<u32> = dedup.iter().copied().collect();
+        prop_assert_eq!(trie.len(), dedup.len());
+        for addr in addrs {
+            let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(got, naive_lpm(&dedup, addr));
+        }
+    }
+
+    #[test]
+    fn trie_remove_restores_shadowed(
+        a in arb_prefix(),
+        addrs in proptest::collection::vec(arb_addr(), 1..10),
+    ) {
+        // Insert a prefix and its parent; removing the child must expose
+        // the parent for every address the child used to win.
+        if let Some(parent) = a.parent() {
+            let mut trie = PrefixTrie::new();
+            trie.insert(parent, 1u32);
+            trie.insert(a, 2u32);
+            trie.remove(a);
+            for addr in addrs {
+                if parent.contains(addr) {
+                    prop_assert_eq!(trie.lookup(addr).map(|(_, v)| *v), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aspath_prepend_then_len(hops in proptest::collection::vec(1u32..65000, 0..8), local in 1u32..65000) {
+        let path = AsPath::from_hops(hops.iter().copied().map(Asn));
+        let out = path.prepend(Asn(local));
+        prop_assert_eq!(out.len(), path.len() + 1);
+        prop_assert!(out.contains(Asn(local)));
+        prop_assert_eq!(out.hops()[0], Asn(local));
+        // Overwrite always yields length 1 regardless of history.
+        prop_assert_eq!(AsPath::overwrite(Asn(local)).len(), 1);
+    }
+
+    #[test]
+    fn headerspace_samples_are_members(src in arb_prefix(), dst in arb_prefix(), i in any::<u32>()) {
+        let hs = HeaderSpace::between(src, dst);
+        let f = hs.sample(i);
+        prop_assert!(hs.contains(&f));
+    }
+}

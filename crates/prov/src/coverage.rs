@@ -1,0 +1,145 @@
+//! Per-test coverage — the SBFL spectrum's raw material.
+//!
+//! A [`CoverageMatrix`] holds, for every verification test, whether it
+//! passed and which configuration lines its outcome depended on. The
+//! localization layer folds this into per-line `(passed(s), failed(s))`
+//! counters, exactly the inputs of the paper's Equation 1 (Tarantula).
+
+use acr_cfg::LineId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a verification test (index into the test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TestId(pub u32);
+
+impl fmt::Display for TestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One test's coverage record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCoverage {
+    pub test: TestId,
+    pub passed: bool,
+    pub lines: BTreeSet<LineId>,
+}
+
+/// The full spectrum: every test's verdict and covered lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMatrix {
+    tests: Vec<TestCoverage>,
+}
+
+impl CoverageMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        CoverageMatrix::default()
+    }
+
+    /// Adds one test's record.
+    pub fn push(&mut self, record: TestCoverage) {
+        self.tests.push(record);
+    }
+
+    /// All records.
+    pub fn tests(&self) -> &[TestCoverage] {
+        &self.tests
+    }
+
+    /// Number of tests.
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Whether the matrix has no tests.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Total passed / failed counts — `totalpassed` and `totalfailed` of
+    /// the paper's Equation 1.
+    pub fn totals(&self) -> (usize, usize) {
+        let passed = self.tests.iter().filter(|t| t.passed).count();
+        (passed, self.tests.len() - passed)
+    }
+
+    /// Per-line `(passed(s), failed(s))` counters over all tests.
+    pub fn per_line_counts(&self) -> BTreeMap<LineId, (usize, usize)> {
+        let mut out: BTreeMap<LineId, (usize, usize)> = BTreeMap::new();
+        for t in &self.tests {
+            for line in &t.lines {
+                let slot = out.entry(*line).or_default();
+                if t.passed {
+                    slot.0 += 1;
+                } else {
+                    slot.1 += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Every line covered by at least one test.
+    pub fn covered_lines(&self) -> BTreeSet<LineId> {
+        self.tests.iter().flat_map(|t| t.lines.iter().copied()).collect()
+    }
+
+    /// Lines covered by at least one *failed* test — the SBFL candidate
+    /// pool (lines never touched by a failure cannot explain it).
+    pub fn failure_covered_lines(&self) -> BTreeSet<LineId> {
+        self.tests
+            .iter()
+            .filter(|t| !t.passed)
+            .flat_map(|t| t.lines.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_net_types::RouterId;
+
+    fn l(r: u32, line: u32) -> LineId {
+        LineId::new(RouterId(r), line)
+    }
+
+    fn cov(test: u32, passed: bool, lines: &[LineId]) -> TestCoverage {
+        TestCoverage { test: TestId(test), passed, lines: lines.iter().copied().collect() }
+    }
+
+    /// The worked example of §5: three tests, one failed; the line covered
+    /// by 1 failed + 1 passed gets counts (1, 1).
+    #[test]
+    fn per_line_counts_match_worked_example() {
+        let mut m = CoverageMatrix::new();
+        m.push(cov(0, true, &[l(0, 5), l(0, 11)]));
+        m.push(cov(1, true, &[l(0, 9), l(0, 11)]));
+        m.push(cov(2, false, &[l(0, 9), l(0, 11)]));
+        assert_eq!(m.totals(), (2, 1));
+        let counts = m.per_line_counts();
+        assert_eq!(counts[&l(0, 9)], (1, 1));
+        assert_eq!(counts[&l(0, 11)], (2, 1));
+        assert_eq!(counts[&l(0, 5)], (1, 0));
+    }
+
+    #[test]
+    fn failure_pool_excludes_pass_only_lines() {
+        let mut m = CoverageMatrix::new();
+        m.push(cov(0, true, &[l(0, 1)]));
+        m.push(cov(1, false, &[l(0, 2)]));
+        assert_eq!(m.failure_covered_lines(), [l(0, 2)].into_iter().collect());
+        assert_eq!(m.covered_lines().len(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_totals() {
+        let m = CoverageMatrix::new();
+        assert_eq!(m.totals(), (0, 0));
+        assert!(m.is_empty());
+        assert!(m.per_line_counts().is_empty());
+    }
+}

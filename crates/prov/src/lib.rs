@@ -1,0 +1,22 @@
+//! # acr-prov
+//!
+//! Provenance queries over the simulator's derivation arena, and the
+//! test-coverage containers that feed Spectrum-Based Fault Localization.
+//!
+//! The paper (§3.2 observation (2), §4.1) proposes computing configuration
+//! coverage with provenance methods (Y!) or NetCov; here a route's
+//! derivation already records its supporting configuration lines, so
+//! coverage is the transitive closure over the derivation graph:
+//!
+//! - [`Provenance::coverage`] — all lines a set of derivations depends on,
+//! - [`Provenance::leaves`] — the *leaf* derivation nodes, whose count is
+//!   MetaProv's search space in the paper's Figure 3a,
+//! - [`Provenance::explain`] — a human-readable derivation tree,
+//! - [`CoverageMatrix`] — the per-test line-coverage spectrum consumed by
+//!   `acr-localize`.
+
+pub mod coverage;
+pub mod graph;
+
+pub use coverage::{CoverageMatrix, TestCoverage, TestId};
+pub use graph::Provenance;

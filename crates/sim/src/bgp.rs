@@ -1,0 +1,633 @@
+//! The per-prefix BGP propagation engine.
+//!
+//! The dynamics are the classic synchronous path-vector iteration: in
+//! round *t+1* every router recomputes its best route from its local
+//! originations plus what every session neighbor *exported in round t*.
+//! Because exports are a pure function of the neighbors' round-*t* bests,
+//! the vector of per-router bests is a complete state: the run either
+//! reaches a fixed point (**converged**) or revisits a state
+//! (**oscillating** — the paper's route flapping, Figure 2a).
+//!
+//! On oscillation the engine reports the cycle and every route observed
+//! inside it, so coverage can attribute the flap to the configuration
+//! lines that keep rewriting the route (the override policies of the
+//! incident).
+
+use crate::deriv::{DerivArena, DerivId, DerivKind};
+use crate::policy::{eval_policy, PolicyVerdict};
+use crate::route::{select_best, Route};
+use crate::session::Session;
+use acr_cfg::model::DeviceModel;
+use acr_cfg::LineId;
+use acr_net_types::{Asn, Prefix, RouterId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Base number of extra rounds beyond the network diameter bound before
+/// declaring non-convergence without a detected cycle (defensive cap; the
+/// cycle detector normally fires first).
+pub const MAX_ROUNDS_BASE: usize = 64;
+
+/// Result of simulating one prefix.
+#[derive(Debug, Clone)]
+pub enum PrefixOutcome {
+    /// Fixed point reached after `rounds` rounds; per-router best route
+    /// (indexed by `RouterId::index()`).
+    Converged {
+        rounds: usize,
+        best: Vec<Option<Route>>,
+        /// Negative provenance: derivations of announcements a policy
+        /// rejected during the run (see [`DerivKind::ImportDenied`]).
+        rejections: Vec<DerivId>,
+    },
+    /// A state repeated: the prefix flaps. `cycle_len` is the period;
+    /// `observed` collects every distinct best route each router held
+    /// inside the cycle (provenance roots for the failure).
+    Flapping {
+        first_seen_round: usize,
+        cycle_len: usize,
+        observed: Vec<Vec<Route>>,
+        /// Negative provenance, as in [`PrefixOutcome::Converged`].
+        rejections: Vec<DerivId>,
+    },
+}
+
+impl PrefixOutcome {
+    /// Whether the prefix converged.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, PrefixOutcome::Converged { .. })
+    }
+
+    /// The stable best route of `router`, if converged.
+    pub fn best_of(&self, router: RouterId) -> Option<&Route> {
+        match self {
+            PrefixOutcome::Converged { best, .. } => best.get(router.index())?.as_ref(),
+            PrefixOutcome::Flapping { .. } => None,
+        }
+    }
+
+    /// Derivation roots of everything this outcome depends on — bests for
+    /// a converged prefix, every observed route for a flapping one.
+    pub fn deriv_roots(&self) -> Vec<DerivId> {
+        match self {
+            PrefixOutcome::Converged { best, .. } => {
+                best.iter().flatten().map(|r| r.deriv).collect()
+            }
+            PrefixOutcome::Flapping { observed, .. } => {
+                observed.iter().flatten().map(|r| r.deriv).collect()
+            }
+        }
+    }
+
+    /// Negative-provenance roots: announcements a policy rejected. Failed
+    /// tests fold these into their coverage so SBFL can see deny-type
+    /// faults (a rejected route would otherwise leave no trace).
+    pub fn rejection_roots(&self) -> &[DerivId] {
+        match self {
+            PrefixOutcome::Converged { rejections, .. }
+            | PrefixOutcome::Flapping { rejections, .. } => rejections,
+        }
+    }
+}
+
+/// Local origination sources for one router and one prefix.
+#[derive(Debug, Clone, Default)]
+pub struct Origination {
+    /// (derivation kind, lines) pairs — one per origination reason.
+    pub sources: Vec<(DerivKind, Vec<LineId>)>,
+}
+
+/// Everything the engine needs per router, precomputed once per network.
+pub struct RouterCtx<'a> {
+    pub id: RouterId,
+    pub model: &'a DeviceModel,
+    pub asn: Option<Asn>,
+}
+
+/// Simulates one prefix to fixed point or cycle.
+///
+/// `originations[i]` lists why router `i` originates `prefix` (empty for
+/// non-originators). `sessions` are the established sessions.
+pub fn run_prefix(
+    prefix: Prefix,
+    routers: &[RouterCtx<'_>],
+    sessions: &[Session],
+    originations: &[Origination],
+    arena: &mut DerivArena,
+) -> PrefixOutcome {
+    let n = routers.len();
+    // Local candidate routes never change across rounds.
+    let locals: Vec<Vec<Route>> = (0..n)
+        .map(|i| {
+            originations[i]
+                .sources
+                .iter()
+                .map(|(kind, lines)| {
+                    let deriv = arena.intern(*kind, lines.clone(), vec![]);
+                    Route::local(prefix, deriv)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Sessions indexed by receiving router for the import step.
+    let mut sessions_of: Vec<Vec<&Session>> = vec![Vec::new(); n];
+    for s in sessions {
+        sessions_of[s.a.index()].push(s);
+        sessions_of[s.b.index()].push(s);
+    }
+
+    let mut best: Vec<Option<Route>> = (0..n).map(|i| select_best(locals[i].iter().cloned())).collect();
+    let mut seen_states: HashMap<u64, usize> = HashMap::new();
+    let mut history: Vec<Vec<Option<Route>>> = Vec::new();
+    let mut rejections: Vec<DerivId> = Vec::new();
+
+    let max_rounds = MAX_ROUNDS_BASE + 4 * n;
+    for round in 0..max_rounds {
+        let state_hash = hash_state(&best);
+        if let Some(&first) = seen_states.get(&state_hash) {
+            // Revisited a state: rounds [first, round) form the cycle.
+            let cycle_len = round - first;
+            if cycle_len == 0 {
+                break; // defensive; cannot happen (hash inserted below)
+            }
+            let mut observed: Vec<Vec<Route>> = vec![Vec::new(); n];
+            for state in &history[first..] {
+                for (i, r) in state.iter().enumerate() {
+                    if let Some(r) = r {
+                        if !observed[i].iter().any(|o: &Route| o.key() == r.key()) {
+                            observed[i].push(r.clone());
+                        }
+                    }
+                }
+            }
+            rejections.sort_unstable();
+            rejections.dedup();
+            return PrefixOutcome::Flapping { first_seen_round: first, cycle_len, observed, rejections };
+        }
+        seen_states.insert(state_hash, round);
+        history.push(best.clone());
+
+        // Compute the next state.
+        let mut next: Vec<Option<Route>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let me = &routers[i];
+            let mut candidates: Vec<Route> = locals[i].clone();
+            for session in &sessions_of[i] {
+                let view = session.view_of(me.id).expect("indexed by member");
+                let neighbor = &routers[view.peer.index()];
+                let Some(neighbor_best) = &best[view.peer.index()] else {
+                    continue;
+                };
+                match export(neighbor, session, me.id, neighbor_best, arena) {
+                    Ok(msg) => match import(me, session, view.peer, &msg, arena) {
+                        Ok(imported) => candidates.push(imported),
+                        Err(Some(denied)) => rejections.push(denied),
+                        Err(None) => {} // AS-path loop: not config-attributable
+                    },
+                    Err(Some(denied)) => rejections.push(denied),
+                    Err(None) => {}
+                }
+            }
+            next.push(select_best(candidates));
+        }
+
+        let stable = next
+            .iter()
+            .zip(&best)
+            .all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x.key() == y.key(),
+                (None, None) => true,
+                _ => false,
+            });
+        best = next;
+        if stable {
+            rejections.sort_unstable();
+            rejections.dedup();
+            return PrefixOutcome::Converged { rounds: round + 1, best, rejections };
+        }
+    }
+    // Defensive cap without a repeated state (should not happen for
+    // deterministic synchronous dynamics over a finite state space, but we
+    // never want an infinite loop in a repair inner loop).
+    rejections.sort_unstable();
+    rejections.dedup();
+    PrefixOutcome::Flapping {
+        first_seen_round: 0,
+        cycle_len: max_rounds,
+        observed: vec![best.into_iter().flatten().map(|r| vec![r]).next().unwrap_or_default(); n],
+        rejections,
+    }
+}
+
+/// The export half: `sender` announces its best to `receiver` over
+/// `session`. Returns `None` when suppressed (policy deny).
+///
+/// Deliberately **no split horizon**: eBGP advertises the best route to
+/// every session peer, including the one it was learned from; the
+/// *receiver's* AS-path loop check is what normally discards the echo.
+/// `as-path overwrite` erases that evidence — the exact mechanism of the
+/// paper's Figure 2 incident — so modelling the echo is essential.
+/// `Err(Some(deriv))` = export policy denied (negative provenance);
+/// `Err(None)` = no BGP process on the sender.
+fn export(
+    sender: &RouterCtx<'_>,
+    session: &Session,
+    receiver: RouterId,
+    best: &Route,
+    arena: &mut DerivArena,
+) -> Result<Route, Option<DerivId>> {
+    let sender_view = session.view_of(sender.id).ok_or(None)?;
+    debug_assert_eq!(sender_view.peer, receiver);
+    let own_asn = sender.asn.ok_or(None)?;
+
+    let mut lines: Vec<LineId> = sender_view.base_lines.to_vec();
+    let mut out = best.clone();
+    let mut overwrote = false;
+    if let Some((policy, app_line)) = sender_view.export {
+        match eval_policy(sender.model, sender.id, own_asn, policy, best) {
+            PolicyVerdict::Permit { route, overwrote_path, lines: pol_lines } => {
+                out = route;
+                overwrote = overwrote_path;
+                lines.push(app_line);
+                lines.extend(pol_lines);
+            }
+            PolicyVerdict::Deny { lines: deny_lines } => {
+                let mut all = lines;
+                all.push(app_line);
+                all.extend(deny_lines);
+                return Err(Some(arena.intern(DerivKind::ExportDenied, all, vec![best.deriv])));
+            }
+        }
+    }
+    if !overwrote {
+        out.as_path = out.as_path.prepend(own_asn);
+    }
+    // eBGP next-hop-self: the announcement carries the sender's address on
+    // the shared link.
+    out.next_hop = sender_view.local_addr;
+    // Announcements reset LOCAL_PREF (it is not transitive across eBGP)
+    // and keep MED/communities.
+    out.local_pref = crate::route::DEFAULT_LOCAL_PREF;
+    out.deriv = arena.intern(DerivKind::Export, lines, vec![best.deriv]);
+    out.learned_from = None; // receiver will stamp its own view
+    Ok(out)
+}
+
+/// The import half: `receiver` accepts `msg` from `sender`.
+/// `Err(Some(deriv))` = import policy denied (negative provenance);
+/// `Err(None)` = AS-path loop rejection (not config-attributable).
+fn import(
+    receiver: &RouterCtx<'_>,
+    session: &Session,
+    sender: RouterId,
+    msg: &Route,
+    arena: &mut DerivArena,
+) -> Result<Route, Option<DerivId>> {
+    let view = session.view_of(receiver.id).ok_or(None)?;
+    debug_assert_eq!(view.peer, sender);
+    let own_asn = receiver.asn.ok_or(None)?;
+    // AS-path loop prevention on the path *as received*. Note that an
+    // overwritten path has had the evidence erased — which is precisely
+    // how the Figure 2 incident defeats this check.
+    if msg.as_path.contains(own_asn) {
+        return Err(None);
+    }
+    let mut lines: Vec<LineId> = view.base_lines.to_vec();
+    let mut out = msg.clone();
+    if let Some((policy, app_line)) = view.import {
+        match eval_policy(receiver.model, receiver.id, own_asn, policy, msg) {
+            PolicyVerdict::Permit { route, lines: pol_lines, .. } => {
+                out = route;
+                lines.push(app_line);
+                lines.extend(pol_lines);
+            }
+            PolicyVerdict::Deny { lines: deny_lines } => {
+                let mut all = lines;
+                all.push(app_line);
+                all.extend(deny_lines);
+                return Err(Some(arena.intern(DerivKind::ImportDenied, all, vec![msg.deriv])));
+            }
+        }
+    }
+    out.learned_from = Some(sender);
+    out.deriv = arena.intern(DerivKind::Import, lines, vec![msg.deriv]);
+    Ok(out)
+}
+
+fn hash_state(best: &[Option<Route>]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for r in best {
+        match r {
+            Some(r) => {
+                1u8.hash(&mut hasher);
+                r.key().hash(&mut hasher);
+            }
+            None => 0u8.hash(&mut hasher),
+        }
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::establish;
+    use acr_cfg::parse::parse_device;
+    use acr_cfg::model::DeviceModel;
+    use acr_topo::{gen, Role, Topology, TopologyBuilder};
+
+    fn models_of(topo: &Topology, cfgs: &[&str]) -> Vec<DeviceModel> {
+        topo.routers()
+            .iter()
+            .zip(cfgs)
+            .map(|(r, c)| DeviceModel::from_config(&parse_device(r.name.clone(), c).unwrap()))
+            .collect()
+    }
+
+    fn ctxs<'a>(topo: &Topology, models: &'a [DeviceModel]) -> Vec<RouterCtx<'a>> {
+        topo.routers()
+            .iter()
+            .map(|r| RouterCtx {
+                id: r.id,
+                model: &models[r.id.index()],
+                asn: models[r.id.index()].asn.map(|(a, _)| a),
+            })
+            .collect()
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Three routers in a line: R0 — R1 — R2, R0 originates.
+    fn line3() -> (Topology, Vec<DeviceModel>) {
+        let topo = gen::line(3);
+        // Link 0: R0(172.16.0.1) - R1(172.16.0.2)
+        // Link 1: R1(172.16.0.5) - R2(172.16.0.6)
+        let cfgs = [
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n",
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n",
+            "bgp 65002\n peer 172.16.0.5 as-number 65001\n",
+        ];
+        let models = models_of(&topo, &cfgs);
+        (topo, models)
+    }
+
+    #[test]
+    fn propagation_along_line() {
+        let (topo, models) = line3();
+        let (sessions, diags) = establish(&topo, &models);
+        assert_eq!(sessions.len(), 2, "{diags:?}");
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 3];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let PrefixOutcome::Converged { best, .. } = &out else {
+            panic!("should converge");
+        };
+        // R0: local; R1: path [65000]; R2: path [65001 65000].
+        assert!(best[0].as_ref().unwrap().as_path.is_empty());
+        assert_eq!(best[1].as_ref().unwrap().as_path.hops(), &[Asn(65000)]);
+        assert_eq!(best[2].as_ref().unwrap().as_path.hops(), &[Asn(65001), Asn(65000)]);
+        assert_eq!(best[1].as_ref().unwrap().learned_from, Some(RouterId(0)));
+        // Next hops point along the line.
+        assert_eq!(best[1].as_ref().unwrap().next_hop.to_string(), "172.16.0.1");
+        assert_eq!(best[2].as_ref().unwrap().next_hop.to_string(), "172.16.0.5");
+        // Provenance closure of R2's best includes R0's network line.
+        let lines = arena.closure_lines([best[2].as_ref().unwrap().deriv]);
+        assert!(lines.contains(&LineId::new(RouterId(0), 2)), "{lines:?}");
+    }
+
+    #[test]
+    fn no_origination_means_no_routes() {
+        let (topo, models) = line3();
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let orig = vec![Origination::default(); 3];
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let PrefixOutcome::Converged { best, rounds, .. } = out else { panic!() };
+        assert!(best.iter().all(|b| b.is_none()));
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn as_loop_prevention_blocks_reimport() {
+        // Ring of 3 in distinct ASes: origination propagates both ways and
+        // stops; everything converges with shortest paths.
+        let topo = gen::ring(3);
+        // links: 0: R0-R1 (172.16.0.1/.2), 1: R1-R2 (.5/.6), 2: R2-R0 (.9/.10)
+        let cfgs = [
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n peer 172.16.0.9 as-number 65002\n",
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n",
+            "bgp 65002\n peer 172.16.0.5 as-number 65001\n peer 172.16.0.10 as-number 65000\n",
+        ];
+        let models = models_of(&topo, &cfgs);
+        let (sessions, diags) = establish(&topo, &models);
+        assert_eq!(sessions.len(), 3, "{diags:?}");
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 3];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let PrefixOutcome::Converged { best, .. } = out else { panic!("must converge") };
+        // R1 and R2 each pick the direct one-hop path to R0.
+        assert_eq!(best[1].as_ref().unwrap().as_path.len(), 1);
+        assert_eq!(best[2].as_ref().unwrap().as_path.len(), 1);
+    }
+
+    #[test]
+    fn import_deny_policy_filters() {
+        let (topo, mut models) = line3();
+        // R1 denies everything on import from R0.
+        models[1] = DeviceModel::from_config(
+            &parse_device(
+                "R1",
+                "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.1 route-policy Block import\n peer 172.16.0.6 as-number 65002\nroute-policy Block deny node 10\n",
+            )
+            .unwrap(),
+        );
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 3];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let PrefixOutcome::Converged { best, .. } = out else { panic!() };
+        assert!(best[0].is_some());
+        assert!(best[1].is_none(), "import deny must filter");
+        assert!(best[2].is_none(), "nothing to propagate onward");
+    }
+
+    #[test]
+    fn export_policy_prepend_lengthens_path() {
+        let (topo, mut models) = line3();
+        models[0] = DeviceModel::from_config(
+            &parse_device(
+                "R0",
+                "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n peer 172.16.0.2 route-policy Pad export\nroute-policy Pad permit node 10\n apply as-path prepend 65000 2\n",
+            )
+            .unwrap(),
+        );
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 3];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let PrefixOutcome::Converged { best, .. } = out else { panic!() };
+        // Prepend 2 + the normal export prepend = 3 hops at R1.
+        assert_eq!(best[1].as_ref().unwrap().as_path.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_on_import_erases_path() {
+        let (topo, mut models) = line3();
+        models[1] = DeviceModel::from_config(
+            &parse_device(
+                "R1",
+                "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.1 route-policy OW import\n peer 172.16.0.6 as-number 65002\nroute-policy OW permit node 10\n apply as-path overwrite\n",
+            )
+            .unwrap(),
+        );
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 3];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let PrefixOutcome::Converged { best, .. } = out else { panic!() };
+        assert_eq!(best[1].as_ref().unwrap().as_path.hops(), &[Asn(65001)]);
+        // R2 sees [65001 65001] (R1's overwritten path + export prepend).
+        assert_eq!(best[2].as_ref().unwrap().as_path.hops(), &[Asn(65001), Asn(65001)]);
+    }
+    /// The classic BAD GADGET: three spokes around an origin hub, each
+    /// preferring (via local-pref) the route heard from its clockwise
+    /// neighbor over its own direct route. No stable assignment exists;
+    /// the synchronous dynamics cycle with period 3 — the simulator must
+    /// detect the oscillation (the paper's route flapping).
+    fn bad_gadget() -> (Topology, Vec<DeviceModel>) {
+        let mut b = TopologyBuilder::new();
+        let o = b.router("O", Role::Backbone);
+        let x = b.router("X", Role::Backbone);
+        let y = b.router("Y", Role::Backbone);
+        let z = b.router("Z", Role::Backbone);
+        b.link(o, x); // .1/.2
+        b.link(o, y); // .5/.6
+        b.link(o, z); // .9/.10
+        b.link(x, y); // .13/.14
+        b.link(y, z); // .17/.18
+        b.link(z, x); // .21/.22
+        let topo = b.build();
+        let cfgs = [
+            // O originates and peers with all spokes.
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n peer 172.16.0.6 as-number 65002\n peer 172.16.0.10 as-number 65003\n".to_string(),
+            // X prefers routes from Y.
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.14 as-number 65002\n peer 172.16.0.14 route-policy Prefer import\n peer 172.16.0.21 as-number 65003\nroute-policy Prefer permit node 10\n apply local-preference 200\n".to_string(),
+            // Y prefers routes from Z.
+            "bgp 65002\n peer 172.16.0.5 as-number 65000\n peer 172.16.0.13 as-number 65001\n peer 172.16.0.18 as-number 65003\n peer 172.16.0.18 route-policy Prefer import\nroute-policy Prefer permit node 10\n apply local-preference 200\n".to_string(),
+            // Z prefers routes from X.
+            "bgp 65003\n peer 172.16.0.9 as-number 65000\n peer 172.16.0.17 as-number 65002\n peer 172.16.0.22 as-number 65001\n peer 172.16.0.22 route-policy Prefer import\nroute-policy Prefer permit node 10\n apply local-preference 200\n".to_string(),
+        ];
+        let models: Vec<DeviceModel> = topo
+            .routers()
+            .iter()
+            .map(|r| {
+                DeviceModel::from_config(
+                    &parse_device(r.name.clone(), &cfgs[r.id.index()]).unwrap(),
+                )
+            })
+            .collect();
+        (topo, models)
+    }
+
+    #[test]
+    fn bad_gadget_flaps() {
+        let (topo, models) = bad_gadget();
+        let (sessions, diags) = establish(&topo, &models);
+        assert_eq!(sessions.len(), 6, "{diags:?}");
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 4];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        match out {
+            PrefixOutcome::Flapping { cycle_len, ref observed, .. } => {
+                assert!(cycle_len >= 2, "period must be non-trivial, got {cycle_len}");
+                // Every spoke observes at least two distinct bests.
+                for spoke in 1..4 {
+                    assert!(observed[spoke].len() > 1, "spoke {spoke}: {:?}", observed[spoke]);
+                }
+                // Coverage of the flap reaches the local-pref policy lines.
+                let roots = out.deriv_roots();
+                let lines = arena.closure_lines(roots);
+                assert!(
+                    lines.contains(&LineId::new(RouterId(1), 7)),
+                    "flap coverage must reach X\'s apply local-preference line: {lines:?}"
+                );
+            }
+            PrefixOutcome::Converged { best, .. } => {
+                panic!("expected flapping, converged to {best:?}")
+            }
+        }
+    }
+
+    /// Mutual `as-path overwrite` between two transit routers produces a
+    /// *stable* forwarding loop (not a flap): each keeps the other\'s
+    /// echoed route because the overwrite erased the loop evidence. This
+    /// is the post-partial-repair state of the paper\'s Figure 2.
+    #[test]
+    fn mutual_overwrite_converges_to_stable_loop() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.router("O", Role::Backbone);
+        let r1 = b.router("X", Role::Backbone);
+        let r2 = b.router("Y", Role::Backbone);
+        b.link(r0, r1); // .1/.2
+        b.link(r1, r2); // .5/.6
+        let topo = b.build();
+        // O originates; X transits honestly; Y overwrites+prefers routes
+        // from X. X in turn overwrites+prefers routes from Y.
+        let cfgs = [
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n".to_string(),
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n peer 172.16.0.6 route-policy OW import\nroute-policy OW permit node 10\n apply as-path overwrite\n apply local-preference 200\n".to_string(),
+            "bgp 65002\n peer 172.16.0.5 as-number 65001\n peer 172.16.0.5 route-policy OW import\nroute-policy OW permit node 10\n apply as-path overwrite\n apply local-preference 200\n".to_string(),
+        ];
+        let models: Vec<DeviceModel> = topo
+            .routers()
+            .iter()
+            .map(|r| {
+                DeviceModel::from_config(
+                    &parse_device(r.name.clone(), &cfgs[r.id.index()]).unwrap(),
+                )
+            })
+            .collect();
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 3];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let PrefixOutcome::Converged { best, .. } = out else {
+            panic!("mutual overwrite should converge to a stable (looping) state")
+        };
+        // X\'s best points at Y, and Y\'s best points at X: a stable
+        // control plane whose data plane loops.
+        assert_eq!(best[1].as_ref().unwrap().learned_from, Some(RouterId(2)), "{best:?}");
+        assert_eq!(best[2].as_ref().unwrap().learned_from, Some(RouterId(1)), "{best:?}");
+    }
+
+    #[test]
+    fn deriv_arena_stays_bounded_under_flap() {
+        let (topo, models) = bad_gadget();
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let mut arena = DerivArena::new();
+        let mut orig = vec![Origination::default(); 4];
+        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        let _ = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        assert!(arena.len() < 128, "arena grew to {}", arena.len());
+    }
+}

@@ -1,0 +1,372 @@
+//! Data-plane forwarding walk.
+//!
+//! Injects a concrete [`Flow`] at a router and follows FIB decisions hop
+//! by hop, applying PBR where a traffic policy is active. The walk records
+//! every derivation it consulted, so a verification test's *coverage* is
+//! exactly the configuration lines its packet's fate depended on.
+
+use crate::deriv::{DerivArena, DerivId, DerivKind};
+use crate::fib::{resolve_next_hop, Fib, FibAction};
+use acr_cfg::model::DeviceModel;
+use acr_cfg::{LineId, PbrAction};
+use acr_net_types::{Flow, RouterId};
+use acr_topo::Topology;
+use std::fmt;
+
+/// Hard cap on walk length; longer paths are reported as loops.
+pub const MAX_HOPS: usize = 64;
+
+/// Why a packet stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForwardOutcome {
+    /// Reached the router owning the destination.
+    Delivered(RouterId),
+    /// Dropped by a NULL0 route at the router.
+    DroppedNull0(RouterId),
+    /// Dropped by a PBR deny rule at the router.
+    DroppedPbr(RouterId),
+    /// A PBR redirect pointed at an unusable next hop.
+    DroppedBadRedirect(RouterId),
+    /// No FIB entry matched (blackhole).
+    NoRoute(RouterId),
+    /// The packet revisited a router.
+    Loop(Vec<RouterId>),
+}
+
+impl ForwardOutcome {
+    /// Whether the packet reached a destination.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, ForwardOutcome::Delivered(_))
+    }
+}
+
+impl fmt::Display for ForwardOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForwardOutcome::Delivered(r) => write!(f, "delivered at {r}"),
+            ForwardOutcome::DroppedNull0(r) => write!(f, "dropped (NULL0) at {r}"),
+            ForwardOutcome::DroppedPbr(r) => write!(f, "dropped (PBR deny) at {r}"),
+            ForwardOutcome::DroppedBadRedirect(r) => write!(f, "dropped (bad PBR redirect) at {r}"),
+            ForwardOutcome::NoRoute(r) => write!(f, "no route at {r}"),
+            ForwardOutcome::Loop(cycle) => {
+                write!(f, "forwarding loop:")?;
+                for r in cycle {
+                    write!(f, " {r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The full trace of one forwarding walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardResult {
+    /// Routers visited in order (first = injection point).
+    pub path: Vec<RouterId>,
+    pub outcome: ForwardOutcome,
+    /// Derivation roots consulted along the way (FIB entries, PBR rules).
+    pub derivs: Vec<DerivId>,
+}
+
+/// Walks `flow` from `start` across the network.
+///
+/// `fibs` and `models` are indexed by `RouterId::index()`. PBR lookups
+/// intern their derivations into `arena` on the fly (they depend on the
+/// concrete flow, so they cannot be precomputed with the FIB).
+pub fn walk(
+    topo: &Topology,
+    models: &[DeviceModel],
+    fibs: &[Fib],
+    start: RouterId,
+    flow: &Flow,
+    arena: &mut DerivArena,
+) -> ForwardResult {
+    let mut path = Vec::new();
+    let mut derivs = Vec::new();
+    let mut current = start;
+    loop {
+        if path.contains(&current) || path.len() >= MAX_HOPS {
+            path.push(current);
+            return ForwardResult { path: path.clone(), outcome: ForwardOutcome::Loop(path), derivs };
+        }
+        path.push(current);
+        let model = &models[current.index()];
+
+        // Delivery check: the destination is attached here (or is one of
+        // our own interface addresses).
+        if topo.delivery_router(flow.dst) == Some(current)
+            || topo
+                .links_of(current)
+                .any(|l| l.endpoint_of(current).map(|e| e.addr) == Some(flow.dst))
+        {
+            return ForwardResult { path, outcome: ForwardOutcome::Delivered(current), derivs };
+        }
+
+        // PBR, if a traffic policy is applied on this device.
+        if let Some((policy_name, apply_line)) = &model.pbr_applied {
+            if let Some(rules) = model.pbr_policies.get(policy_name) {
+                let mut matched = false;
+                for rule in rules {
+                    let Some(acl) = model.acls.get(&rule.acl) else { continue };
+                    let Some(acl_entry) = acl.iter().find(|e| e.matches(flow)) else {
+                        continue;
+                    };
+                    if acl_entry.rule.action != acr_cfg::PlAction::Permit {
+                        // A deny ACL entry means "this rule does not
+                        // classify the flow"; continue with the next rule.
+                        continue;
+                    }
+                    let lines = vec![
+                        LineId::new(current, *apply_line),
+                        LineId::new(current, rule.line),
+                        LineId::new(current, acl_entry.line),
+                    ];
+                    derivs.push(arena.intern(DerivKind::Pbr, lines, vec![]));
+                    match rule.action {
+                        PbrAction::Permit => {} // fall through to FIB
+                        PbrAction::Deny => {
+                            return ForwardResult {
+                                path,
+                                outcome: ForwardOutcome::DroppedPbr(current),
+                                derivs,
+                            };
+                        }
+                        PbrAction::Redirect(nh) => {
+                            match resolve_next_hop(topo, current, nh) {
+                                Some(FibAction::Forward { router, .. }) => {
+                                    current = router;
+                                }
+                                Some(FibAction::Deliver) => {
+                                    return ForwardResult {
+                                        path,
+                                        outcome: ForwardOutcome::Delivered(current),
+                                        derivs,
+                                    };
+                                }
+                                _ => {
+                                    return ForwardResult {
+                                        path,
+                                        outcome: ForwardOutcome::DroppedBadRedirect(current),
+                                        derivs,
+                                    };
+                                }
+                            }
+                        }
+                    }
+                    matched = true;
+                    break;
+                }
+                if matched && path.last() != Some(&current) {
+                    // Redirect moved us to a new router; restart the loop
+                    // body there.
+                    continue;
+                }
+                if matched && path.last() == Some(&current) {
+                    // Permit fell through: continue to FIB below.
+                }
+            }
+        }
+
+        // FIB lookup.
+        let fib = &fibs[current.index()];
+        match fib.lookup(flow.dst) {
+            None => {
+                return ForwardResult { path, outcome: ForwardOutcome::NoRoute(current), derivs };
+            }
+            Some((_, entry)) => {
+                derivs.push(entry.deriv);
+                match entry.action {
+                    FibAction::Deliver => {
+                        return ForwardResult {
+                            path,
+                            outcome: ForwardOutcome::Delivered(current),
+                            derivs,
+                        };
+                    }
+                    FibAction::Drop => {
+                        return ForwardResult {
+                            path,
+                            outcome: ForwardOutcome::DroppedNull0(current),
+                            derivs,
+                        };
+                    }
+                    FibAction::Forward { router, .. } => {
+                        current = router;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::base_fib;
+    use acr_cfg::parse::parse_device;
+    use acr_net_types::{Ipv4Addr, Prefix};
+    use acr_topo::{Role, Topology, TopologyBuilder};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// R0 — R1 — R2, destination 10.2/16 attached at R2.
+    fn line3(cfgs: [&str; 3]) -> (Topology, Vec<DeviceModel>, Vec<Fib>, DerivArena) {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.router("R0", Role::Backbone);
+        let r1 = b.router("R1", Role::Backbone);
+        let r2 = b.router("R2", Role::Backbone);
+        b.link(r0, r1); // .1/.2
+        b.link(r1, r2); // .5/.6
+        b.attach(r2, p("10.2.0.0/16"));
+        let topo = b.build();
+        let models: Vec<DeviceModel> = topo
+            .routers()
+            .iter()
+            .map(|r| DeviceModel::from_config(&parse_device(r.name.clone(), cfgs[r.id.index()]).unwrap()))
+            .collect();
+        let mut arena = DerivArena::new();
+        let fibs: Vec<Fib> = topo
+            .routers()
+            .iter()
+            .map(|r| base_fib(&topo, r.id, &models[r.id.index()], &mut arena))
+            .collect();
+        (topo, models, fibs, arena)
+    }
+
+    fn flow_to(dst: Ipv4Addr) -> Flow {
+        Flow::ip(Ipv4Addr::new(10, 0, 0, 1), dst)
+    }
+
+    #[test]
+    fn statics_chain_to_delivery() {
+        let (topo, models, fibs, mut arena) = line3([
+            "ip route-static 10.2.0.0 16 172.16.0.2\n",
+            "ip route-static 10.2.0.0 16 172.16.0.6\n",
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
+        assert_eq!(r.path, vec![RouterId(0), RouterId(1), RouterId(2)]);
+        // Coverage includes both static-route lines.
+        let lines = arena.closure_lines(r.derivs.clone());
+        assert!(lines.contains(&LineId::new(RouterId(0), 1)));
+        assert!(lines.contains(&LineId::new(RouterId(1), 1)));
+    }
+
+    #[test]
+    fn missing_route_is_blackhole() {
+        let (topo, models, fibs, mut arena) =
+            line3(["ip route-static 10.2.0.0 16 172.16.0.2\n", "", ""]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::NoRoute(RouterId(1)));
+    }
+
+    #[test]
+    fn null0_drops() {
+        let (topo, models, fibs, mut arena) = line3(["ip route-static 10.2.0.0 16 NULL0\n", "", ""]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::DroppedNull0(RouterId(0)));
+    }
+
+    #[test]
+    fn two_router_loop_detected() {
+        let (topo, models, fibs, mut arena) = line3([
+            "ip route-static 10.2.0.0 16 172.16.0.2\n",
+            "ip route-static 10.2.0.0 16 172.16.0.1\n", // points back at R0
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        match &r.outcome {
+            ForwardOutcome::Loop(cycle) => {
+                assert_eq!(cycle, &vec![RouterId(0), RouterId(1), RouterId(0)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delivery_at_injection_point() {
+        let (topo, models, fibs, mut arena) = line3(["", "", ""]);
+        let r = walk(&topo, &models, &fibs, RouterId(2), &flow_to(Ipv4Addr::new(10, 2, 0, 9)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
+        assert_eq!(r.path.len(), 1);
+    }
+
+    #[test]
+    fn pbr_deny_drops_with_coverage() {
+        let (topo, models, fibs, mut arena) = line3([
+            "ip route-static 10.2.0.0 16 172.16.0.2\nacl 3000\n rule 5 permit ip source 0.0.0.0 0 destination 10.2.0.0 16\ntraffic-policy tp\n match acl 3000 deny\napply traffic-policy tp\n",
+            "ip route-static 10.2.0.0 16 172.16.0.6\n",
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::DroppedPbr(RouterId(0)));
+        let lines = arena.closure_lines(r.derivs.clone());
+        // apply line (6), pbr rule line (5), acl rule line (3)
+        assert!(lines.contains(&LineId::new(RouterId(0), 6)), "{lines:?}");
+        assert!(lines.contains(&LineId::new(RouterId(0), 5)), "{lines:?}");
+        assert!(lines.contains(&LineId::new(RouterId(0), 3)), "{lines:?}");
+    }
+
+    #[test]
+    fn pbr_redirect_bypasses_fib() {
+        // R0's FIB has no route to 10.2/16, but PBR redirects to R1.
+        let (topo, models, fibs, mut arena) = line3([
+            "acl 3000\n rule 5 permit ip source 0.0.0.0 0 destination 10.2.0.0 16\ntraffic-policy tp\n match acl 3000 redirect next-hop 172.16.0.2\napply traffic-policy tp\n",
+            "ip route-static 10.2.0.0 16 172.16.0.6\n",
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
+        assert_eq!(r.path, vec![RouterId(0), RouterId(1), RouterId(2)]);
+    }
+
+    #[test]
+    fn pbr_permit_falls_through_to_fib() {
+        let (topo, models, fibs, mut arena) = line3([
+            "ip route-static 10.2.0.0 16 172.16.0.2\nacl 3000\n rule 5 permit ip source 0.0.0.0 0 destination 10.2.0.0 16\ntraffic-policy tp\n match acl 3000 permit\napply traffic-policy tp\n",
+            "ip route-static 10.2.0.0 16 172.16.0.6\n",
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
+    }
+
+    #[test]
+    fn pbr_non_matching_acl_ignored() {
+        let (topo, models, fibs, mut arena) = line3([
+            "ip route-static 10.2.0.0 16 172.16.0.2\nacl 3000\n rule 5 permit ip source 0.0.0.0 0 destination 99.0.0.0 8\ntraffic-policy tp\n match acl 3000 deny\napply traffic-policy tp\n",
+            "ip route-static 10.2.0.0 16 172.16.0.6\n",
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
+    }
+
+    #[test]
+    fn pbr_bad_redirect_drops() {
+        let (topo, models, fibs, mut arena) = line3([
+            "acl 3000\n rule 5 permit ip source 0.0.0.0 0 destination 10.2.0.0 16\ntraffic-policy tp\n match acl 3000 redirect next-hop 9.9.9.9\napply traffic-policy tp\n",
+            "",
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::DroppedBadRedirect(RouterId(0)));
+    }
+
+    #[test]
+    fn deny_acl_entry_skips_rule() {
+        // The ACL's first entry denies the flow's subnet: the PBR rule does
+        // not classify the flow, so it sails through on the FIB.
+        let (topo, models, fibs, mut arena) = line3([
+            "ip route-static 10.2.0.0 16 172.16.0.2\nacl 3000\n rule 4 deny ip source 0.0.0.0 0 destination 10.2.0.0 16\n rule 5 permit ip source 0.0.0.0 0 destination 99.0.0.0 8\ntraffic-policy tp\n match acl 3000 deny\napply traffic-policy tp\n",
+            "ip route-static 10.2.0.0 16 172.16.0.6\n",
+            "",
+        ]);
+        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
+    }
+}

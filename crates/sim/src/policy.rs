@@ -1,0 +1,302 @@
+//! Route-policy evaluation.
+//!
+//! Semantics (vendor-style, first-match):
+//!
+//! - Nodes of a policy are evaluated in ascending `node` order.
+//! - A node matches when **all** of its `if-match ip-prefix` clauses are
+//!   satisfied; a clause is satisfied when the named prefix list has a
+//!   first-matching entry whose action is `permit`. An undefined prefix
+//!   list never satisfies a clause.
+//! - The first matching node decides: `permit` applies its actions,
+//!   `deny` rejects the route. If no node matches the route is rejected
+//!   (implicit deny).
+//! - A peer that references an **undefined** policy permits everything
+//!   unchanged (vendor behaviour; this is what makes the "missing routing
+//!   policy" misconfiguration class observable rather than a parse error).
+//!
+//! Every verdict carries the configuration lines that produced it, which
+//! the simulator folds into route derivations.
+
+use crate::route::Route;
+use acr_cfg::model::{ApplyAction, DeviceModel, MatchCond};
+use acr_cfg::{LineId, PlAction};
+use acr_net_types::{AsPath, Asn, RouterId};
+
+/// The outcome of running a route through a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyVerdict {
+    /// Route accepted; attributes possibly rewritten.
+    Permit {
+        route: Route,
+        /// True when an `as-path overwrite` fired — the export path must
+        /// then *not* additionally prepend the local AS.
+        overwrote_path: bool,
+        /// Lines that matched/applied (node header, if-match, prefix-list
+        /// entry, apply actions).
+        lines: Vec<LineId>,
+    },
+    /// Route rejected, with the lines responsible.
+    Deny { lines: Vec<LineId> },
+}
+
+/// Evaluates policy `name` of `model` (owned by `router`, local AS
+/// `own_asn`) against `route`.
+pub fn eval_policy(
+    model: &DeviceModel,
+    router: RouterId,
+    own_asn: Asn,
+    name: &str,
+    route: &Route,
+) -> PolicyVerdict {
+    let Some(nodes) = model.route_policies.get(name) else {
+        // Undefined policy: permit everything unchanged.
+        return PolicyVerdict::Permit {
+            route: route.clone(),
+            overwrote_path: false,
+            lines: Vec::new(),
+        };
+    };
+    for node in nodes {
+        let mut lines = vec![LineId::new(router, node.line)];
+        let mut all_match = true;
+        for (cond, clause_line) in &node.matches {
+            match cond {
+                MatchCond::PrefixList(list) => match model.eval_prefix_list(list, route.prefix) {
+                    Some((true, entry_line)) => {
+                        lines.push(LineId::new(router, *clause_line));
+                        lines.push(LineId::new(router, entry_line));
+                    }
+                    Some((false, _)) | None => {
+                        all_match = false;
+                        break;
+                    }
+                },
+                MatchCond::Community(c) => {
+                    if route.communities.contains(c) {
+                        lines.push(LineId::new(router, *clause_line));
+                    } else {
+                        all_match = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !all_match {
+            continue;
+        }
+        if node.action == PlAction::Deny {
+            return PolicyVerdict::Deny { lines };
+        }
+        // Permit: apply actions in order.
+        let mut out = route.clone();
+        let mut overwrote = false;
+        for (action, apply_line) in &node.applies {
+            lines.push(LineId::new(router, *apply_line));
+            match action {
+                ApplyAction::AsPathOverwrite(asn) => {
+                    out.as_path = AsPath::overwrite(asn.unwrap_or(own_asn));
+                    overwrote = true;
+                }
+                ApplyAction::AsPathPrepend { asn, count } => {
+                    out.as_path = out.as_path.prepend_n(*asn, *count as usize);
+                }
+                ApplyAction::LocalPref(v) => out.local_pref = *v,
+                ApplyAction::Med(v) => out.med = *v,
+                ApplyAction::Community(c) => {
+                    if !out.communities.contains(c) {
+                        out.communities.push(*c);
+                    }
+                }
+            }
+        }
+        return PolicyVerdict::Permit { route: out, overwrote_path: overwrote, lines };
+    }
+    // Implicit deny: attribute it to the policy's first node header so the
+    // rejection is visible to coverage at all.
+    let lines = nodes.first().map(|n| vec![LineId::new(router, n.line)]).unwrap_or_default();
+    PolicyVerdict::Deny { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deriv::DerivId;
+    use acr_cfg::parse::parse_device;
+    use acr_net_types::Prefix;
+
+    fn route(p: &str) -> Route {
+        Route::local(p.parse::<Prefix>().unwrap(), DerivId(0))
+    }
+
+    fn model(text: &str) -> DeviceModel {
+        DeviceModel::from_config(&parse_device("X", text).unwrap())
+    }
+
+    const R: RouterId = RouterId(0);
+    const AS: Asn = Asn(65001);
+
+    #[test]
+    fn undefined_policy_permits_unchanged() {
+        let m = model("bgp 65001\n");
+        let r = route("10.0.0.0/16");
+        match eval_policy(&m, R, AS, "ghost", &r) {
+            PolicyVerdict::Permit { route, overwrote_path, lines } => {
+                assert_eq!(route, r);
+                assert!(!overwrote_path);
+                assert!(lines.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overwrite_rewrites_path_to_own_as() {
+        let m = model(
+            "route-policy P permit node 10\n if-match ip-prefix all\n apply as-path overwrite\nip prefix-list all index 10 permit 0.0.0.0 0\n",
+        );
+        let mut r = route("10.0.0.0/16");
+        r.as_path = AsPath::from_hops([Asn(1), Asn(2), Asn(3)]);
+        match eval_policy(&m, R, AS, "P", &r) {
+            PolicyVerdict::Permit { route, overwrote_path, lines } => {
+                assert_eq!(route.as_path, AsPath::overwrite(AS));
+                assert!(overwrote_path);
+                // node header (1), if-match (2), pl entry (4), apply (3)
+                let got: Vec<u32> = lines.iter().map(|l| l.line).collect();
+                assert_eq!(got, vec![1, 2, 4, 3]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_overwrite_asn_wins() {
+        let m = model(
+            "route-policy P permit node 10\n apply as-path overwrite 64999\n",
+        );
+        match eval_policy(&m, R, AS, "P", &route("10.0.0.0/16")) {
+            PolicyVerdict::Permit { route, .. } => {
+                assert_eq!(route.as_path, AsPath::overwrite(Asn(64999)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_matching_node_decides() {
+        let m = model(
+            "route-policy P deny node 5\n if-match ip-prefix ten\nroute-policy P permit node 10\n apply local-preference 200\nip prefix-list ten index 10 permit 10.0.0.0 8 le 32\n",
+        );
+        // 10.x routes hit the deny node.
+        match eval_policy(&m, R, AS, "P", &route("10.1.0.0/16")) {
+            PolicyVerdict::Deny { lines } => {
+                assert!(lines.contains(&LineId::new(R, 1)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Others fall to the catch-all permit node.
+        match eval_policy(&m, R, AS, "P", &route("20.0.0.0/16")) {
+            PolicyVerdict::Permit { route, .. } => assert_eq!(route.local_pref, 200),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_matching_node_is_implicit_deny() {
+        let m = model(
+            "route-policy P permit node 10\n if-match ip-prefix ten\nip prefix-list ten index 10 permit 10.0.0.0 8 le 32\n",
+        );
+        match eval_policy(&m, R, AS, "P", &route("20.0.0.0/16")) {
+            PolicyVerdict::Deny { lines } => {
+                assert_eq!(lines, vec![LineId::new(R, 1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deny_entry_in_prefix_list_blocks_clause() {
+        let m = model(
+            "route-policy P permit node 10\n if-match ip-prefix l\nip prefix-list l index 5 deny 10.1.0.0 16\nip prefix-list l index 10 permit 10.0.0.0 8 le 32\n",
+        );
+        // 10.1/16 hits the deny entry first -> clause false -> implicit deny.
+        assert!(matches!(
+            eval_policy(&m, R, AS, "P", &route("10.1.0.0/16")),
+            PolicyVerdict::Deny { .. }
+        ));
+        // 10.2/16 skips to the permit entry.
+        assert!(matches!(
+            eval_policy(&m, R, AS, "P", &route("10.2.0.0/16")),
+            PolicyVerdict::Permit { .. }
+        ));
+    }
+
+    #[test]
+    fn undefined_prefix_list_never_matches() {
+        let m = model("route-policy P permit node 10\n if-match ip-prefix missing\n");
+        assert!(matches!(
+            eval_policy(&m, R, AS, "P", &route("10.0.0.0/16")),
+            PolicyVerdict::Deny { .. }
+        ));
+    }
+
+    #[test]
+    fn prepend_med_community_apply() {
+        let m = model(
+            "route-policy P permit node 10\n apply as-path prepend 65001 2\n apply med 30\n apply community 65001:7\n",
+        );
+        match eval_policy(&m, R, AS, "P", &route("10.0.0.0/16")) {
+            PolicyVerdict::Permit { route, overwrote_path, .. } => {
+                assert_eq!(route.as_path.len(), 2);
+                assert_eq!(route.med, 30);
+                assert_eq!(route.communities.len(), 1);
+                assert!(!overwrote_path, "prepend is not an overwrite");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn community_match_requires_the_community() {
+        let m = model(
+            "route-policy P permit node 10\n if-match community 65001:100\n apply local-preference 200\n",
+        );
+        // Route without the community: implicit deny.
+        assert!(matches!(
+            eval_policy(&m, R, AS, "P", &route("10.0.0.0/16")),
+            PolicyVerdict::Deny { .. }
+        ));
+        // Route carrying it: the node fires.
+        let mut r = route("10.0.0.0/16");
+        r.communities.push("65001:100".parse().unwrap());
+        match eval_policy(&m, R, AS, "P", &r) {
+            PolicyVerdict::Permit { route, lines, .. } => {
+                assert_eq!(route.local_pref, 200);
+                assert!(lines.contains(&LineId::new(R, 2)), "{lines:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_clauses_are_conjunctive() {
+        let m = model(
+            "route-policy P permit node 10\n if-match ip-prefix ten\n if-match community 65001:7\nip prefix-list ten index 10 permit 10.0.0.0 8 le 32\n",
+        );
+        let mut r = route("10.1.0.0/16");
+        assert!(matches!(
+            eval_policy(&m, R, AS, "P", &r),
+            PolicyVerdict::Deny { .. }
+        ), "prefix matches but community missing");
+        r.communities.push("65001:7".parse().unwrap());
+        assert!(matches!(
+            eval_policy(&m, R, AS, "P", &r),
+            PolicyVerdict::Permit { .. }
+        ));
+        let mut wrong = route("20.0.0.0/16");
+        wrong.communities.push("65001:7".parse().unwrap());
+        assert!(matches!(
+            eval_policy(&m, R, AS, "P", &wrong),
+            PolicyVerdict::Deny { .. }
+        ), "community matches but prefix does not");
+    }
+}

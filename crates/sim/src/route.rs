@@ -1,0 +1,187 @@
+//! BGP routes and best-path selection.
+
+use crate::deriv::DerivId;
+use acr_net_types::{AsPath, Community, Ipv4Addr, Prefix, RouterId};
+use std::cmp::Ordering;
+
+/// Default LOCAL_PREF when no policy sets one.
+pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+/// A route as held in a router's Loc-RIB (or carried in an announcement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    pub prefix: Prefix,
+    pub as_path: AsPath,
+    pub local_pref: u32,
+    pub med: u32,
+    pub communities: Vec<Community>,
+    /// Address packets for this route are forwarded to; `0.0.0.0` for
+    /// locally originated routes (delivered / resolved locally).
+    pub next_hop: Ipv4Addr,
+    /// The BGP neighbor the route was learned from; `None` if local.
+    pub learned_from: Option<RouterId>,
+    /// Derivation node in the arena (provenance).
+    pub deriv: DerivId,
+}
+
+impl Route {
+    /// A locally originated route (empty path, no next hop).
+    pub fn local(prefix: Prefix, deriv: DerivId) -> Self {
+        Route {
+            prefix,
+            as_path: AsPath::empty(),
+            local_pref: DEFAULT_LOCAL_PREF,
+            med: 0,
+            communities: Vec::new(),
+            next_hop: Ipv4Addr::UNSPECIFIED,
+            learned_from: None,
+            deriv,
+        }
+    }
+
+    /// The semantic key used for convergence detection — everything that
+    /// influences routing behaviour, *excluding* the derivation id (which
+    /// is provenance metadata, not protocol state).
+    pub fn key(&self) -> RouteKey {
+        RouteKey {
+            prefix: self.prefix,
+            as_path: self.as_path.clone(),
+            local_pref: self.local_pref,
+            med: self.med,
+            next_hop: self.next_hop,
+            learned_from: self.learned_from,
+        }
+    }
+
+    /// BGP decision process: `Ordering::Greater` means `self` is preferred
+    /// over `other`.
+    ///
+    /// Order of comparison (standard, restricted to modelled attributes):
+    /// 1. higher LOCAL_PREF,
+    /// 2. shorter AS_PATH,
+    /// 3. lower MED,
+    /// 4. local routes over learned routes,
+    /// 5. lower neighbor router id (deterministic tiebreak).
+    pub fn prefer(&self, other: &Route) -> Ordering {
+        self.local_pref
+            .cmp(&other.local_pref)
+            .then_with(|| other.as_path.len().cmp(&self.as_path.len()))
+            .then_with(|| other.med.cmp(&self.med))
+            .then_with(|| {
+                // Local (None) beats learned (Some); among learned, lower
+                // router id wins, hence reversed comparison.
+                match (self.learned_from, other.learned_from) {
+                    (None, None) => Ordering::Equal,
+                    (None, Some(_)) => Ordering::Greater,
+                    (Some(_), None) => Ordering::Less,
+                    (Some(a), Some(b)) => b.cmp(&a),
+                }
+            })
+    }
+}
+
+/// The protocol-visible part of a route, used for state hashing and
+/// fixed-point detection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteKey {
+    pub prefix: Prefix,
+    pub as_path: AsPath,
+    pub local_pref: u32,
+    pub med: u32,
+    pub next_hop: Ipv4Addr,
+    pub learned_from: Option<RouterId>,
+}
+
+/// Picks the best route among candidates (deterministic).
+pub fn select_best(candidates: impl IntoIterator<Item = Route>) -> Option<Route> {
+    candidates
+        .into_iter()
+        .max_by(|a, b| a.prefer(b).then_with(|| b.next_hop.cmp(&a.next_hop)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_net_types::Asn;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn base() -> Route {
+        Route {
+            prefix: p("10.0.0.0/16"),
+            as_path: AsPath::from_hops([Asn(1), Asn(2)]),
+            local_pref: 100,
+            med: 0,
+            communities: vec![],
+            next_hop: Ipv4Addr::new(172, 16, 0, 1),
+            learned_from: Some(RouterId(1)),
+            deriv: DerivId(0),
+        }
+    }
+
+    #[test]
+    fn higher_local_pref_wins() {
+        let a = Route { local_pref: 200, ..base() };
+        let b = Route { as_path: AsPath::from_hops([Asn(9)]), ..base() };
+        assert_eq!(a.prefer(&b), Ordering::Greater);
+        assert_eq!(b.prefer(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn shorter_path_wins_at_equal_pref() {
+        let short = Route { as_path: AsPath::from_hops([Asn(9)]), ..base() };
+        let long = base();
+        assert_eq!(short.prefer(&long), Ordering::Greater);
+        // This asymmetry is the Figure 2 mechanism: an overwritten
+        // (length-1) path beats the honest longer path.
+        let overwritten = Route { as_path: AsPath::overwrite(Asn(7)), ..base() };
+        assert_eq!(overwritten.prefer(&long), Ordering::Greater);
+    }
+
+    #[test]
+    fn lower_med_wins() {
+        let lo = base();
+        let hi = Route { med: 50, ..base() };
+        assert_eq!(lo.prefer(&hi), Ordering::Greater);
+    }
+
+    #[test]
+    fn local_beats_learned() {
+        let local = Route {
+            as_path: AsPath::from_hops([Asn(1), Asn(2)]),
+            learned_from: None,
+            ..base()
+        };
+        assert_eq!(local.prefer(&base()), Ordering::Greater);
+    }
+
+    #[test]
+    fn neighbor_id_tiebreak() {
+        let from1 = base();
+        let from2 = Route { learned_from: Some(RouterId(2)), ..base() };
+        assert_eq!(from1.prefer(&from2), Ordering::Greater);
+    }
+
+    #[test]
+    fn select_best_is_deterministic_and_max() {
+        let routes = vec![
+            base(),
+            Route { local_pref: 200, ..base() },
+            Route { as_path: AsPath::from_hops([Asn(9)]), ..base() },
+        ];
+        let best = select_best(routes.clone()).unwrap();
+        assert_eq!(best.local_pref, 200);
+        let best2 = select_best(routes.into_iter().rev()).unwrap();
+        assert_eq!(best.key(), best2.key(), "order of candidates must not matter");
+        assert!(select_best(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn key_ignores_deriv() {
+        let a = base();
+        let b = Route { deriv: DerivId(99), ..base() };
+        assert_eq!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,404 @@
+//! The top-level simulator: configs + topology → routes, FIBs, forwarding.
+
+use crate::bgp::{run_prefix, Origination, PrefixOutcome, RouterCtx};
+use crate::deriv::{DerivArena, DerivId, DerivKind};
+use crate::fib::{base_fib, Fib, FibAction, FibEntry, FibSource};
+use crate::forward::{walk, ForwardResult};
+use crate::session::{establish, Session, SessionDiag};
+use acr_cfg::model::DeviceModel;
+use acr_cfg::{LineId, NetworkConfig, Proto};
+use acr_net_types::{Flow, Prefix, RouterId};
+use acr_topo::Topology;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A compiled simulation context: semantic models and established sessions
+/// for one (topology, configuration) pair. Cheap to query, rebuilt after
+/// every candidate patch.
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    models: Vec<DeviceModel>,
+    sessions: Vec<Session>,
+    session_diags: Vec<SessionDiag>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Compiles `cfg` against `topo`. Routers present in the topology but
+    /// absent from the configuration get an empty model (they forward
+    /// nothing and peer with nobody).
+    pub fn new(topo: &'a Topology, cfg: &NetworkConfig) -> Self {
+        let models: Vec<DeviceModel> = topo
+            .routers()
+            .iter()
+            .map(|r| match cfg.device(r.id) {
+                Some(dc) => DeviceModel::from_config(dc),
+                None => DeviceModel { name: r.name.clone(), ..DeviceModel::default() },
+            })
+            .collect();
+        let (sessions, session_diags) = establish(topo, &models);
+        Simulator { topo, models, sessions, session_diags }
+    }
+
+    /// The semantic models, indexed by `RouterId::index()`.
+    pub fn models(&self) -> &[DeviceModel] {
+        &self.models
+    }
+
+    /// Established sessions.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Why configured peers are down.
+    pub fn session_diags(&self) -> &[SessionDiag] {
+        &self.session_diags
+    }
+
+    /// The topology this simulator runs over.
+    pub fn topo(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// Per-router origination sources for `prefix`.
+    fn originations_for(&self, prefix: Prefix) -> Vec<Origination> {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let router = RouterId(i as u32);
+                let mut o = Origination::default();
+                if m.asn.is_none() {
+                    return o; // no BGP process, no originations
+                }
+                let bgp_line = m.asn.map(|(_, l)| l);
+                for (p, line) in &m.networks {
+                    if *p == prefix {
+                        let mut lines = vec![LineId::new(router, *line)];
+                        lines.extend(bgp_line.map(|l| LineId::new(router, l)));
+                        o.sources.push((DerivKind::OriginNetwork, lines));
+                    }
+                }
+                for (proto, redist_line) in &m.redistribute {
+                    match proto {
+                        Proto::Static => {
+                            for sr in &m.static_routes {
+                                if sr.prefix == prefix {
+                                    o.sources.push((
+                                        DerivKind::OriginStatic,
+                                        vec![
+                                            LineId::new(router, *redist_line),
+                                            LineId::new(router, sr.line),
+                                        ],
+                                    ));
+                                }
+                            }
+                        }
+                        Proto::Connected => {
+                            if self.topo.router(router).attached.contains(&prefix) {
+                                o.sources.push((
+                                    DerivKind::OriginConnected,
+                                    vec![LineId::new(router, *redist_line)],
+                                ));
+                            }
+                        }
+                    }
+                }
+                o
+            })
+            .collect()
+    }
+
+    /// All prefixes any router originates into BGP — the per-prefix
+    /// simulation universe.
+    pub fn universe(&self) -> BTreeSet<Prefix> {
+        let mut out = BTreeSet::new();
+        for (i, m) in self.models.iter().enumerate() {
+            if m.asn.is_none() {
+                continue;
+            }
+            let router = RouterId(i as u32);
+            for (p, _) in &m.networks {
+                out.insert(*p);
+            }
+            for (proto, _) in &m.redistribute {
+                match proto {
+                    Proto::Static => out.extend(m.static_routes.iter().map(|s| s.prefix)),
+                    Proto::Connected => {
+                        out.extend(self.topo.router(router).attached.iter().copied())
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs every prefix in the universe.
+    pub fn run(&self) -> SimOutcome {
+        let universe = self.universe();
+        self.run_prefixes(&universe)
+    }
+
+    /// Runs exactly `prefixes` into a fresh arena.
+    pub fn run_prefixes(&self, prefixes: &BTreeSet<Prefix>) -> SimOutcome {
+        let mut arena = DerivArena::new();
+        let outcomes = self.run_prefixes_into(prefixes, &mut arena);
+        let fibs = self.fibs_for(&outcomes, &mut arena);
+        SimOutcome { outcomes, fibs, arena, session_diags: self.session_diags.clone() }
+    }
+
+    /// Runs exactly `prefixes`, interning derivations into a caller-owned
+    /// arena. Because the arena is content-addressed and append-only,
+    /// cached [`PrefixOutcome`]s from earlier runs stay valid — this is
+    /// what the DNA-style incremental verifier builds on.
+    pub fn run_prefixes_into(
+        &self,
+        prefixes: &BTreeSet<Prefix>,
+        arena: &mut DerivArena,
+    ) -> BTreeMap<Prefix, PrefixOutcome> {
+        let routers: Vec<RouterCtx<'_>> = self
+            .topo
+            .routers()
+            .iter()
+            .map(|r| RouterCtx {
+                id: r.id,
+                model: &self.models[r.id.index()],
+                asn: self.models[r.id.index()].asn.map(|(a, _)| a),
+            })
+            .collect();
+        let mut outcomes = BTreeMap::new();
+        for prefix in prefixes {
+            let orig = self.originations_for(*prefix);
+            let outcome = run_prefix(*prefix, &routers, &self.sessions, &orig, arena);
+            outcomes.insert(*prefix, outcome);
+        }
+        outcomes
+    }
+
+    /// Assembles per-router FIBs from connected/static state plus the
+    /// given per-prefix outcomes (flapping prefixes install nothing).
+    pub fn fibs_for(
+        &self,
+        outcomes: &BTreeMap<Prefix, PrefixOutcome>,
+        arena: &mut DerivArena,
+    ) -> Vec<Fib> {
+        let mut fibs: Vec<Fib> = self
+            .topo
+            .routers()
+            .iter()
+            .map(|r| base_fib(self.topo, r.id, &self.models[r.id.index()], arena))
+            .collect();
+        for (prefix, outcome) in outcomes {
+            if let PrefixOutcome::Converged { best, .. } = outcome {
+                for (i, route) in best.iter().enumerate() {
+                    let Some(route) = route else { continue };
+                    let Some(from) = route.learned_from else {
+                        continue; // locally originated: base FIB already
+                                  // handles local delivery or statics
+                    };
+                    fibs[i].install(
+                        *prefix,
+                        FibEntry {
+                            action: FibAction::Forward { router: from, addr: route.next_hop },
+                            source: FibSource::Bgp,
+                            deriv: route.deriv,
+                        },
+                    );
+                }
+            }
+        }
+        fibs
+    }
+
+    /// Convenience: run everything and walk one flow.
+    pub fn forward(&self, outcome: &mut SimOutcome, start: RouterId, flow: &Flow) -> ForwardResult {
+        walk(self.topo, &self.models, &outcome.fibs, start, flow, &mut outcome.arena)
+    }
+}
+
+/// The result of a simulation run.
+pub struct SimOutcome {
+    /// Per-prefix control-plane outcome.
+    pub outcomes: BTreeMap<Prefix, PrefixOutcome>,
+    /// Per-router FIBs (indexed by `RouterId::index()`).
+    pub fibs: Vec<Fib>,
+    /// Provenance arena for every derivation in this run.
+    pub arena: DerivArena,
+    /// Session diagnostics (configured peers that are down).
+    pub session_diags: Vec<SessionDiag>,
+}
+
+impl SimOutcome {
+    /// Prefixes that failed to converge.
+    pub fn flapping(&self) -> Vec<Prefix> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| !o.is_converged())
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Derivation roots (for coverage) of one prefix's outcome.
+    pub fn prefix_deriv_roots(&self, prefix: Prefix) -> Vec<DerivId> {
+        self.outcomes.get(&prefix).map(|o| o.deriv_roots()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::ForwardOutcome;
+    use acr_cfg::parse::parse_device;
+    use acr_net_types::Ipv4Addr;
+    use acr_topo::{gen, Role, TopologyBuilder};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn netcfg(topo: &Topology, cfgs: &[&str]) -> NetworkConfig {
+        let mut net = NetworkConfig::new();
+        for (r, c) in topo.routers().iter().zip(cfgs) {
+            net.insert(r.id, parse_device(r.name.clone(), c).unwrap());
+        }
+        net
+    }
+
+    /// Full three-node line with network origination at both ends.
+    fn line3_cfg() -> (Topology, NetworkConfig) {
+        let topo = gen::line(3);
+        let cfgs = [
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n",
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n",
+            "bgp 65002\n network 10.2.0.0 16\n peer 172.16.0.5 as-number 65001\n",
+        ];
+        let cfg = netcfg(&topo, &cfgs);
+        (topo, cfg)
+    }
+
+    #[test]
+    fn universe_collects_originations() {
+        let (topo, cfg) = line3_cfg();
+        let sim = Simulator::new(&topo, &cfg);
+        let u = sim.universe();
+        assert_eq!(u, [p("10.0.0.0/16"), p("10.2.0.0/16")].into_iter().collect());
+    }
+
+    #[test]
+    fn end_to_end_reachability() {
+        let (topo, cfg) = line3_cfg();
+        let sim = Simulator::new(&topo, &cfg);
+        let mut out = sim.run();
+        assert!(out.flapping().is_empty());
+        // R0 -> 10.2/16 attached at R2.
+        let flow = Flow::ip(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 2, 0, 1));
+        let res = sim.forward(&mut out, RouterId(0), &flow);
+        assert_eq!(res.outcome, ForwardOutcome::Delivered(RouterId(2)));
+        assert_eq!(res.path, vec![RouterId(0), RouterId(1), RouterId(2)]);
+        // And the reverse direction.
+        let flow = Flow::ip(Ipv4Addr::new(10, 2, 0, 1), Ipv4Addr::new(10, 0, 0, 1));
+        let res = sim.forward(&mut out, RouterId(2), &flow);
+        assert_eq!(res.outcome, ForwardOutcome::Delivered(RouterId(0)));
+    }
+
+    #[test]
+    fn coverage_of_forward_reaches_origin_lines() {
+        let (topo, cfg) = line3_cfg();
+        let sim = Simulator::new(&topo, &cfg);
+        let mut out = sim.run();
+        let flow = Flow::ip(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 2, 0, 1));
+        let res = sim.forward(&mut out, RouterId(0), &flow);
+        let lines = out.arena.closure_lines(res.derivs);
+        // R2's `network 10.2.0.0 16` is line 2 of its config.
+        assert!(lines.contains(&LineId::new(RouterId(2), 2)), "{lines:?}");
+        // R0's peer line (3) — its session carried the route.
+        assert!(lines.contains(&LineId::new(RouterId(0), 3)), "{lines:?}");
+    }
+
+    #[test]
+    fn missing_redistribution_blackholes() {
+        // R2 reaches 20.0/16 behind R0 only if R0 redistributes its static.
+        let topo = gen::line(3);
+        let with = [
+            "bgp 65000\n import-route static\n peer 172.16.0.2 as-number 65001\nip route-static 20.0.0.0 16 NULL0\n",
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n",
+            "bgp 65002\n peer 172.16.0.5 as-number 65001\n",
+        ];
+        let without = [
+            "bgp 65000\n peer 172.16.0.2 as-number 65001\nip route-static 20.0.0.0 16 NULL0\n",
+            with[1],
+            with[2],
+        ];
+        let dst = Ipv4Addr::new(20, 0, 0, 1);
+        // Attach 20.0/16 to R0 so delivery succeeds there.
+        let mut b = TopologyBuilder::new();
+        let ids: Vec<RouterId> = (0..3).map(|i| b.router(&format!("R{i}"), Role::Backbone)).collect();
+        b.link(ids[0], ids[1]);
+        b.link(ids[1], ids[2]);
+        b.attach(ids[0], p("20.0.0.0/16"));
+        let topo2 = b.build();
+        let _ = topo;
+
+        let cfg_ok = netcfg(&topo2, &with);
+        let sim = Simulator::new(&topo2, &cfg_ok);
+        let mut out = sim.run();
+        let res = sim.forward(&mut out, RouterId(2), &Flow::ip(Ipv4Addr::new(9, 9, 9, 9), dst));
+        assert_eq!(res.outcome, ForwardOutcome::Delivered(RouterId(0)));
+
+        let cfg_bad = netcfg(&topo2, &without);
+        let sim = Simulator::new(&topo2, &cfg_bad);
+        let mut out = sim.run();
+        let res = sim.forward(&mut out, RouterId(2), &Flow::ip(Ipv4Addr::new(9, 9, 9, 9), dst));
+        assert_eq!(res.outcome, ForwardOutcome::NoRoute(RouterId(2)));
+    }
+
+    #[test]
+    fn run_prefixes_subset_matches_full_run() {
+        let (topo, cfg) = line3_cfg();
+        let sim = Simulator::new(&topo, &cfg);
+        let full = sim.run();
+        let one: BTreeSet<Prefix> = [p("10.2.0.0/16")].into_iter().collect();
+        let partial = sim.run_prefixes(&one);
+        assert_eq!(partial.outcomes.len(), 1);
+        // The subset result for the shared prefix agrees with the full run.
+        let a = &full.outcomes[&p("10.2.0.0/16")];
+        let b = &partial.outcomes[&p("10.2.0.0/16")];
+        match (a, b) {
+            (
+                PrefixOutcome::Converged { best: ba, .. },
+                PrefixOutcome::Converged { best: bb, .. },
+            ) => {
+                let ka: Vec<_> = ba.iter().map(|r| r.as_ref().map(|r| r.key())).collect();
+                let kb: Vec<_> = bb.iter().map(|r| r.as_ref().map(|r| r.key())).collect();
+                assert_eq!(ka, kb);
+            }
+            _ => panic!("both must converge"),
+        }
+    }
+
+    #[test]
+    fn unconfigured_router_is_inert() {
+        let topo = gen::line(3);
+        let mut cfg = NetworkConfig::new();
+        // Only R0 configured; R1/R2 empty.
+        cfg.insert(
+            RouterId(0),
+            parse_device("R0", "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n").unwrap(),
+        );
+        let sim = Simulator::new(&topo, &cfg);
+        assert!(sim.sessions().is_empty());
+        let out = sim.run();
+        assert_eq!(out.outcomes.len(), 1);
+        assert!(out.outcomes[&p("10.0.0.0/16")].is_converged());
+    }
+
+    #[test]
+    fn session_diags_surface_in_outcome() {
+        let topo = gen::line(2);
+        let cfg = netcfg(
+            &topo,
+            &["bgp 65000\n peer 172.16.0.2 as-number 64999\n", "bgp 65001\n peer 172.16.0.1 as-number 65000\n"],
+        );
+        let sim = Simulator::new(&topo, &cfg);
+        let out = sim.run();
+        assert!(!out.session_diags.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! A compact CNF DPLL engine with unit propagation.
+//!
+//! Literals are encoded as `2*var` (positive) / `2*var + 1` (negative);
+//! a clause is a `Vec<u32>` of literals. The engine is deliberately plain
+//! (no watched literals, no clause learning): ACR's grounded problems are
+//! tens to a few hundred booleans, where simplicity beats machinery.
+
+/// A literal: variable index with sign.
+pub type Lit = u32;
+
+/// Positive literal of variable `v`.
+pub fn pos(v: u32) -> Lit {
+    v * 2
+}
+
+/// Negative literal of variable `v`.
+pub fn neg(v: u32) -> Lit {
+    v * 2 + 1
+}
+
+/// Variable of a literal.
+pub fn var_of(l: Lit) -> u32 {
+    l / 2
+}
+
+/// Whether a literal is positive.
+pub fn is_pos(l: Lit) -> bool {
+    l % 2 == 0
+}
+
+/// Negates a literal.
+pub fn negate(l: Lit) -> Lit {
+    l ^ 1
+}
+
+/// A CNF instance.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    pub num_vars: u32,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Allocates a fresh variable.
+    pub fn fresh(&mut self) -> u32 {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a clause; an empty clause makes the instance trivially unsat.
+    pub fn add(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+}
+
+/// Decision statistics of one solve call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpllStats {
+    pub decisions: u64,
+    pub propagations: u64,
+}
+
+/// Solves the CNF; returns a full assignment (indexed by variable) or
+/// `None` if unsatisfiable. `assumptions` are literals forced true.
+pub fn solve(cnf: &Cnf, assumptions: &[Lit], stats: &mut DpllStats) -> Option<Vec<bool>> {
+    let n = cnf.num_vars as usize;
+    let mut assign: Vec<Option<bool>> = vec![None; n];
+    let mut trail: Vec<u32> = Vec::new();
+
+    // Apply assumptions as the root level.
+    for &lit in assumptions {
+        match assign[var_of(lit) as usize] {
+            Some(v) if v != is_pos(lit) => return None,
+            Some(_) => {}
+            None => {
+                assign[var_of(lit) as usize] = Some(is_pos(lit));
+                trail.push(var_of(lit));
+            }
+        }
+    }
+    if !propagate(cnf, &mut assign, &mut trail, stats) {
+        return None;
+    }
+    if search(cnf, &mut assign, stats) {
+        Some(assign.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Unit propagation to fixpoint; false on conflict.
+fn propagate(
+    cnf: &Cnf,
+    assign: &mut [Option<bool>],
+    trail: &mut Vec<u32>,
+    stats: &mut DpllStats,
+) -> bool {
+    loop {
+        let mut changed = false;
+        for clause in &cnf.clauses {
+            let mut satisfied = false;
+            let mut unassigned: Option<Lit> = None;
+            let mut unassigned_count = 0;
+            for &lit in clause {
+                match assign[var_of(lit) as usize] {
+                    Some(v) if v == is_pos(lit) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned = Some(lit);
+                        unassigned_count += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => return false, // conflict
+                1 => {
+                    let lit = unassigned.unwrap();
+                    assign[var_of(lit) as usize] = Some(is_pos(lit));
+                    trail.push(var_of(lit));
+                    stats.propagations += 1;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+/// Recursive DPLL search over the remaining unassigned variables.
+fn search(cnf: &Cnf, assign: &mut Vec<Option<bool>>, stats: &mut DpllStats) -> bool {
+    let Some(v) = assign.iter().position(|a| a.is_none()) else {
+        // Full assignment: verify (propagation guarantees no conflict, but
+        // clauses with all-unassigned vars decided here need a final check).
+        return cnf.clauses.iter().all(|c| {
+            c.iter().any(|&l| assign[var_of(l) as usize] == Some(is_pos(l)))
+        });
+    };
+    // Try `false` first: models are minimal-ish (unconstrained set
+    // memberships stay out, unconstrained booleans stay off), which is
+    // what repair synthesis wants from an under-constrained hole.
+    for value in [false, true] {
+        stats.decisions += 1;
+        let mut local = assign.clone();
+        let mut trail = Vec::new();
+        local[v] = Some(value);
+        trail.push(v as u32);
+        if propagate(cnf, &mut local, &mut trail, stats) && search(cnf, &mut local, stats) {
+            *assign = local;
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_simple(cnf: &Cnf) -> Option<Vec<bool>> {
+        solve(cnf, &[], &mut DpllStats::default())
+    }
+
+    #[test]
+    fn literal_encoding() {
+        assert_eq!(var_of(pos(3)), 3);
+        assert_eq!(var_of(neg(3)), 3);
+        assert!(is_pos(pos(3)));
+        assert!(!is_pos(neg(3)));
+        assert_eq!(negate(pos(3)), neg(3));
+        assert_eq!(negate(neg(3)), pos(3));
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut cnf = Cnf::default();
+        let a = cnf.fresh();
+        cnf.add(vec![pos(a)]);
+        assert_eq!(solve_simple(&cnf), Some(vec![true]));
+        cnf.add(vec![neg(a)]);
+        assert_eq!(solve_simple(&cnf), None);
+    }
+
+    #[test]
+    fn propagation_chains() {
+        // a, a->b, b->c  ⊢  c
+        let mut cnf = Cnf::default();
+        let (a, b, c) = (cnf.fresh(), cnf.fresh(), cnf.fresh());
+        cnf.add(vec![pos(a)]);
+        cnf.add(vec![neg(a), pos(b)]);
+        cnf.add(vec![neg(b), pos(c)]);
+        let m = solve_simple(&cnf).unwrap();
+        assert!(m[a as usize] && m[b as usize] && m[c as usize]);
+    }
+
+    #[test]
+    fn requires_search() {
+        // (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b)  ⊢  a ∧ b
+        let mut cnf = Cnf::default();
+        let (a, b) = (cnf.fresh(), cnf.fresh());
+        cnf.add(vec![pos(a), pos(b)]);
+        cnf.add(vec![neg(a), pos(b)]);
+        cnf.add(vec![pos(a), neg(b)]);
+        let m = solve_simple(&cnf).unwrap();
+        assert!(m[a as usize] && m[b as usize]);
+    }
+
+    #[test]
+    fn unsat_pigeonhole_2_into_1() {
+        // Two pigeons, one hole: x0 (p1 in h), x1 (p2 in h), both must be
+        // placed, no sharing.
+        let mut cnf = Cnf::default();
+        let (a, b) = (cnf.fresh(), cnf.fresh());
+        cnf.add(vec![pos(a)]);
+        cnf.add(vec![pos(b)]);
+        cnf.add(vec![neg(a), neg(b)]);
+        assert_eq!(solve_simple(&cnf), None);
+    }
+
+    #[test]
+    fn assumptions_constrain() {
+        let mut cnf = Cnf::default();
+        let (a, b) = (cnf.fresh(), cnf.fresh());
+        cnf.add(vec![pos(a), pos(b)]);
+        let mut stats = DpllStats::default();
+        let m = solve(&cnf, &[neg(a)], &mut stats).unwrap();
+        assert!(!m[a as usize] && m[b as usize]);
+        // Contradictory assumptions.
+        assert!(solve(&cnf, &[pos(a), neg(a)], &mut stats).is_none());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::default();
+        cnf.fresh();
+        cnf.add(vec![]);
+        assert_eq!(solve_simple(&cnf), None);
+    }
+}

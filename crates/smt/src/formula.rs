@@ -1,0 +1,118 @@
+//! Formulas over typed finite-domain atoms.
+
+use acr_net_types::Prefix;
+use std::fmt;
+
+/// A typed solver variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An atomic proposition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// A boolean variable is true.
+    Bool(VarId),
+    /// An integer variable equals a value (which must be in its domain;
+    /// equality with an out-of-domain value is simply false).
+    IntEq(VarId, i64),
+    /// A prefix-set variable contains a prefix (must be in its universe;
+    /// membership of an out-of-universe prefix is simply false).
+    Member(VarId, Prefix),
+}
+
+/// A propositional formula over atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    True,
+    False,
+    Atom(Atom),
+    Not(Box<Formula>),
+    And(Vec<Formula>),
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Atom shorthand: boolean variable is true.
+    pub fn bool_true(v: VarId) -> Formula {
+        Formula::Atom(Atom::Bool(v))
+    }
+
+    /// Atom shorthand: integer equality.
+    pub fn int_eq(v: VarId, value: i64) -> Formula {
+        Formula::Atom(Atom::IntEq(v, value))
+    }
+
+    /// Atom shorthand: prefix membership.
+    pub fn member(v: VarId, p: Prefix) -> Formula {
+        Formula::Atom(Atom::Member(v, p))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `a → b` as `¬a ∨ b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![Formula::not(a), b])
+    }
+
+    /// Conjunction of an iterator (flattens nested `And`s).
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction of an iterator (flattens nested `Or`s).
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_flatten_and_simplify() {
+        let a = Formula::bool_true(VarId(0));
+        let b = Formula::bool_true(VarId(1));
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(Formula::and([a.clone()]), a);
+        let nested = Formula::and([Formula::and([a.clone(), b.clone()]), Formula::True]);
+        assert_eq!(nested, Formula::And(vec![a.clone(), b.clone()]));
+        let imp = Formula::implies(a.clone(), b.clone());
+        assert_eq!(imp, Formula::Or(vec![Formula::not(a), b]));
+    }
+}

@@ -1,0 +1,35 @@
+//! # acr-smt
+//!
+//! A small finite-domain constraint solver — the "SMT" of ACR's hybrid
+//! fix generation (§4.2: "we choose to solve for values that can make all
+//! previously failed tests pass, based on the SMT constraints collected by
+//! symbolic execution") and of the AED-style synthesis baseline.
+//!
+//! Three variable theories, all grounded to booleans:
+//!
+//! - **Bool** — one boolean,
+//! - **Int** over an explicit finite domain — one-hot encoded with an
+//!   exactly-one constraint,
+//! - **PrefixSet** over an explicit finite universe — one membership
+//!   boolean per universe prefix (the `var` of the paper's worked example,
+//!   where `P: 10.70/16 ∈ var ∧ 20.0/16 ∈ var` and `F: 10.0/16 ∈ var`
+//!   are solved as `P ∧ ¬F`).
+//!
+//! Formulas are arbitrary and/or/not trees over atoms, compiled to CNF by
+//! Tseitin transformation and decided by a DPLL engine with unit
+//! propagation. On top of plain SAT the solver offers **maximal
+//! satisfiable subsets** (grow-style), which is what the CEL-like MaxSAT
+//! localizer in `acr-localize` consumes (the complement of an MSS is a
+//! minimal-ish correction set).
+//!
+//! The solver is deliberately complete-but-small: ACR's local
+//! symbolization solves one variable at a time, so problem sizes stay in
+//! the tens of booleans; the AED baseline is *supposed* to show how badly
+//! whole-config encodings scale, and it does.
+
+pub mod dpll;
+pub mod formula;
+pub mod solver;
+
+pub use formula::{Atom, Formula, VarId};
+pub use solver::{Model, SolveStats, Solver};

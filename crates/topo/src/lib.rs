@@ -1,0 +1,16 @@
+//! # acr-topo
+//!
+//! The physical-network substrate: routers, point-to-point links with
+//! automatically allocated /30 subnets, and *attached* customer prefixes
+//! (the PoP / DCN subnets of the paper's Figure 2 that routers originate
+//! into BGP).
+//!
+//! The topology is pure graph + addressing; all protocol behaviour lives in
+//! `acr-cfg` (what is configured) and `acr-sim` (what the configuration
+//! does). Generators for the standard shapes used by the experiments
+//! (full mesh, ring, line, star, leaf–spine) live in [`gen`].
+
+pub mod gen;
+pub mod topology;
+
+pub use topology::{Endpoint, Link, LinkId, Role, RouterInfo, Topology, TopologyBuilder};

@@ -1,0 +1,333 @@
+//! Topology model: routers, links, addressing, attachments.
+
+use acr_net_types::{Ipv4Addr, Prefix, RouterId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The architectural role of a router — enterprise networks group devices
+/// into roles with near-identical configs (the paper's §3.2 observation (1)
+/// and §6 "plastic surgery" hypothesis hinge on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    Backbone,
+    PoP,
+    Dcn,
+    Spine,
+    Leaf,
+    Edge,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Backbone => "backbone",
+            Role::PoP => "pop",
+            Role::Dcn => "dcn",
+            Role::Spine => "spine",
+            Role::Leaf => "leaf",
+            Role::Edge => "edge",
+        })
+    }
+}
+
+/// Static information about one router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterInfo {
+    pub id: RouterId,
+    pub name: String,
+    pub role: Role,
+    /// Loopback used as the default router id in generated configs.
+    pub loopback: Ipv4Addr,
+    /// Customer prefixes attached to this router (PoP and DCN subnets in
+    /// Figure 2) — the prefixes it originates.
+    pub attached: Vec<Prefix>,
+}
+
+/// Identifier of a link (index into [`Topology::links`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// One side of a point-to-point link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    pub router: RouterId,
+    pub iface: String,
+    pub addr: Ipv4Addr,
+}
+
+/// A point-to-point link with its /30 subnet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    pub id: LinkId,
+    pub a: Endpoint,
+    pub b: Endpoint,
+    pub subnet: Prefix,
+}
+
+impl Link {
+    /// The endpoint on `router`, if the link touches it.
+    pub fn endpoint_of(&self, router: RouterId) -> Option<&Endpoint> {
+        if self.a.router == router {
+            Some(&self.a)
+        } else if self.b.router == router {
+            Some(&self.b)
+        } else {
+            None
+        }
+    }
+
+    /// The endpoint *opposite* `router`, if the link touches it.
+    pub fn peer_of(&self, router: RouterId) -> Option<&Endpoint> {
+        if self.a.router == router {
+            Some(&self.b)
+        } else if self.b.router == router {
+            Some(&self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// An immutable network topology. Build one with [`TopologyBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Topology {
+    routers: Vec<RouterInfo>,
+    links: Vec<Link>,
+    by_name: BTreeMap<String, RouterId>,
+    /// Interface address → owning router, for next-hop resolution.
+    addr_owner: BTreeMap<Ipv4Addr, RouterId>,
+}
+
+impl Topology {
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Whether the topology has no routers.
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+
+    /// All routers, in id order.
+    pub fn routers(&self) -> &[RouterInfo] {
+        &self.routers
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Router info by id.
+    pub fn router(&self, id: RouterId) -> &RouterInfo {
+        &self.routers[id.index()]
+    }
+
+    /// Router id by name.
+    pub fn by_name(&self, name: &str) -> Option<RouterId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Links incident to `router`.
+    pub fn links_of(&self, router: RouterId) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(move |l| l.endpoint_of(router).is_some())
+    }
+
+    /// The neighbors of `router` with the connecting link.
+    pub fn neighbors(&self, router: RouterId) -> Vec<(RouterId, &Link)> {
+        self.links_of(router)
+            .filter_map(move |l| l.peer_of(router).map(|e| (e.router, l)))
+            .collect()
+    }
+
+    /// The router that owns interface address `addr`, if any.
+    pub fn owner_of(&self, addr: Ipv4Addr) -> Option<RouterId> {
+        self.addr_owner.get(&addr).copied()
+    }
+
+    /// The local interface address `router` uses to reach neighbor `peer`
+    /// (the address the peer configures as its BGP neighbor).
+    pub fn addr_towards(&self, router: RouterId, peer: RouterId) -> Option<Ipv4Addr> {
+        self.links_of(router)
+            .find(|l| l.peer_of(router).map(|e| e.router) == Some(peer))
+            .and_then(|l| l.endpoint_of(router).map(|e| e.addr))
+    }
+
+    /// The router, if any, to whose attached prefixes `addr` belongs
+    /// (i.e. where a packet for `addr` is *delivered*). Most-specific
+    /// attachment wins if several match.
+    pub fn delivery_router(&self, addr: Ipv4Addr) -> Option<RouterId> {
+        self.routers
+            .iter()
+            .flat_map(|r| r.attached.iter().filter(|p| p.contains(addr)).map(move |p| (p.len(), r.id)))
+            .max_by_key(|(len, _)| *len)
+            .map(|(_, id)| id)
+    }
+
+    /// Every attached (customer) prefix with its owner, in id order.
+    pub fn attachments(&self) -> impl Iterator<Item = (RouterId, Prefix)> + '_ {
+        self.routers
+            .iter()
+            .flat_map(|r| r.attached.iter().map(move |p| (r.id, *p)))
+    }
+}
+
+/// Incremental topology construction with automatic /30 link addressing.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    topo: Topology,
+    next_link_block: u32,
+}
+
+impl TopologyBuilder {
+    /// Starts an empty topology.
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a router and returns its id. Names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate names — topology construction bugs should fail
+    /// loudly at build time, not surface as simulation mysteries.
+    pub fn router(&mut self, name: &str, role: Role) -> RouterId {
+        assert!(
+            !self.topo.by_name.contains_key(name),
+            "duplicate router name `{name}`"
+        );
+        let id = RouterId(self.topo.routers.len() as u32);
+        let loopback = Ipv4Addr::new(1, 1, ((id.0 >> 8) & 0xff) as u8, (id.0 & 0xff) as u8 + 1);
+        self.topo.routers.push(RouterInfo {
+            id,
+            name: name.to_string(),
+            role,
+            loopback,
+            attached: Vec::new(),
+        });
+        self.topo.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Connects two routers with a /30 link allocated from `172.16.0.0/12`.
+    pub fn link(&mut self, a: RouterId, b: RouterId) -> LinkId {
+        assert_ne!(a, b, "self-links are not allowed");
+        let block = self.next_link_block;
+        self.next_link_block += 1;
+        // 172.16.0.0/12 carved into /30s: block i -> base + 4*i.
+        let base = Ipv4Addr::new(172, 16, 0, 0).offset(block * 4);
+        let subnet = Prefix::new(base, 30);
+        let id = LinkId(self.topo.links.len() as u32);
+        let ep = |router: RouterId, addr: Ipv4Addr, link: LinkId| Endpoint {
+            router,
+            iface: format!("eth{}", link.0),
+            addr,
+        };
+        let ea = ep(a, base.offset(1), id);
+        let eb = ep(b, base.offset(2), id);
+        self.topo.addr_owner.insert(ea.addr, a);
+        self.topo.addr_owner.insert(eb.addr, b);
+        self.topo.links.push(Link { id, a: ea, b: eb, subnet });
+        id
+    }
+
+    /// Attaches a customer prefix (PoP/DCN subnet) to a router.
+    pub fn attach(&mut self, router: RouterId, prefix: Prefix) {
+        self.topo.routers[router.index()].attached.push(prefix);
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Topology {
+        self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn two_routers() -> (Topology, RouterId, RouterId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.router("A", Role::Backbone);
+        let s = b.router("S", Role::Backbone);
+        b.link(a, s);
+        b.attach(s, p("20.0.0.0/16"));
+        (b.build(), a, s)
+    }
+
+    #[test]
+    fn link_addressing_is_30s() {
+        let (t, a, s) = two_routers();
+        let link = &t.links()[0];
+        assert_eq!(link.subnet, p("172.16.0.0/30"));
+        assert_eq!(link.a.addr, Ipv4Addr::new(172, 16, 0, 1));
+        assert_eq!(link.b.addr, Ipv4Addr::new(172, 16, 0, 2));
+        assert!(link.subnet.contains(link.a.addr));
+        assert_eq!(t.owner_of(link.a.addr), Some(a));
+        assert_eq!(t.owner_of(link.b.addr), Some(s));
+        assert_eq!(t.addr_towards(a, s), Some(link.a.addr));
+        assert_eq!(t.addr_towards(s, a), Some(link.b.addr));
+    }
+
+    #[test]
+    fn second_link_gets_next_block() {
+        let mut b = TopologyBuilder::new();
+        let x = b.router("X", Role::Backbone);
+        let y = b.router("Y", Role::Backbone);
+        let z = b.router("Z", Role::Backbone);
+        b.link(x, y);
+        b.link(y, z);
+        let t = b.build();
+        assert_eq!(t.links()[1].subnet, p("172.16.0.4/30"));
+    }
+
+    #[test]
+    fn neighbors_and_lookup() {
+        let (t, a, s) = two_routers();
+        assert_eq!(t.neighbors(a).len(), 1);
+        assert_eq!(t.neighbors(a)[0].0, s);
+        assert_eq!(t.by_name("A"), Some(a));
+        assert_eq!(t.by_name("Q"), None);
+        assert_eq!(t.router(s).name, "S");
+    }
+
+    #[test]
+    fn delivery_picks_most_specific_attachment() {
+        let mut b = TopologyBuilder::new();
+        let x = b.router("X", Role::PoP);
+        let y = b.router("Y", Role::PoP);
+        b.attach(x, p("10.0.0.0/8"));
+        b.attach(y, p("10.1.0.0/16"));
+        let t = b.build();
+        assert_eq!(t.delivery_router(Ipv4Addr::new(10, 1, 2, 3)), Some(y));
+        assert_eq!(t.delivery_router(Ipv4Addr::new(10, 2, 0, 1)), Some(x));
+        assert_eq!(t.delivery_router(Ipv4Addr::new(99, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn attachments_iterates_all() {
+        let (t, _, s) = two_routers();
+        let all: Vec<_> = t.attachments().collect();
+        assert_eq!(all, vec![(s, p("20.0.0.0/16"))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_name_panics() {
+        let mut b = TopologyBuilder::new();
+        b.router("A", Role::Backbone);
+        b.router("A", Role::PoP);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut b = TopologyBuilder::new();
+        let a = b.router("A", Role::Backbone);
+        b.link(a, a);
+    }
+}

@@ -1,0 +1,416 @@
+//! DNA-style incremental verification.
+//!
+//! The paper's observation (3): "incremental network verification … can
+//! fast check the correctness of a configuration change for large networks
+//! in seconds", which is what makes validating many candidate updates
+//! affordable. Our incremental verifier exploits the simulator's
+//! per-prefix decomposition:
+//!
+//! 1. per-prefix outcomes from the previous verification are cached, along
+//!    with their configuration-line closures, in a **persistent
+//!    content-addressed arena** (old derivation ids stay valid),
+//! 2. a new configuration plus the patch that produced it yields the set
+//!    of *affected prefixes*: those whose closure touches an edited region,
+//!    those overlapping prefix literals in inserted/replaced statements,
+//!    and those whose origination set changed,
+//! 3. only affected prefixes are re-simulated; FIB assembly and packet
+//!    walks (cheap) run on the merged state.
+//!
+//! Session-shaping edits (`bgp`, `peer`, `group`) conservatively
+//! invalidate everything — sessions are global infrastructure.
+
+use crate::spec::Spec;
+use crate::verify::{Verification, Verifier};
+use acr_cfg::{Edit, LineId, NetworkConfig, Patch, Stmt};
+use acr_net_types::{Prefix, RouterId};
+use acr_sim::{DerivArena, PrefixOutcome, Simulator};
+use acr_topo::Topology;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Statistics of one incremental verification call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Prefixes re-simulated this call.
+    pub recomputed: usize,
+    /// Prefixes served from cache.
+    pub reused: usize,
+}
+
+/// A verifier that caches per-prefix results between calls.
+pub struct IncrementalVerifier<'a> {
+    verifier: Verifier<'a>,
+    arena: DerivArena,
+    cached: BTreeMap<Prefix, PrefixOutcome>,
+    /// Closure lines per cached prefix, for invalidation tests.
+    closures: BTreeMap<Prefix, BTreeSet<LineId>>,
+    last_stats: IncrementalStats,
+}
+
+impl<'a> IncrementalVerifier<'a> {
+    /// Creates an empty (cold) incremental verifier.
+    pub fn new(topo: &'a Topology, spec: &'a Spec) -> Self {
+        Self::with_samples(topo, spec, 1)
+    }
+
+    /// Like [`IncrementalVerifier::new`] with `samples` packets per
+    /// property.
+    pub fn with_samples(topo: &'a Topology, spec: &'a Spec, samples: u32) -> Self {
+        IncrementalVerifier {
+            verifier: Verifier::with_samples(topo, spec, samples),
+            arena: DerivArena::new(),
+            cached: BTreeMap::new(),
+            closures: BTreeMap::new(),
+            last_stats: IncrementalStats::default(),
+        }
+    }
+
+    /// The underlying (stateless) verifier.
+    pub fn verifier(&self) -> &Verifier<'a> {
+        &self.verifier
+    }
+
+    /// Stats of the most recent call.
+    pub fn last_stats(&self) -> IncrementalStats {
+        self.last_stats
+    }
+
+    /// The persistent arena (derivation roots in returned records resolve
+    /// here).
+    pub fn arena(&self) -> &DerivArena {
+        &self.arena
+    }
+
+    /// Verifies `cfg`. When `patch` describes how `cfg` differs from the
+    /// previously verified configuration, only affected prefixes are
+    /// re-simulated; with `None` (or on the first call) everything runs.
+    pub fn verify(&mut self, cfg: &NetworkConfig, patch: Option<&Patch>) -> Verification {
+        let sim = Simulator::new(self.verifier.topo(), cfg);
+        let universe = sim.universe();
+
+        let affected: BTreeSet<Prefix> = match patch {
+            Some(patch) if !self.cached.is_empty() && !patch_resets_sessions(patch, cfg) => {
+                let mut set = self.affected_by(patch, cfg, &universe);
+                // Prefixes new to the universe must be simulated.
+                for p in &universe {
+                    if !self.cached.contains_key(p) {
+                        set.insert(*p);
+                    }
+                }
+                set
+            }
+            _ => universe.clone(),
+        };
+
+        // Drop cache entries for prefixes that left the universe.
+        self.cached.retain(|p, _| universe.contains(p));
+        self.closures.retain(|p, _| universe.contains(p));
+
+        let fresh = sim.run_prefixes_into(&affected, &mut self.arena);
+        self.last_stats = IncrementalStats {
+            recomputed: fresh.len(),
+            reused: universe.len().saturating_sub(fresh.len()),
+        };
+        for (p, o) in fresh {
+            let closure: BTreeSet<LineId> =
+                self.arena.closure_lines(o.deriv_roots()).into_iter().collect();
+            self.closures.insert(p, closure);
+            self.cached.insert(p, o);
+        }
+
+        let fibs = sim.fibs_for(&self.cached, &mut self.arena);
+        let cached = self.cached.clone();
+        self.verifier.evaluate(&sim, &cached, &fibs, &mut self.arena, sim.session_diags())
+    }
+
+    /// Verifies a **candidate** configuration (`cfg` = committed base +
+    /// `patch`, where `patch` is expressed relative to the committed base)
+    /// *without* updating the cache — the repair engine's inner loop. The
+    /// persistent arena still grows (content-addressed, so cached ids stay
+    /// valid), but per-prefix results of the base remain authoritative.
+    pub fn verify_candidate(&mut self, cfg: &NetworkConfig, patch: &Patch) -> Verification {
+        let sim = Simulator::new(self.verifier.topo(), cfg);
+        let universe = sim.universe();
+        let affected: BTreeSet<Prefix> =
+            if self.cached.is_empty() || patch_resets_sessions(patch, cfg) {
+                universe.clone()
+            } else {
+                let mut set = self.affected_by(patch, cfg, &universe);
+                for p in &universe {
+                    if !self.cached.contains_key(p) {
+                        set.insert(*p);
+                    }
+                }
+                set
+            };
+        let fresh = sim.run_prefixes_into(&affected, &mut self.arena);
+        self.last_stats = IncrementalStats {
+            recomputed: fresh.len(),
+            reused: universe.len().saturating_sub(fresh.len()),
+        };
+        // Merge: fresh results override the cache; prefixes outside the
+        // candidate's universe are dropped.
+        let mut merged: BTreeMap<Prefix, PrefixOutcome> = self
+            .cached
+            .iter()
+            .filter(|(p, _)| universe.contains(*p))
+            .map(|(p, o)| (*p, o.clone()))
+            .collect();
+        merged.extend(fresh);
+        let fibs = sim.fibs_for(&merged, &mut self.arena);
+        self.verifier.evaluate(&sim, &merged, &fibs, &mut self.arena, sim.session_diags())
+    }
+
+    /// Commits a new base configuration (e.g. after an iteration adopted a
+    /// candidate): fully re-verifies and caches it.
+    pub fn commit(&mut self, cfg: &NetworkConfig) -> Verification {
+        self.cached.clear();
+        self.closures.clear();
+        self.verify(cfg, None)
+    }
+
+    /// The prefixes a patch can affect, given the *new* configuration.
+    fn affected_by(
+        &self,
+        patch: &Patch,
+        cfg: &NetworkConfig,
+        universe: &BTreeSet<Prefix>,
+    ) -> BTreeSet<Prefix> {
+        // Lowest edited statement index per device: every line at or after
+        // it may have shifted, so any cached closure touching that region
+        // is stale.
+        let mut min_line: BTreeMap<RouterId, u32> = BTreeMap::new();
+        let mut literals: Vec<Prefix> = Vec::new();
+        for edit in &patch.edits {
+            let (router, index, stmt) = match edit {
+                Edit::Insert { router, index, stmt } => (*router, *index, Some(stmt)),
+                Edit::Replace { router, index, stmt } => (*router, *index, Some(stmt)),
+                Edit::Delete { router, index } => (*router, *index, None),
+            };
+            let line = index as u32 + 1;
+            min_line
+                .entry(router)
+                .and_modify(|m| *m = (*m).min(line))
+                .or_insert(line);
+            if let Some(stmt) = stmt {
+                literals.extend(prefix_literals(stmt));
+            }
+            // A delete's statement is gone from `cfg`, but whatever it
+            // mentioned is covered by the closure-region rule.
+            let _ = cfg;
+        }
+
+        let mut out = BTreeSet::new();
+        for (p, closure) in &self.closures {
+            let stale = closure.iter().any(|l| {
+                min_line.get(&l.router).is_some_and(|m| l.line >= *m)
+            });
+            if stale {
+                out.insert(*p);
+            }
+        }
+        for lit in &literals {
+            for p in universe {
+                if p.overlaps(*lit) {
+                    out.insert(*p);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether a patch touches session-shaping statements in the *new* config
+/// or deletes anything (a deleted statement's kind is unknown here, so be
+/// conservative).
+fn patch_resets_sessions(patch: &Patch, _cfg: &NetworkConfig) -> bool {
+    patch.edits.iter().any(|e| match e {
+        Edit::Insert { stmt, .. } | Edit::Replace { stmt, .. } => is_session_shaping(stmt),
+        Edit::Delete { .. } => true,
+    })
+}
+
+fn is_session_shaping(stmt: &Stmt) -> bool {
+    matches!(
+        stmt,
+        Stmt::BgpProcess(_)
+            | Stmt::PeerAs { .. }
+            | Stmt::PeerGroup { .. }
+            | Stmt::PeerPolicy { .. }
+            | Stmt::GroupDef(_)
+            | Stmt::Interface(_)
+            | Stmt::IpAddress { .. }
+    )
+}
+
+/// Prefix literals mentioned by a statement (for overlap-based
+/// invalidation).
+fn prefix_literals(stmt: &Stmt) -> Vec<Prefix> {
+    match stmt {
+        Stmt::Network(p) => vec![*p],
+        Stmt::StaticRoute { prefix, .. } => vec![*prefix],
+        Stmt::PrefixListEntry { prefix, .. } => vec![*prefix],
+        Stmt::AclRule(r) => vec![r.src, r.dst],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Property;
+    use acr_cfg::ast::{NextHop, PlAction};
+    use acr_cfg::parse::parse_device;
+    use acr_topo::gen;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// A 5-router line where each end originates a prefix; edits at one end
+    /// must not invalidate the other end's prefix.
+    fn scenario() -> (Topology, NetworkConfig, Spec) {
+        let topo = gen::line(5);
+        // Link i: .1+4i / .2+4i between Ri and Ri+1.
+        let cfgs = [
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n".to_string(),
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n".to_string(),
+            "bgp 65002\n peer 172.16.0.5 as-number 65001\n peer 172.16.0.10 as-number 65003\n".to_string(),
+            "bgp 65003\n peer 172.16.0.9 as-number 65002\n peer 172.16.0.14 as-number 65004\n".to_string(),
+            "bgp 65004\n network 10.4.0.0 16\n peer 172.16.0.13 as-number 65003\nip route-static 30.0.0.0 16 NULL0\n".to_string(),
+        ];
+        let mut cfg = NetworkConfig::new();
+        for (r, c) in topo.routers().iter().zip(&cfgs) {
+            cfg.insert(r.id, parse_device(r.name.clone(), c).unwrap());
+        }
+        let spec = Spec::new()
+            .with(Property::reach("to-east", RouterId(0), p("10.0.0.0/16"), p("10.4.0.0/16")))
+            .with(Property::reach("to-west", RouterId(4), p("10.4.0.0/16"), p("10.0.0.0/16")));
+        (topo, cfg, spec)
+    }
+
+    #[test]
+    fn cold_call_computes_everything() {
+        let (topo, cfg, spec) = scenario();
+        let mut iv = IncrementalVerifier::new(&topo, &spec);
+        let v = iv.verify(&cfg, None);
+        assert!(v.all_passed());
+        assert_eq!(iv.last_stats().recomputed, 2);
+        assert_eq!(iv.last_stats().reused, 0);
+    }
+
+    #[test]
+    fn unrelated_edit_reuses_cache() {
+        let (topo, cfg, spec) = scenario();
+        let mut iv = IncrementalVerifier::new(&topo, &spec);
+        iv.verify(&cfg, None);
+        // Append an unrelated static route (99.0/16, NULL0) on R4: no
+        // cached prefix closure touches it and it overlaps nothing cached —
+        // but it *does* enter the universe (import-route? no, R4 has no
+        // import-route static). So nothing is recomputed.
+        let patch = Patch::single(Edit::Insert {
+            router: RouterId(4),
+            index: cfg.device(RouterId(4)).unwrap().len(),
+            stmt: Stmt::StaticRoute { prefix: p("99.0.0.0/16"), next_hop: NextHop::Null0 },
+        });
+        let cfg2 = patch.apply_cloned(&cfg).unwrap();
+        let v = iv.verify(&cfg2, Some(&patch));
+        assert!(v.all_passed());
+        assert_eq!(iv.last_stats().recomputed, 0, "{:?}", iv.last_stats());
+        assert_eq!(iv.last_stats().reused, 2);
+    }
+
+    #[test]
+    fn overlapping_literal_invalidates_prefix() {
+        let (topo, cfg, spec) = scenario();
+        let mut iv = IncrementalVerifier::new(&topo, &spec);
+        iv.verify(&cfg, None);
+        // A prefix-list entry mentioning 10.4/16 forces recomputation of
+        // that prefix only.
+        let patch = Patch::single(Edit::Insert {
+            router: RouterId(2),
+            index: cfg.device(RouterId(2)).unwrap().len(),
+            stmt: Stmt::PrefixListEntry {
+                list: "l".into(),
+                index: 10,
+                action: PlAction::Permit,
+                prefix: p("10.4.0.0/16"),
+                ge: None,
+                le: None,
+            },
+        });
+        let cfg2 = patch.apply_cloned(&cfg).unwrap();
+        let v = iv.verify(&cfg2, Some(&patch));
+        assert!(v.all_passed());
+        assert_eq!(iv.last_stats().recomputed, 1);
+        assert_eq!(iv.last_stats().reused, 1);
+    }
+
+    #[test]
+    fn session_edit_invalidates_everything() {
+        let (topo, cfg, spec) = scenario();
+        let mut iv = IncrementalVerifier::new(&topo, &spec);
+        iv.verify(&cfg, None);
+        let patch = Patch::single(Edit::Replace {
+            router: RouterId(2),
+            index: 1,
+            stmt: Stmt::PeerAs {
+                peer: acr_cfg::PeerRef::Ip(acr_net_types::Ipv4Addr::new(172, 16, 0, 5)),
+                asn: acr_net_types::Asn(64999),
+            },
+        });
+        let cfg2 = patch.apply_cloned(&cfg).unwrap();
+        let v = iv.verify(&cfg2, Some(&patch));
+        assert_eq!(v.failed_count(), 2, "broken transit session fails both");
+        assert_eq!(iv.last_stats().recomputed, 2);
+    }
+
+    #[test]
+    fn incremental_matches_full_verification() {
+        let (topo, cfg, spec) = scenario();
+        let mut iv = IncrementalVerifier::new(&topo, &spec);
+        iv.verify(&cfg, None);
+        // Edit that shifts lines on R0 (insert at top region) and touches
+        // 10.0/16's closure.
+        let patch = Patch::single(Edit::Insert {
+            router: RouterId(0),
+            index: 2,
+            stmt: Stmt::Network(p("10.9.0.0/16")),
+        });
+        let cfg2 = patch.apply_cloned(&cfg).unwrap();
+        let v_inc = iv.verify(&cfg2, Some(&patch));
+
+        let verifier = Verifier::new(&topo, &spec);
+        let (v_full, _) = verifier.run_full(&cfg2);
+        assert_eq!(v_inc.failed_count(), v_full.failed_count());
+        let inc: Vec<bool> = v_inc.records.iter().map(|r| r.passed).collect();
+        let full: Vec<bool> = v_full.records.iter().map(|r| r.passed).collect();
+        assert_eq!(inc, full);
+        // Coverage matrices agree on the lines of every test.
+        for (a, b) in v_inc.matrix.tests().iter().zip(v_full.matrix.tests()) {
+            assert_eq!(a.lines, b.lines, "coverage must match full verification");
+        }
+    }
+
+    #[test]
+    fn repeated_incremental_calls_accumulate_correctly() {
+        let (topo, cfg, spec) = scenario();
+        let mut iv = IncrementalVerifier::new(&topo, &spec);
+        iv.verify(&cfg, None);
+        let mut current = cfg.clone();
+        // Three successive unrelated edits, all cache-friendly.
+        for i in 0..3u8 {
+            let patch = Patch::single(Edit::Insert {
+                router: RouterId(4),
+                index: current.device(RouterId(4)).unwrap().len(),
+                stmt: Stmt::StaticRoute {
+                    prefix: Prefix::from_octets(99, i, 0, 0, 16),
+                    next_hop: NextHop::Null0,
+                },
+            });
+            current = patch.apply_cloned(&current).unwrap();
+            let v = iv.verify(&current, Some(&patch));
+            assert!(v.all_passed());
+            assert_eq!(iv.last_stats().recomputed, 0);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # acr-verify
+//!
+//! The verification substrate of ACR:
+//!
+//! - [`spec`] — the intent language. Each [`Property`] quantifies over a
+//!   header space and asserts reachability, isolation or waypointing; the
+//!   test generator samples one (or more) concrete packets per property,
+//!   exactly as the paper's §4.1 proposes ("for each property, we sample a
+//!   packet from its header space as a test").
+//! - [`verify`] — full verification: simulate, walk every test packet,
+//!   classify violations (flapping, loops, blackholes, policy breaches)
+//!   and extract per-test configuration-line coverage for SBFL.
+//! - [`incremental`] — the DNA-style incremental verifier (§3.2
+//!   observation (3)): it caches per-prefix control-plane outcomes in a
+//!   persistent content-addressed arena and, given a candidate patch,
+//!   re-simulates only the prefixes the patch can affect.
+//! - [`testgen`] — automatic test-suite generation for networks without
+//!   a specification (the paper's §6 open question): topology-derived
+//!   reachability specs plus coverage-guided sample growth.
+
+pub mod incremental;
+pub mod spec;
+pub mod testgen;
+pub mod verify;
+pub mod violation;
+
+pub use incremental::{IncrementalStats, IncrementalVerifier};
+pub use testgen::{coverage_guided_suite, derive_spec, SuiteStats};
+pub use spec::{Property, PropertyKind, Spec, TestCase};
+pub use verify::{TestRecord, Verification, Verifier};
+pub use violation::Violation;

@@ -1,0 +1,163 @@
+//! The intent specification language and test generation.
+
+use acr_net_types::{Flow, HeaderSpace, Prefix, RouterId};
+use acr_prov::TestId;
+use std::fmt;
+
+/// What a property asserts about its header space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// Packets must be delivered to the destination network (and,
+    /// implicitly, must not loop, blackhole, or ride a flapping prefix).
+    Reachability,
+    /// Packets must *not* reach the destination (dropped or unrouted is a
+    /// pass; delivery — or a loop — is a violation).
+    Isolation,
+    /// Packets must be delivered and the forwarding path must visit the
+    /// given router.
+    Waypoint(RouterId),
+    /// Packets must be delivered *without* transiting the given router
+    /// (traffic-engineering intents: keep this flow off that box).
+    Avoids(RouterId),
+}
+
+impl fmt::Display for PropertyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyKind::Reachability => f.write_str("reachability"),
+            PropertyKind::Isolation => f.write_str("isolation"),
+            PropertyKind::Waypoint(r) => write!(f, "waypoint({r})"),
+            PropertyKind::Avoids(r) => write!(f, "avoids({r})"),
+        }
+    }
+}
+
+/// One operator intent: a named assertion over a header space, evaluated
+/// by injecting sampled packets at `start`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Property {
+    pub name: String,
+    pub hs: HeaderSpace,
+    /// Injection router (where the traffic enters the network).
+    pub start: RouterId,
+    pub kind: PropertyKind,
+}
+
+impl Property {
+    /// A reachability intent from `start` towards `dst`.
+    pub fn reach(name: impl Into<String>, start: RouterId, src: Prefix, dst: Prefix) -> Self {
+        Property {
+            name: name.into(),
+            hs: HeaderSpace::between(src, dst),
+            start,
+            kind: PropertyKind::Reachability,
+        }
+    }
+
+    /// An isolation intent from `start` towards `dst`.
+    pub fn isolate(name: impl Into<String>, start: RouterId, src: Prefix, dst: Prefix) -> Self {
+        Property {
+            name: name.into(),
+            hs: HeaderSpace::between(src, dst),
+            start,
+            kind: PropertyKind::Isolation,
+        }
+    }
+}
+
+/// An operator specification: the list of intents the network must hold.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    pub properties: Vec<Property>,
+}
+
+impl Spec {
+    /// An empty specification.
+    pub fn new() -> Self {
+        Spec::default()
+    }
+
+    /// Adds a property (builder style).
+    pub fn with(mut self, p: Property) -> Self {
+        self.properties.push(p);
+        self
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Whether the spec is empty.
+    pub fn is_empty(&self) -> bool {
+        self.properties.is_empty()
+    }
+
+    /// Generates the concrete test suite: `samples_per_property` packets
+    /// per property, deterministically drawn from each header space.
+    pub fn generate_tests(&self, samples_per_property: u32) -> Vec<TestCase> {
+        assert!(samples_per_property >= 1);
+        let mut out = Vec::new();
+        for (pi, prop) in self.properties.iter().enumerate() {
+            for s in 0..samples_per_property {
+                out.push(TestCase {
+                    id: TestId(out.len() as u32),
+                    property: pi,
+                    flow: prop.hs.sample(s),
+                    start: prop.start,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One concrete test: a sampled packet evaluated against its property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCase {
+    pub id: TestId,
+    /// Index into [`Spec::properties`].
+    pub property: usize,
+    pub flow: Flow,
+    pub start: RouterId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn test_generation_is_deterministic_and_in_space() {
+        let spec = Spec::new()
+            .with(Property::reach("a", RouterId(0), p("10.0.0.0/16"), p("10.1.0.0/16")))
+            .with(Property::isolate("b", RouterId(1), p("10.1.0.0/16"), p("10.2.0.0/16")));
+        let t1 = spec.generate_tests(3);
+        let t2 = spec.generate_tests(3);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 6);
+        for t in &t1 {
+            let prop = &spec.properties[t.property];
+            assert!(prop.hs.contains(&t.flow), "{:?} outside {:?}", t.flow, prop.hs);
+            assert_eq!(t.start, prop.start);
+        }
+        // Ids are dense and ordered.
+        assert_eq!(t1.iter().map(|t| t.id.0).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_sample_per_property() {
+        let spec = Spec::new().with(Property::reach("a", RouterId(0), Prefix::DEFAULT, p("10.0.0.0/8")));
+        assert_eq!(spec.generate_tests(1).len(), 1);
+        assert_eq!(spec.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_samples_rejected() {
+        Spec::new().generate_tests(0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Intent violations.
+
+use acr_net_types::{Prefix, RouterId};
+use std::fmt;
+
+/// Why a test failed its property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The destination prefix never converged (route flapping) — the
+    /// failure mode of the paper's example incident.
+    Flapping(Prefix),
+    /// The packet revisited a router.
+    ForwardingLoop(Vec<RouterId>),
+    /// No route at this router (blackhole).
+    Blackhole(RouterId),
+    /// The packet was dropped (NULL0 / PBR) though the intent requires
+    /// delivery.
+    Dropped(RouterId),
+    /// An isolation intent was breached: the packet was delivered.
+    UnexpectedDelivery(RouterId),
+    /// The waypoint router was bypassed.
+    WaypointMissed(RouterId),
+    /// The packet transited a router an `avoids` intent forbids.
+    ForbiddenTransit(RouterId),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Flapping(p) => write!(f, "route flapping for {p}"),
+            Violation::ForwardingLoop(path) => {
+                write!(f, "forwarding loop:")?;
+                for r in path {
+                    write!(f, " {r}")?;
+                }
+                Ok(())
+            }
+            Violation::Blackhole(r) => write!(f, "blackhole at {r}"),
+            Violation::Dropped(r) => write!(f, "dropped at {r}"),
+            Violation::UnexpectedDelivery(r) => write!(f, "unexpected delivery at {r}"),
+            Violation::WaypointMissed(w) => write!(f, "waypoint {w} bypassed"),
+            Violation::ForbiddenTransit(r) => write!(f, "forbidden transit through {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_operator_readable() {
+        assert_eq!(
+            Violation::Flapping("10.0.0.0/16".parse().unwrap()).to_string(),
+            "route flapping for 10.0.0.0/16"
+        );
+        assert_eq!(
+            Violation::ForwardingLoop(vec![RouterId(2), RouterId(3), RouterId(2)]).to_string(),
+            "forwarding loop: r2 r3 r2"
+        );
+        assert_eq!(Violation::Blackhole(RouterId(1)).to_string(), "blackhole at r1");
+    }
+}

@@ -1,0 +1,245 @@
+//! The paper's Figure 2 example incident.
+//!
+//! Four backbone routers — A (AS 65001), B (65002), C (65003), S (65004) —
+//! with a PoP on A (`10.70/16`), a PoP on B (`10.0/16`) and S's DCN
+//! (`20.0/16`); customers share AS 64999, so the backbone's `as-path
+//! overwrite` import policies are what keeps customer routes propagatable
+//! (overwriting hides the shared customer AS from other customers' loop
+//! checks).
+//!
+//! The **misconfiguration**: the `default_all` prefix lists gating the
+//! override on A and on C contain `0.0.0.0 0` — they match *every* route,
+//! so A and C also rewrite backbone transit routes. Once the new C–S
+//! session is provisioned (the new intent: S's DCN must reach B's PoP),
+//! the rewritten-short routes race the honest ones and `10.0/16` never
+//! converges — the paper's route flapping.
+//!
+//! The **ground-truth repair** (what operators did): constrain A's list to
+//! `{10.70/16, 20.0/16}` and C's to include `20.0/16` only.
+
+use acr_cfg::{parse::parse_device, NetworkConfig};
+use acr_net_types::{Prefix, RouterId};
+use acr_topo::{Role, Topology, TopologyBuilder};
+use acr_verify::{Property, Spec};
+
+/// The assembled Figure 2 scenario.
+pub struct Fig2 {
+    pub topo: Topology,
+    /// The misconfigured network (flapping `10.0/16`).
+    pub broken: NetworkConfig,
+    /// The operator-intended configuration (correct prefix lists).
+    pub intended: NetworkConfig,
+    pub spec: Spec,
+    /// Router ids, in the paper's naming.
+    pub a: RouterId,
+    pub b: RouterId,
+    pub c: RouterId,
+    pub s: RouterId,
+    pub pop_a: RouterId,
+    pub pop_b: RouterId,
+    pub dcn: RouterId,
+}
+
+/// Prefix of A's PoP.
+pub const POP_A_PREFIX: &str = "10.70.0.0/16";
+/// Prefix of B's PoP — the one that flaps.
+pub const POP_B_PREFIX: &str = "10.0.0.0/16";
+/// Prefix of S's DCN.
+pub const DCN_PREFIX: &str = "20.0.0.0/16";
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// Builds the Figure 2 incident.
+///
+/// Link address plan (builder allocates /30s in order):
+/// A–B `.1/.2`, B–C `.5/.6`, A–S `.9/.10`, C–S `.13/.14`,
+/// A–PoPA `.17/.18`, B–PoPB `.21/.22`, S–DCN `.25/.26`.
+pub fn fig2_incident() -> Fig2 {
+    let mut tb = TopologyBuilder::new();
+    let a = tb.router("A", Role::Backbone);
+    let b = tb.router("B", Role::Backbone);
+    let c = tb.router("C", Role::Backbone);
+    let s = tb.router("S", Role::Backbone);
+    let pop_a = tb.router("PoPA", Role::PoP);
+    let pop_b = tb.router("PoPB", Role::PoP);
+    let dcn = tb.router("DCN", Role::Dcn);
+    tb.link(a, b); // 172.16.0.1 / .2
+    tb.link(b, c); // .5 / .6
+    tb.link(a, s); // .9 / .10
+    tb.link(c, s); // .13 / .14  (the new session)
+    tb.link(a, pop_a); // .17 / .18
+    tb.link(b, pop_b); // .21 / .22
+    tb.link(s, dcn); // .25 / .26
+    tb.attach(pop_a, p(POP_A_PREFIX));
+    tb.attach(pop_b, p(POP_B_PREFIX));
+    tb.attach(dcn, p(DCN_PREFIX));
+    let topo = tb.build();
+
+    // ---- device configurations -------------------------------------
+    // Router A, shaped after Figure 2b: peers (incl. the PoP group), the
+    // Override_All policy (applied to routes received from the connected
+    // PoP and from router S) and the *misconfigured* default_all list.
+    let a_broken = "\
+bgp 65001
+ router-id 1.1.0.1
+ peer 172.16.0.2 as-number 65002
+ peer 172.16.0.10 as-number 65004
+ peer 172.16.0.10 route-policy Override_All import
+ group PoPSide external
+ peer PoPSide as-number 64999
+ peer PoPSide route-policy Override_All import
+ peer 172.16.0.18 group PoPSide
+route-policy Override_All permit node 10
+ if-match ip-prefix default_all
+ apply as-path overwrite
+ip prefix-list default_all index 10 permit 0.0.0.0 0
+";
+    let a_fixed = a_broken.replace(
+        "ip prefix-list default_all index 10 permit 0.0.0.0 0\n",
+        "ip prefix-list default_all index 10 permit 10.70.0.0 16\nip prefix-list default_all index 20 permit 20.0.0.0 16\n",
+    );
+
+    // Router B: honest transit; its own PoP-facing override is correctly
+    // scoped to the PoP's prefix.
+    let b_cfg = "\
+bgp 65002
+ router-id 1.1.0.2
+ peer 172.16.0.1 as-number 65001
+ peer 172.16.0.6 as-number 65003
+ peer 172.16.0.22 as-number 64999
+ peer 172.16.0.22 route-policy Override_All import
+route-policy Override_All permit node 10
+ if-match ip-prefix default_all
+ apply as-path overwrite
+ip prefix-list default_all index 10 permit 10.0.0.0 16
+";
+
+    // Router C: the DCN-side session to S carries Override_All with the
+    // same misconfigured catch-all list.
+    let c_broken = "\
+bgp 65003
+ router-id 1.1.0.3
+ peer 172.16.0.5 as-number 65002
+ peer 172.16.0.14 as-number 65004
+ peer 172.16.0.14 route-policy Override_All import
+route-policy Override_All permit node 10
+ if-match ip-prefix default_all
+ apply as-path overwrite
+ip prefix-list default_all index 10 permit 0.0.0.0 0
+";
+    let c_fixed = c_broken.replace(
+        "ip prefix-list default_all index 10 permit 0.0.0.0 0\n",
+        "ip prefix-list default_all index 10 permit 20.0.0.0 16\n",
+    );
+
+    // Router S: DCN-facing override correctly scoped to the DCN prefix.
+    let s_cfg = "\
+bgp 65004
+ router-id 1.1.0.4
+ peer 172.16.0.9 as-number 65001
+ peer 172.16.0.13 as-number 65003
+ peer 172.16.0.26 as-number 64999
+ peer 172.16.0.26 route-policy Override_All import
+route-policy Override_All permit node 10
+ if-match ip-prefix default_all
+ apply as-path overwrite
+ip prefix-list default_all index 10 permit 20.0.0.0 16
+";
+
+    // Customer stubs: shared AS 64999, originating their prefix.
+    let pop_a_cfg = "\
+bgp 64999
+ router-id 1.2.0.1
+ network 10.70.0.0 16
+ peer 172.16.0.17 as-number 65001
+";
+    let pop_b_cfg = "\
+bgp 64999
+ router-id 1.2.0.2
+ network 10.0.0.0 16
+ peer 172.16.0.21 as-number 65002
+";
+    let dcn_cfg = "\
+bgp 64999
+ router-id 1.2.0.3
+ network 20.0.0.0 16
+ peer 172.16.0.25 as-number 65004
+";
+
+    let build = |a_text: &str, c_text: &str| {
+        let mut net = NetworkConfig::new();
+        net.insert(a, parse_device("A", a_text).unwrap());
+        net.insert(b, parse_device("B", b_cfg).unwrap());
+        net.insert(c, parse_device("C", c_text).unwrap());
+        net.insert(s, parse_device("S", s_cfg).unwrap());
+        net.insert(pop_a, parse_device("PoPA", pop_a_cfg).unwrap());
+        net.insert(pop_b, parse_device("PoPB", pop_b_cfg).unwrap());
+        net.insert(dcn, parse_device("DCN", dcn_cfg).unwrap());
+        net
+    };
+    let broken = build(a_broken, c_broken);
+    let intended = build(&a_fixed, &c_fixed);
+
+    // The three intents of the worked example, one per subnetwork (the
+    // three coverage columns of Figure 2b): reach each customer network
+    // from across the backbone. "PoPB" is the new DCN -> PoP of B intent.
+    let spec = Spec::new()
+        .with(Property::reach("PoPA", s, p(DCN_PREFIX), p(POP_A_PREFIX)))
+        .with(Property::reach("PoPB", s, p(DCN_PREFIX), p(POP_B_PREFIX)))
+        .with(Property::reach("DCN", b, p(POP_B_PREFIX), p(DCN_PREFIX)));
+
+    Fig2 { topo, broken, intended, spec, a, b, c, s, pop_a, pop_b, dcn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_sim::Simulator;
+    use acr_verify::Verifier;
+
+    #[test]
+    fn intended_configuration_is_healthy() {
+        let fig2 = fig2_incident();
+        let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+        let (v, _) = verifier.run_full(&fig2.intended);
+        assert!(v.all_passed(), "{:?}", v.records.iter().map(|r| (&r.property, &r.violation)).collect::<Vec<_>>());
+        assert!(v.flapping.is_empty());
+    }
+
+    #[test]
+    fn broken_configuration_flaps_10_0() {
+        let fig2 = fig2_incident();
+        let sim = Simulator::new(&fig2.topo, &fig2.broken);
+        let out = sim.run();
+        let flapping = out.flapping();
+        assert!(
+            flapping.contains(&p(POP_B_PREFIX)),
+            "10.0/16 must flap; flapping = {flapping:?}"
+        );
+        // The other two customer prefixes converge.
+        assert!(!flapping.contains(&p(POP_A_PREFIX)), "{flapping:?}");
+        assert!(!flapping.contains(&p(DCN_PREFIX)), "{flapping:?}");
+    }
+
+    #[test]
+    fn broken_configuration_fails_exactly_the_popb_intent() {
+        let fig2 = fig2_incident();
+        let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+        let (v, _) = verifier.run_full(&fig2.broken);
+        assert_eq!(v.failed_count(), 1, "{:?}", v.records.iter().map(|r| (&r.property, r.passed)).collect::<Vec<_>>());
+        let failed = v.failures().next().unwrap();
+        assert_eq!(failed.property, "PoPB");
+        assert!(matches!(failed.violation, Some(acr_verify::Violation::Flapping(_))));
+    }
+
+    #[test]
+    fn all_sessions_established_in_both_configs() {
+        let fig2 = fig2_incident();
+        for cfg in [&fig2.broken, &fig2.intended] {
+            let sim = Simulator::new(&fig2.topo, cfg);
+            assert_eq!(sim.sessions().len(), 7, "{:?}", sim.session_diags());
+        }
+    }
+}

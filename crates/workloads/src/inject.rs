@@ -1,0 +1,414 @@
+//! The Table-1 incident injector.
+//!
+//! Each [`FaultType`] corresponds to one row of the paper's Table 1. An
+//! injection is only accepted when verification of the broken network
+//! actually reports at least one intent violation — mirroring §2.1, where
+//! incidents are by definition captured misbehaviour — so every sampled
+//! incident is a real repair problem.
+
+use crate::netgen::GeneratedNetwork;
+use acr_cfg::ast::{PbrAction, PeerRef, Stmt};
+use acr_cfg::{Edit, NetworkConfig, Patch};
+use acr_net_types::{Asn, RouterId};
+use acr_verify::Verifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The nine misconfiguration classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultType {
+    /// "Missing redistribution of static route" (M, 20.8%).
+    MissingRedistribution,
+    /// "Missing permit rules in PBR" (M, 12.5%).
+    MissingPbrPermit,
+    /// "Extra redirect rule in PBR" (S, 4.2%).
+    ExtraPbrRedirect,
+    /// "Missing peer group" (M, 16.6%).
+    MissingPeerGroup,
+    /// "Extra items in peer group" (M, 12.5%).
+    ExtraPeerGroupItem,
+    /// "Missing a routing policy" (M, 8.3%).
+    MissingRoutePolicy,
+    /// "Fail to dis-enable route map" (S, 4.2%).
+    StaleRouteMap,
+    /// "Override to wrong AS number" (S, 4.2%).
+    WrongOverrideAsn,
+    /// "Missing items in ip prefix-list" (S/M, 4.2% + 12.5%).
+    MissingPrefixListItems,
+}
+
+impl fmt::Display for FaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultType::MissingRedistribution => "missing redistribution of static route",
+            FaultType::MissingPbrPermit => "missing permit rules in PBR",
+            FaultType::ExtraPbrRedirect => "extra redirect rule in PBR",
+            FaultType::MissingPeerGroup => "missing peer group",
+            FaultType::ExtraPeerGroupItem => "extra items in peer group",
+            FaultType::MissingRoutePolicy => "missing a routing policy",
+            FaultType::StaleRouteMap => "fail to dis-enable route map",
+            FaultType::WrongOverrideAsn => "override to wrong AS number",
+            FaultType::MissingPrefixListItems => "missing items in ip prefix-list",
+        })
+    }
+}
+
+impl FaultType {
+    /// Category of Table 1.
+    pub fn category(self) -> &'static str {
+        match self {
+            FaultType::MissingRedistribution => "Route",
+            FaultType::MissingPbrPermit | FaultType::ExtraPbrRedirect => "PBR",
+            FaultType::MissingPeerGroup | FaultType::ExtraPeerGroupItem => "Peer",
+            _ => "Policy",
+        }
+    }
+
+    /// Whether Table 1 classifies the class as multi-line.
+    pub fn is_multi_line(self) -> bool {
+        !matches!(
+            self,
+            FaultType::ExtraPbrRedirect | FaultType::StaleRouteMap | FaultType::WrongOverrideAsn
+        )
+    }
+}
+
+/// Table 1: `(fault, percentage of incidents)`.
+pub const TABLE1: [(FaultType, f64); 9] = [
+    (FaultType::MissingRedistribution, 20.8),
+    (FaultType::MissingPbrPermit, 12.5),
+    (FaultType::ExtraPbrRedirect, 4.2),
+    (FaultType::MissingPeerGroup, 16.6),
+    (FaultType::ExtraPeerGroupItem, 12.5),
+    (FaultType::MissingRoutePolicy, 8.3),
+    (FaultType::StaleRouteMap, 4.2),
+    (FaultType::WrongOverrideAsn, 4.2),
+    (FaultType::MissingPrefixListItems, 16.7),
+];
+
+/// One injected incident.
+pub struct Incident {
+    pub fault: FaultType,
+    /// The breaking edits, relative to the intended configuration.
+    pub patch: Patch,
+    /// The misconfigured network.
+    pub broken: NetworkConfig,
+    /// Number of violated tests right after injection.
+    pub violations: usize,
+    /// Human-readable summary.
+    pub description: String,
+}
+
+/// Tries to inject `fault` into `net`, rotating through eligible sites
+/// starting at one chosen by `seed`. Returns `None` when the network
+/// offers no site where the fault is observable.
+pub fn try_inject(fault: FaultType, net: &GeneratedNetwork, seed: u64) -> Option<Incident> {
+    let routers = net.cfg.routers();
+    let n = routers.len();
+    if n == 0 {
+        return None;
+    }
+    let start = (seed as usize) % n;
+    for k in 0..n {
+        let router = routers[(start + k) % n];
+        let Some(patch) = build_fault(fault, net, router) else { continue };
+        let Ok(broken) = patch.apply_cloned(&net.cfg) else { continue };
+        let verifier = Verifier::new(&net.topo, &net.spec);
+        let (v, _) = verifier.run_full(&broken);
+        let violations = v.failed_count();
+        if violations == 0 {
+            continue; // latent fault — not an incident
+        }
+        let description = format!(
+            "{fault} on {} ({} violated test{})",
+            net.topo.router(router).name,
+            violations,
+            if violations == 1 { "" } else { "s" }
+        );
+        return Some(Incident { fault, patch, broken, violations, description });
+    }
+    None
+}
+
+/// Samples `count` incidents following the Table-1 distribution.
+/// Fault classes inapplicable to the given network are resampled.
+pub fn sample_incidents(net: &GeneratedNetwork, count: usize, seed: u64) -> Vec<Incident> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f64 = TABLE1.iter().map(|(_, r)| r).sum();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let mut pick = rng.gen_range(0.0..total);
+        let mut fault = TABLE1[0].0;
+        for (f, ratio) in TABLE1 {
+            if pick < ratio {
+                fault = f;
+                break;
+            }
+            pick -= ratio;
+        }
+        if let Some(incident) = try_inject(fault, net, rng.gen()) {
+            out.push(incident);
+        }
+    }
+    out
+}
+
+/// Builds the breaking patch for `fault` at `router`, or `None` when the
+/// device has no eligible structure.
+fn build_fault(fault: FaultType, net: &GeneratedNetwork, router: RouterId) -> Option<Patch> {
+    let device = net.cfg.device(router)?;
+    let stmts = device.stmts();
+    let find = |pred: &dyn Fn(&Stmt) -> bool| stmts.iter().position(pred);
+    let find_all = |pred: &dyn Fn(&Stmt) -> bool| -> Vec<usize> {
+        stmts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pred(s))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let delete_desc = |mut idxs: Vec<usize>| -> Patch {
+        idxs.sort_unstable();
+        let mut patch = Patch::new();
+        for i in idxs.into_iter().rev() {
+            patch.push(Edit::Delete { router, index: i });
+        }
+        patch
+    };
+
+    match fault {
+        FaultType::MissingRedistribution => {
+            let import = find(&|s| matches!(s, Stmt::ImportRoute(acr_cfg::Proto::Static)))?;
+            let statics = find_all(&|s| matches!(s, Stmt::StaticRoute { .. }));
+            if statics.is_empty() {
+                return None;
+            }
+            let mut idxs = vec![import];
+            idxs.extend(statics);
+            Some(delete_desc(idxs))
+        }
+        FaultType::MissingPbrPermit => {
+            // Drop the permit PBR rule and the ACL rules backing it.
+            let permit_rule = find(&|s| {
+                matches!(s, Stmt::PbrRule { action: PbrAction::Permit, .. })
+            })?;
+            let Stmt::PbrRule { acl, .. } = &stmts[permit_rule] else { unreachable!() };
+            let acl = *acl;
+            // The ACL's rules follow its header.
+            let acl_header = find(&|s| matches!(s, Stmt::AclDef(n) if *n == acl))?;
+            let mut idxs = vec![permit_rule];
+            for (i, s) in stmts.iter().enumerate().skip(acl_header + 1) {
+                match s {
+                    Stmt::AclRule(_) => idxs.push(i),
+                    _ => break,
+                }
+            }
+            Some(delete_desc(idxs))
+        }
+        FaultType::ExtraPbrRedirect => {
+            // Insert a catch-all redirect at the top of the applied policy,
+            // aimed at a deterministic neighbor.
+            let applied = net.cfg.device(router)?.stmts().iter().find_map(|s| match s {
+                Stmt::ApplyTrafficPolicy(name) => Some(name.clone()),
+                _ => None,
+            })?;
+            let policy_header =
+                find(&|s| matches!(s, Stmt::PbrPolicyDef(n) if *n == applied))?;
+            let broad_acl = find_all(&|s| matches!(s, Stmt::AclDef(_)))
+                .into_iter()
+                .filter_map(|i| match &stmts[i] {
+                    Stmt::AclDef(n) => Some(*n),
+                    _ => None,
+                })
+                .max()?;
+            let (_, link) = *net.topo.neighbors(router).first()?;
+            let target = link.peer_of(router)?.addr;
+            Some(Patch::single(Edit::Insert {
+                router,
+                index: policy_header + 1,
+                stmt: Stmt::PbrRule {
+                    acl: broad_acl,
+                    action: PbrAction::Redirect(target),
+                },
+            }))
+        }
+        FaultType::MissingPeerGroup => {
+            // Delete the group definition and its shared settings; members
+            // keep their `peer … group …` lines and lose AS + policy.
+            let def = find(&|s| matches!(s, Stmt::GroupDef(_)))?;
+            let Stmt::GroupDef(group) = &stmts[def] else { unreachable!() };
+            let group = group.clone();
+            let shared = find_all(&|s| match s {
+                Stmt::PeerAs { peer: PeerRef::Group(g), .. } => *g == group,
+                Stmt::PeerPolicy { peer: PeerRef::Group(g), .. } => *g == group,
+                _ => false,
+            });
+            let mut idxs = vec![def];
+            idxs.extend(shared);
+            Some(delete_desc(idxs))
+        }
+        FaultType::ExtraPeerGroupItem => {
+            // Add a backbone neighbor into the customer group.
+            let def = find(&|s| matches!(s, Stmt::GroupDef(_)))?;
+            let Stmt::GroupDef(group) = &stmts[def] else { unreachable!() };
+            let group = group.clone();
+            let model = acr_cfg::DeviceModel::from_config(device);
+            let backbone_peer = net.topo.neighbors(router).into_iter().find_map(|(_n, link)| {
+                let addr = link.peer_of(router)?.addr;
+                let configured = model.peers.get(&addr)?;
+                // A directly configured (non-group) peer is backbone-side.
+                configured.group.is_none().then_some(addr)
+            })?;
+            Some(Patch::single(Edit::Insert {
+                router,
+                index: def + 1,
+                stmt: Stmt::PeerGroup { peer: backbone_peer, group },
+            }))
+        }
+        FaultType::MissingRoutePolicy => {
+            // Delete a policy's body but keep its applications dangling.
+            let header = find(&|s| matches!(s, Stmt::RoutePolicyDef { .. }))?;
+            let mut idxs = vec![header];
+            for (i, s) in stmts.iter().enumerate().skip(header + 1) {
+                if s.required_block() == Some(acr_cfg::ast::BlockKind::RoutePolicy) {
+                    idxs.push(i);
+                } else {
+                    break;
+                }
+            }
+            Some(delete_desc(idxs))
+        }
+        FaultType::StaleRouteMap => {
+            // Apply an existing customer-ingress policy to a backbone peer.
+            let policy = stmts.iter().find_map(|s| match s {
+                Stmt::RoutePolicyDef { name, .. } => Some(name.clone()),
+                _ => None,
+            })?;
+            let model = acr_cfg::DeviceModel::from_config(device);
+            let (addr, line) = model.peers.iter().find_map(|(addr, cfg)| {
+                (cfg.import_policy.is_none() && cfg.group.is_none())
+                    .then(|| (*addr, cfg.lines.first().copied().unwrap_or(1)))
+            })?;
+            Some(Patch::single(Edit::Insert {
+                router,
+                index: line as usize, // right after the peer's first line
+                stmt: Stmt::PeerPolicy {
+                    peer: PeerRef::Ip(addr),
+                    policy,
+                    dir: acr_cfg::Dir::Import,
+                },
+            }))
+        }
+        FaultType::WrongOverrideAsn => {
+            let idx = find(&|s| matches!(s, Stmt::ApplyAsPathOverwrite(None)))?;
+            Some(Patch::single(Edit::Replace {
+                router,
+                index: idx,
+                stmt: Stmt::ApplyAsPathOverwrite(Some(Asn(crate::netgen::CUSTOMER_AS))),
+            }))
+        }
+        FaultType::MissingPrefixListItems => {
+            let entries = find_all(&|s| matches!(s, Stmt::PrefixListEntry { .. }));
+            if entries.is_empty() {
+                return None;
+            }
+            // Drop half the entries (at least one) — S or M depending on
+            // list size, as in Table 1's split.
+            let k = (entries.len() / 2).max(1);
+            Some(delete_desc(entries.into_iter().take(k).collect()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netgen::generate;
+    use acr_topo::gen;
+
+    fn mesh() -> GeneratedNetwork {
+        generate(&gen::full_mesh(6))
+    }
+
+    fn wan48() -> GeneratedNetwork {
+        generate(&gen::wan(4, 8))
+    }
+
+    #[test]
+    fn missing_redistribution_injects_on_mesh() {
+        let net = mesh();
+        let inc = try_inject(FaultType::MissingRedistribution, &net, 0).expect("eligible site");
+        assert!(inc.violations >= 1);
+        assert!(inc.patch.len() >= 2, "M-class fault: {:?}", inc.patch);
+    }
+
+    #[test]
+    fn pbr_permit_fault_injects_on_mesh() {
+        let net = mesh();
+        let permit = try_inject(FaultType::MissingPbrPermit, &net, 1).expect("guarded router");
+        assert!(permit.violations >= 1, "{}", permit.description);
+        // A redirect detour in a *full mesh* still delivers — the fault is
+        // latent there and the injector must refuse it.
+        assert!(try_inject(FaultType::ExtraPbrRedirect, &net, 1).is_none());
+    }
+
+    #[test]
+    fn pbr_redirect_fault_loops_on_wan() {
+        let net = wan48();
+        let redirect = try_inject(FaultType::ExtraPbrRedirect, &net, 0).expect("line backbone loops");
+        assert!(redirect.violations >= 1, "{}", redirect.description);
+        assert!(!redirect.fault.is_multi_line());
+    }
+
+    #[test]
+    fn peer_group_faults_inject_on_wan() {
+        let net = wan48();
+        let missing = try_inject(FaultType::MissingPeerGroup, &net, 0).expect("grouped backbones");
+        assert!(missing.violations >= 1, "{}", missing.description);
+        assert!(missing.fault.is_multi_line());
+        let extra = try_inject(FaultType::ExtraPeerGroupItem, &net, 0).expect("bb peers exist");
+        assert!(extra.violations >= 1, "{}", extra.description);
+    }
+
+    #[test]
+    fn policy_faults_inject_on_wan() {
+        let net = wan48();
+        for fault in [
+            FaultType::MissingRoutePolicy,
+            FaultType::StaleRouteMap,
+            FaultType::WrongOverrideAsn,
+            FaultType::MissingPrefixListItems,
+        ] {
+            let inc = try_inject(fault, &net, 2);
+            assert!(inc.is_some(), "{fault} should inject");
+            assert!(inc.unwrap().violations >= 1);
+        }
+    }
+
+    #[test]
+    fn sampler_respects_applicability() {
+        let net = wan48();
+        let incidents = sample_incidents(&net, 12, 42);
+        assert!(incidents.len() >= 10, "got {}", incidents.len());
+        for inc in &incidents {
+            assert!(inc.violations >= 1, "{}", inc.description);
+        }
+    }
+
+    #[test]
+    fn broken_configs_reparse() {
+        let net = mesh();
+        for (fault, _) in TABLE1 {
+            if let Some(inc) = try_inject(fault, &net, 3) {
+                for (r, d) in inc.broken.devices() {
+                    let text = d.to_text();
+                    acr_cfg::parse::parse_device(d.name(), &text)
+                        .unwrap_or_else(|e| panic!("{fault} on {r}: {e}\n{text}"));
+                }
+            }
+        }
+    }
+}

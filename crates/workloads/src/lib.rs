@@ -1,0 +1,28 @@
+//! # acr-workloads
+//!
+//! Workload generation for the ACR experiments:
+//!
+//! - [`fig2`] — the paper's Figure 2 example incident, built exactly:
+//!   four backbone routers (A, B, C, S), two PoPs and a DCN, `as-path
+//!   overwrite` policies whose `default_all` prefix lists are
+//!   misconfigured to `0.0.0.0 0` on A and C, and the new C–S session
+//!   that sets off route flapping for `10.0/16`.
+//! - [`netgen`] — role-structured configuration generation for arbitrary
+//!   topologies: shared customer AS at the edge (which makes the
+//!   backbone's `as-path overwrite` ingress policies *load-bearing*, as in
+//!   the paper's network), peer groups for multi-customer backbones,
+//!   static-vs-network origination mix, PBR guard policies, and a
+//!   reachability specification.
+//! - [`inject`] — the incident injector: plants each of the paper's nine
+//!   Table-1 misconfiguration classes into a generated network, with a
+//!   sampler that reproduces the reported ratios.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod fig2;
+pub mod inject;
+pub mod netgen;
+
+pub use fig2::{fig2_incident, Fig2};
+pub use inject::{sample_incidents, try_inject, FaultType, Incident, TABLE1};
+pub use netgen::{generate, GeneratedNetwork, CUSTOMER_AS};

@@ -1,0 +1,111 @@
+//! The paper's Figure 2 incident, narrated end to end.
+//!
+//! Reproduces §5's worked example: route flapping for 10.0/16 caused by
+//! over-broad `default_all` prefix lists on routers A and C, localized by
+//! Tarantula, fixed by prefix-list symbolization, validated by the
+//! incremental verifier.
+//!
+//! ```sh
+//! cargo run --example example_incident
+//! ```
+
+use acr::prelude::*;
+use acr::workloads::fig2::fig2_incident;
+use acr_core::templates::TemplateKind;
+use acr_verify::Verifier;
+
+fn main() {
+    let fig2 = fig2_incident();
+    println!("=== The network (paper Figure 2a) ===");
+    for info in fig2.topo.routers() {
+        let neighbors: Vec<String> = fig2
+            .topo
+            .neighbors(info.id)
+            .iter()
+            .map(|(n, _)| fig2.topo.router(*n).name.clone())
+            .collect();
+        let attached: Vec<String> = info.attached.iter().map(|p| p.to_string()).collect();
+        println!(
+            "  {:5} ({}) -- neighbors: {:?}{}",
+            info.name,
+            info.role,
+            neighbors,
+            if attached.is_empty() { String::new() } else { format!(", originates {attached:?}") }
+        );
+    }
+
+    println!("\n=== Router A's configuration (paper Figure 2b) ===");
+    for (n, stmt) in fig2.broken.device(fig2.a).unwrap().lines() {
+        println!("  {n:2} {stmt}");
+    }
+
+    println!("\n=== The incident ===");
+    let sim = Simulator::new(&fig2.topo, &fig2.broken);
+    let out = sim.run();
+    for prefix in out.flapping() {
+        println!("  route FLAPPING for {prefix} (the paper's orange arrows)");
+    }
+    let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+    let (v, _) = verifier.run_full(&fig2.broken);
+    for rec in &v.records {
+        println!(
+            "  test {:5} [{}] -> {}",
+            rec.property,
+            rec.kind,
+            if rec.passed { "pass".to_string() } else { format!("FAIL ({})", rec.violation.as_ref().unwrap()) }
+        );
+    }
+
+    println!("\n=== Step 1: Localize (Tarantula over the coverage spectrum) ===");
+    let ranking = localize(&v.matrix, SbflFormula::Tarantula);
+    for (line, score) in ranking.entries().iter().filter(|(l, _)| l.router == fig2.a) {
+        let stmt = fig2.broken.stmt(*line).map(|s| s.to_string()).unwrap_or_default();
+        if *score > 0.0 {
+            println!("  A line {:2}  susp {:.2}  {}", line.line, score, stmt.trim());
+        }
+    }
+    println!("  (the paper's 0.67 on A's `peer S route-policy Override_All import`)");
+
+    println!("\n=== Steps 2+3, iterated: the repair engine ===");
+    let engine = RepairEngine::new(
+        &fig2.topo,
+        &fig2.spec,
+        RepairConfig {
+            strategy: Strategy::brute_force(),
+            allowed_templates: Some(vec![TemplateKind::PrefixListAdjust]),
+            ..RepairConfig::default()
+        },
+    );
+    let report = engine.repair(&fig2.broken);
+    for it in &report.iterations {
+        println!(
+            "  iteration {:2}: fitness {}, {} candidates generated, {} preserved, {} prefixes re-simulated",
+            it.iteration, it.fitness, it.generated, it.kept, it.recomputed_prefixes
+        );
+    }
+    match &report.outcome {
+        RepairOutcome::Fixed { patch, repaired } => {
+            println!("\nfeasible update found ({} edits):", patch.len());
+            for edit in &patch.edits {
+                println!("  {edit}");
+            }
+            let (v, _) = verifier.run_full(repaired);
+            println!(
+                "\npost-repair verification: {}/{} tests pass, flapping: none",
+                v.records.len() - v.failed_count(),
+                v.records.len()
+            );
+            println!("\n=== Repaired prefix lists ===");
+            for router in [fig2.a, fig2.c] {
+                let name = &fig2.topo.router(router).name;
+                for (_, stmt) in repaired.device(router).unwrap().lines() {
+                    let text = stmt.to_string();
+                    if text.contains("prefix-list") {
+                        println!("  {name}: {}", text.trim());
+                    }
+                }
+            }
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+}

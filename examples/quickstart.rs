@@ -1,0 +1,65 @@
+//! Quickstart: break a small WAN, watch verification catch it, let ACR
+//! repair it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use acr::prelude::*;
+
+fn main() {
+    // 1. A 4-backbone / 6-customer WAN with role-generated configurations
+    //    and a reachability specification.
+    let topo = acr::topo::gen::wan(4, 6);
+    let net = generate(&topo);
+    println!(
+        "network: {} routers, {} links, {} config lines, {} intents",
+        topo.len(),
+        topo.links().len(),
+        net.cfg.total_lines(),
+        net.spec.len()
+    );
+
+    // 2. Verify the intended configuration — everything holds.
+    let verifier = Verifier::new(&net.topo, &net.spec);
+    let (v, _) = verifier.run_full(&net.cfg);
+    println!("intended config: {}/{} tests pass", v.records.len() - v.failed_count(), v.records.len());
+
+    // 3. Inject a Table-1 incident: a peer group goes missing.
+    let incident = try_inject(FaultType::MissingPeerGroup, &net, 0).expect("injectable");
+    println!("\nincident: {}", incident.description);
+    let (v, _) = verifier.run_full(&incident.broken);
+    for failure in v.failures() {
+        println!(
+        "  FAILED {}: {}",
+            failure.property,
+            failure.violation.as_ref().map(|x| x.to_string()).unwrap_or_default()
+        );
+    }
+
+    // 4. Localize: the most suspicious configuration lines.
+    let ranking = localize(&v.matrix, SbflFormula::Tarantula);
+    println!("\ntop suspicious lines (Tarantula):");
+    for (line, score) in ranking.top_k(5) {
+        let stmt = incident.broken.stmt(*line).map(|s| s.to_string()).unwrap_or_default();
+        println!("  {score:.2}  {line}  {}", stmt.trim());
+    }
+
+    // 5. Repair: localize–fix–validate to a feasible update.
+    let engine = RepairEngine::with_defaults(&net.topo, &net.spec);
+    let report = engine.repair(&incident.broken);
+    match &report.outcome {
+        RepairOutcome::Fixed { patch, repaired } => {
+            println!(
+                "\nrepaired in {} iterations / {} validations ({:?}):",
+                report.iteration_count(),
+                report.validations,
+                report.wall
+            );
+            println!("  {patch}");
+            let (v, _) = verifier.run_full(repaired);
+            println!("post-repair: {}/{} tests pass", v.records.len() - v.failed_count(), v.records.len());
+        }
+        other => println!("\nno feasible update found: {other:?}"),
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end reproduction of the paper's §5 worked example (Figure 2).
+//!
+//! The incident: with the `default_all` prefix lists on routers A and C
+//! misconfigured to `0.0.0.0 0`, the new C–S session sets off route
+//! flapping for `10.0/16`. The worked example then walks
+//! localize–fix–validate through two iterations: adjust A's list
+//! (suspiciousness 0.67 on its `peer S route-policy Override_All import`
+//! line), observe the residual C–S problem, adjust C's list.
+
+use acr::prelude::*;
+use acr::workloads::fig2::{fig2_incident, DCN_PREFIX, POP_A_PREFIX, POP_B_PREFIX};
+use acr_core::templates::{candidates_for_line, TemplateKind};
+use acr_core::{ctx::RepairCtx, engine};
+use acr_verify::Verifier;
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// Step 1 (Localize): Tarantula must score A's `peer <S> route-policy
+/// Override_All import` line 0.67 — covered by the one failed test and
+/// exactly one passed test — and rank it top.
+#[test]
+fn tarantula_scores_a_peer_policy_line_067() {
+    let fig2 = fig2_incident();
+    let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+    let (v, _) = verifier.run_full(&fig2.broken);
+    assert_eq!(v.failed_count(), 1);
+    assert_eq!(v.matrix.totals(), (2, 1), "two passed, one failed");
+
+    let ranking = localize(&v.matrix, SbflFormula::Tarantula);
+    // Find A's `peer 172.16.0.10 route-policy Override_All import` —
+    // line 5 of A's config.
+    let a_line = LineId::new(fig2.a, 5);
+    let stmt = fig2.broken.stmt(a_line).unwrap().to_string();
+    assert_eq!(stmt.trim(), "peer 172.16.0.10 route-policy Override_All import");
+    let score = ranking.score_of(a_line).expect("line must be ranked");
+    assert!((score - 2.0 / 3.0).abs() < 1e-9, "expected 0.67, got {score}");
+    // The paper's table scores router A's lines only ("we only show the
+    // results for router A. … we can get the highest suspiciousness is
+    // 0.67"): the line must be the maximum among A's lines.
+    let a_max = ranking
+        .entries()
+        .iter()
+        .filter(|(l, _)| l.router == fig2.a)
+        .map(|(_, s)| *s)
+        .fold(0.0f64, f64::max);
+    assert!((score - a_max).abs() < 1e-12, "A's max is {a_max}, line scored {score}");
+}
+
+/// Step 2 (Fix): the prefix-list template on the suspicious line solves
+/// `P ∧ ¬F` to exactly `{10.70/16, 20.0/16}` — the paper's `var`.
+#[test]
+fn symbolization_solves_the_papers_var() {
+    let fig2 = fig2_incident();
+    let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+    let (v, out) = verifier.run_full(&fig2.broken);
+    let models = engine::models_of(&fig2.topo, &fig2.broken);
+    let ctx = RepairCtx {
+        topo: &fig2.topo,
+        cfg: &fig2.broken,
+        verification: &v,
+        arena: &out.arena,
+        models: &models,
+    };
+    let a_line = LineId::new(fig2.a, 5);
+    let fixes = candidates_for_line(a_line, &ctx);
+    let pl_fix = fixes
+        .iter()
+        .find(|f| f.template == TemplateKind::PrefixListAdjust)
+        .expect("prefix-list template must fire");
+    // The patch deletes `permit 0.0.0.0 0` and inserts permits for
+    // exactly 10.70/16 and 20.0/16.
+    let patched = pl_fix.patch.apply_cloned(&fig2.broken).unwrap();
+    let text = patched.device(fig2.a).unwrap().to_text();
+    assert!(text.contains("ip prefix-list default_all index 10 permit 10.70.0.0 16"), "{text}");
+    assert!(text.contains("ip prefix-list default_all index 20 permit 20.0.0.0 16"), "{text}");
+    assert!(!text.contains("permit 0.0.0.0 0"), "{text}");
+}
+
+/// Step 3 (Validate): fixing A alone does not clear the violation — the
+/// C–S interaction keeps `10.0/16` broken (fitness stays 1, the candidate
+/// is preserved), exactly the paper's first-iteration outcome.
+#[test]
+fn fixing_a_alone_leaves_the_violation() {
+    let fig2 = fig2_incident();
+    // Apply only A's half of the intended repair.
+    let mut half = fig2.broken.clone();
+    let a_fixed = fig2.intended.device(fig2.a).unwrap().clone();
+    half.insert(fig2.a, a_fixed);
+
+    let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+    let (v, _) = verifier.run_full(&half);
+    assert_eq!(v.failed_count(), 1, "still exactly one failed case");
+    let failure = v.failures().next().unwrap();
+    assert_eq!(failure.property, "PoPB");
+    // Our synchronous dynamics report the residual C–S pathology as
+    // continued instability (the paper's DNA snapshot reports it as a
+    // C–S forwarding loop); either way the same single case stays failed.
+    assert!(
+        matches!(
+            failure.violation,
+            Some(Violation::Flapping(_)) | Some(Violation::ForwardingLoop(_))
+        ),
+        "{:?}",
+        failure.violation
+    );
+}
+
+/// Iteration 2: on the A-fixed network, C's `peer <S> route-policy
+/// Override_All import` line scores 0.5 (the paper's reported value) and
+/// its prefix-list fix clears everything.
+#[test]
+fn second_iteration_localizes_c_at_05() {
+    let fig2 = fig2_incident();
+    let mut half = fig2.broken.clone();
+    half.insert(fig2.a, fig2.intended.device(fig2.a).unwrap().clone());
+
+    let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+    let (v, out) = verifier.run_full(&half);
+    let ranking = localize(&v.matrix, SbflFormula::Tarantula);
+    // C's peer-policy application line is line 5 of C's config.
+    let c_line = LineId::new(fig2.c, 5);
+    let stmt = half.stmt(c_line).unwrap().to_string();
+    assert_eq!(stmt.trim(), "peer 172.16.0.14 route-policy Override_All import");
+    let score = ranking.score_of(c_line).expect("ranked");
+    assert!((score - 0.5).abs() < 1e-9, "paper reports 0.5, got {score}");
+
+    // Its template repairs C; the whole network then verifies clean.
+    let models = engine::models_of(&fig2.topo, &half);
+    let ctx = RepairCtx {
+        topo: &fig2.topo,
+        cfg: &half,
+        verification: &v,
+        arena: &out.arena,
+        models: &models,
+    };
+    let fixes = candidates_for_line(c_line, &ctx);
+    let pl_fix = fixes
+        .iter()
+        .find(|f| f.template == TemplateKind::PrefixListAdjust)
+        .expect("prefix-list template must fire on C");
+    let repaired = pl_fix.patch.apply_cloned(&half).unwrap();
+    let (v2, _) = verifier.run_full(&repaired);
+    assert!(v2.all_passed(), "{:?}", v2.failures().map(|r| (&r.property, &r.violation)).collect::<Vec<_>>());
+}
+
+/// The full engine run, restricted to the paper's repair style
+/// (prefix-list adjustment): localize–fix–validate repairs the incident
+/// end-to-end, editing both A and C — the canonical two-iteration repair.
+#[test]
+fn repair_engine_fixes_fig2_end_to_end() {
+    let fig2 = fig2_incident();
+    let engine = RepairEngine::new(
+        &fig2.topo,
+        &fig2.spec,
+        RepairConfig {
+            strategy: Strategy::brute_force(),
+            allowed_templates: Some(vec![TemplateKind::PrefixListAdjust]),
+            ..RepairConfig::default()
+        },
+    );
+    let report = engine.repair(&fig2.broken);
+    assert_eq!(report.initial_failed, 1);
+    let RepairOutcome::Fixed { patch, repaired } = &report.outcome else {
+        panic!("must fix: {:?} after {} iterations", report.outcome, report.iteration_count());
+    };
+    // The repair edits prefix lists on the faulty routers only (A and/or
+    // C — in our reproduction C's fix alone is already feasible, because
+    // once C stops laundering S's echoes, A's own AS-path check contains
+    // its half of the fault; the paper's two-device repair is walked
+    // through step by step in the tests above).
+    let mut routers = patch.routers();
+    routers.sort();
+    assert!(!routers.is_empty() && routers.iter().all(|r| *r == fig2.a || *r == fig2.c), "patch: {patch}");
+    assert!(routers.contains(&fig2.c), "C's list is the load-bearing fix: {patch}");
+    // The repaired network holds every intent, with no flapping.
+    let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+    let (v, out) = verifier.run_full(repaired);
+    assert!(v.all_passed());
+    assert!(out.flapping().is_empty());
+    // And each customer prefix is reachable in the data plane.
+    for (dst, start) in [
+        (POP_A_PREFIX, fig2.s),
+        (POP_B_PREFIX, fig2.s),
+        (DCN_PREFIX, fig2.b),
+    ] {
+        let sim = Simulator::new(&fig2.topo, repaired);
+        let mut o = sim.run();
+        let flow = Flow::ip(Ipv4Addr::new(99, 0, 0, 1), p(dst).host(1));
+        let res = sim.forward(&mut o, start, &flow);
+        assert!(res.outcome.is_delivered(), "{dst} from {start}: {}", res.outcome);
+    }
+}
+
+/// The genetic strategy also repairs the incident (possibly along a
+/// different path through the search space).
+#[test]
+fn genetic_strategy_also_fixes_fig2() {
+    let fig2 = fig2_incident();
+    let engine = RepairEngine::new(
+        &fig2.topo,
+        &fig2.spec,
+        RepairConfig { strategy: Strategy::default(), seed: 3, ..RepairConfig::default() },
+    );
+    let report = engine.repair(&fig2.broken);
+    assert!(
+        report.outcome.is_fixed(),
+        "genetic run failed after {} iterations: {:?}",
+        report.iteration_count(),
+        report.outcome
+    );
+}
+
+/// Unrestricted, the engine may discover a *smaller* feasible update than
+/// the paper's: the three intents never require the A–S or C–S sessions,
+/// so tearing one down also clears every violation. The spec — not the
+/// engine — is what makes a repair "the" repair; this test documents the
+/// alternative and checks it really does verify clean.
+#[test]
+fn unrestricted_engine_finds_some_feasible_update() {
+    let fig2 = fig2_incident();
+    let engine = RepairEngine::new(
+        &fig2.topo,
+        &fig2.spec,
+        RepairConfig { strategy: Strategy::brute_force(), ..RepairConfig::default() },
+    );
+    let report = engine.repair(&fig2.broken);
+    let RepairOutcome::Fixed { repaired, .. } = &report.outcome else {
+        panic!("{:?}", report.outcome);
+    };
+    let verifier = Verifier::new(&fig2.topo, &fig2.spec);
+    let (v, out) = verifier.run_full(repaired);
+    assert!(v.all_passed());
+    assert!(out.flapping().is_empty());
+}

@@ -1,0 +1,196 @@
+//! System-level property tests spanning the whole stack.
+//!
+//! The two most load-bearing invariants:
+//!
+//! 1. **Incremental ≡ full**: for any single-edit patch on a generated
+//!    network, the DNA-style incremental verifier and a from-scratch full
+//!    verification agree on every verdict and every coverage set.
+//! 2. **Simulator determinism and sanity**: repeated runs are identical;
+//!    no converged best route ever carries its holder's own AS in the
+//!    path unless a policy overwrote it.
+
+use acr::prelude::*;
+use acr::workloads::GeneratedNetwork;
+use acr_sim::PrefixOutcome;
+use acr_verify::Verifier;
+use proptest::prelude::{any, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+
+fn wan() -> GeneratedNetwork {
+    generate(&acr::topo::gen::wan(3, 4))
+}
+
+/// Materializes a single edit on the generated WAN from raw fuzz inputs.
+fn edit_from(net: &GeneratedNetwork, ri: usize, pos: u16, kind: u8) -> Patch {
+    let routers = net.cfg.routers();
+    let router = routers[ri % routers.len()];
+    let len = net.cfg.device(router).unwrap().len();
+    match kind % 3 {
+        0 => Patch::single(Edit::Delete { router, index: pos as usize % len }),
+        1 => Patch::single(Edit::Insert {
+            router,
+            index: len, // append keeps block contexts intact
+            stmt: Stmt::StaticRoute {
+                prefix: Prefix::from_octets(10, (pos % 200) as u8, 0, 0, 16),
+                next_hop: acr::cfg::NextHop::Null0,
+            },
+        }),
+        _ => Patch::single(Edit::Replace {
+            router,
+            index: pos as usize % len,
+            stmt: Stmt::Remark("mutated".into()),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental candidate validation agrees with full verification on
+    /// verdicts, violations and coverage — for arbitrary single edits,
+    /// including ones that break parsing-level invariants semantically.
+    #[test]
+    fn incremental_equals_full(ri in any::<usize>(), pos in any::<u16>(), kind in any::<u8>()) {
+        let net = wan();
+        let patch = edit_from(&net, ri, pos, kind);
+        prop_assume!(patch.apply_cloned(&net.cfg).is_ok());
+        let candidate = patch.apply_cloned(&net.cfg).unwrap();
+
+        let mut iv = IncrementalVerifier::new(&net.topo, &net.spec);
+        iv.commit(&net.cfg);
+        let v_inc = iv.verify_candidate(&candidate, &patch);
+
+        let verifier = Verifier::new(&net.topo, &net.spec);
+        let (v_full, _) = verifier.run_full(&candidate);
+
+        prop_assert_eq!(v_inc.failed_count(), v_full.failed_count());
+        for (a, b) in v_inc.records.iter().zip(&v_full.records) {
+            prop_assert_eq!(a.passed, b.passed, "test {}", a.id);
+            prop_assert_eq!(&a.violation, &b.violation, "test {}", a.id);
+            prop_assert_eq!(&a.path, &b.path, "test {}", a.id);
+        }
+        for (a, b) in v_inc.matrix.tests().iter().zip(v_full.matrix.tests()) {
+            prop_assert_eq!(&a.lines, &b.lines, "coverage of {}", a.test);
+        }
+    }
+}
+
+/// The strategy above only varies through the deterministic runner; cover
+/// real edit diversity with an explicit sweep over every statement of
+/// every device (exhaustive single-deletes — slow-ish but decisive).
+#[test]
+fn incremental_equals_full_for_every_single_delete() {
+    let net = wan();
+    let verifier = Verifier::new(&net.topo, &net.spec);
+    let mut checked = 0usize;
+    for router in net.cfg.routers() {
+        let len = net.cfg.device(router).unwrap().len();
+        // Sample every third statement to keep runtime reasonable while
+        // still crossing every block kind.
+        for index in (0..len).step_by(3) {
+            let patch = Patch::single(Edit::Delete { router, index });
+            let Ok(candidate) = patch.apply_cloned(&net.cfg) else { continue };
+            let mut iv = IncrementalVerifier::new(&net.topo, &net.spec);
+            iv.commit(&net.cfg);
+            let v_inc = iv.verify_candidate(&candidate, &patch);
+            let (v_full, _) = verifier.run_full(&candidate);
+            assert_eq!(
+                v_inc.failed_count(),
+                v_full.failed_count(),
+                "delete {router}@{index}"
+            );
+            for (a, b) in v_inc.records.iter().zip(&v_full.records) {
+                assert_eq!(a.passed, b.passed, "delete {router}@{index}, test {}", a.id);
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "swept {checked} deletions");
+}
+
+/// Two simulations of the same inputs are bit-identical in every
+/// protocol-visible respect.
+#[test]
+fn simulation_is_deterministic() {
+    let net = wan();
+    let sim1 = Simulator::new(&net.topo, &net.cfg);
+    let sim2 = Simulator::new(&net.topo, &net.cfg);
+    let o1 = sim1.run();
+    let o2 = sim2.run();
+    assert_eq!(o1.outcomes.len(), o2.outcomes.len());
+    for (p, a) in &o1.outcomes {
+        let b = &o2.outcomes[p];
+        match (a, b) {
+            (
+                PrefixOutcome::Converged { best: ba, rounds: ra, .. },
+                PrefixOutcome::Converged { best: bb, rounds: rb, .. },
+            ) => {
+                assert_eq!(ra, rb, "{p}");
+                let ka: Vec<_> = ba.iter().map(|r| r.as_ref().map(|r| r.key())).collect();
+                let kb: Vec<_> = bb.iter().map(|r| r.as_ref().map(|r| r.key())).collect();
+                assert_eq!(ka, kb, "{p}");
+            }
+            (
+                PrefixOutcome::Flapping { cycle_len: ca, .. },
+                PrefixOutcome::Flapping { cycle_len: cb, .. },
+            ) => assert_eq!(ca, cb, "{p}"),
+            _ => panic!("{p}: outcome kinds diverge"),
+        }
+    }
+}
+
+/// AS-path sanity: in a converged healthy WAN, no router holds a best
+/// route whose path contains its own AS (no policy here overwrites, so
+/// loop prevention must have filtered every echo).
+#[test]
+fn no_self_as_in_converged_paths_without_overwrite() {
+    // Build a WAN variant whose backbones do NOT use overwrite policies:
+    // distinct customer ASes, plain peering.
+    let mut b = acr::topo::TopologyBuilder::new();
+    let r0 = b.router("X0", Role::Backbone);
+    let r1 = b.router("X1", Role::Backbone);
+    let r2 = b.router("X2", Role::Backbone);
+    b.link(r0, r1);
+    b.link(r1, r2);
+    b.attach(r0, "10.0.0.0/16".parse().unwrap());
+    b.attach(r2, "10.2.0.0/16".parse().unwrap());
+    let topo = b.build();
+    let mut cfg = NetworkConfig::new();
+    let texts = [
+        "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n",
+        "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n",
+        "bgp 65002\n network 10.2.0.0 16\n peer 172.16.0.5 as-number 65001\n",
+    ];
+    for (r, t) in topo.routers().iter().zip(texts) {
+        cfg.insert(r.id, acr::cfg::parse::parse_device(r.name.clone(), t).unwrap());
+    }
+    let sim = Simulator::new(&topo, &cfg);
+    let out = sim.run();
+    for (p, o) in &out.outcomes {
+        let PrefixOutcome::Converged { best, .. } = o else {
+            panic!("{p} must converge");
+        };
+        for (i, route) in best.iter().enumerate() {
+            let Some(route) = route else { continue };
+            let own = Asn(65000 + i as u32);
+            assert!(
+                !route.as_path.contains(own),
+                "{p}: router {i} holds its own AS in {:?}",
+                route.as_path
+            );
+        }
+    }
+}
+
+/// Repairing a healthy network is the identity.
+#[test]
+fn repairing_healthy_network_is_noop() {
+    let net = wan();
+    let engine = RepairEngine::with_defaults(&net.topo, &net.spec);
+    let report = engine.repair(&net.cfg);
+    let RepairOutcome::Fixed { patch, repaired } = report.outcome else {
+        panic!();
+    };
+    assert!(patch.is_empty());
+    assert_eq!(repaired.fingerprint(), net.cfg.fingerprint());
+    assert_eq!(report.validations, 0);
+}
