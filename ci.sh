@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The full offline CI gate: formatting, lints, release build, tests.
+# Requires nothing beyond the baked-in Rust toolchain — the workspace is
+# hermetic (no registry crates), so this runs with the network off.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy (default features)"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo clippy (heavy-tests)"
+    cargo clippy --workspace --all-targets --features heavy-tests -- -D warnings
+else
+    echo "==> clippy unavailable in this toolchain; skipping lint step"
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (default features)"
+cargo test -q
+
+echo "==> cargo test (heavy-tests)"
+cargo test -q --workspace --features heavy-tests
+
+echo "CI OK"

@@ -49,19 +49,16 @@ pub struct AedReport {
 }
 
 /// Runs the baseline with a validation budget.
-pub fn aed_repair(
-    topo: &Topology,
-    spec: &Spec,
-    cfg: &NetworkConfig,
-    budget: usize,
-) -> AedReport {
+pub fn aed_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig, budget: usize) -> AedReport {
     let start = Instant::now();
     let free_vars = aed_free_variables(cfg);
     let verifier = Verifier::new(topo, spec);
     let (v0, _) = verifier.run_full(cfg);
     if v0.all_passed() {
         return AedReport {
-            outcome: AedOutcome::Fixed { patch: Patch::new() },
+            outcome: AedOutcome::Fixed {
+                patch: Patch::new(),
+            },
             validations: 0,
             free_vars,
             wall: start.elapsed(),
@@ -80,7 +77,12 @@ pub fn aed_repair(
                 index: line.index(),
             }));
         }
-        if let Stmt::PrefixListEntry { list, index: pl_index, .. } = stmt {
+        if let Stmt::PrefixListEntry {
+            list,
+            index: pl_index,
+            ..
+        } = stmt
+        {
             for p in &universe {
                 atoms.push(Patch::single(Edit::Replace {
                     router: line.router,
@@ -126,7 +128,9 @@ pub fn aed_repair(
                 wall: start.elapsed(),
             });
         }
-        let Ok(candidate) = patch.apply_cloned(cfg) else { return None };
+        let Ok(candidate) = patch.apply_cloned(cfg) else {
+            return None;
+        };
         *validations += 1;
         let (v, _) = verifier.run_full(&candidate);
         if v.all_passed() {
@@ -182,7 +186,9 @@ mod tests {
         let inc = try_inject(FaultType::StaleRouteMap, &net, 0).expect("injectable");
         let report = aed_repair(&net.topo, &net.spec, &inc.broken, 20_000);
         assert!(report.outcome.is_fixed(), "{:?}", report.outcome);
-        let AedOutcome::Fixed { patch } = &report.outcome else { unreachable!() };
+        let AedOutcome::Fixed { patch } = &report.outcome else {
+            unreachable!()
+        };
         let repaired = patch.apply_cloned(&inc.broken).unwrap();
         let verifier = acr_verify::Verifier::new(&net.topo, &net.spec);
         let (v, _) = verifier.run_full(&repaired);

@@ -38,8 +38,7 @@ pub struct MetaProvReport {
 pub fn metaprov_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig) -> MetaProvReport {
     let verifier = Verifier::new(topo, spec);
     let (v0, out0) = verifier.run_full(cfg);
-    let originally_failing: BTreeSet<TestId> =
-        v0.failures().map(|r| r.id).collect();
+    let originally_failing: BTreeSet<TestId> = v0.failures().map(|r| r.id).collect();
     if originally_failing.is_empty() {
         return MetaProvReport {
             fixed_target: true,
@@ -51,7 +50,10 @@ pub fn metaprov_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig) -> Met
         };
     }
     let prov = Provenance::new(&out0.arena);
-    let roots: Vec<_> = v0.failures().flat_map(|r| r.deriv_roots.iter().copied()).collect();
+    let roots: Vec<_> = v0
+        .failures()
+        .flat_map(|r| r.deriv_roots.iter().copied())
+        .collect();
     let leaves = prov.leaves(roots.clone());
     let search_space = leaves.len();
     let mut leaf_lines: Vec<acr_cfg::LineId> = prov.leaf_lines(roots).into_iter().collect();
@@ -62,7 +64,11 @@ pub fn metaprov_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig) -> Met
     let universe: BTreeSet<Prefix> = v0
         .records
         .iter()
-        .flat_map(|r| topo.attachments().map(|(_, p)| p).filter(move |p| p.contains(r.flow.dst)))
+        .flat_map(|r| {
+            topo.attachments()
+                .map(|(_, p)| p)
+                .filter(move |p| p.contains(r.flow.dst))
+        })
         .collect();
 
     let mut tried = 0usize;
@@ -70,7 +76,9 @@ pub fn metaprov_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig) -> Met
         let Some(stmt) = cfg.stmt(line) else { continue };
         for candidate in mutations(stmt, line, &universe) {
             tried += 1;
-            let Ok(patched) = candidate.apply_cloned(cfg) else { continue };
+            let Ok(patched) = candidate.apply_cloned(cfg) else {
+                continue;
+            };
             let (v1, _) = verifier.run_full(&patched);
             let target_fixed = v1
                 .records
@@ -115,7 +123,13 @@ fn mutations(stmt: &Stmt, line: acr_cfg::LineId, universe: &BTreeSet<Prefix>) ->
         out.push(Patch::single(Edit::Delete { router, index }));
     }
     match stmt {
-        Stmt::PrefixListEntry { list, index: pl_index, ge, le, .. } => {
+        Stmt::PrefixListEntry {
+            list,
+            index: pl_index,
+            ge,
+            le,
+            ..
+        } => {
             for p in universe {
                 out.push(Patch::single(Edit::Replace {
                     router,
@@ -145,7 +159,10 @@ fn mutations(stmt: &Stmt, line: acr_cfg::LineId, universe: &BTreeSet<Prefix>) ->
                 out.push(Patch::single(Edit::Replace {
                     router,
                     index,
-                    stmt: Stmt::StaticRoute { prefix: *p, next_hop: *next_hop },
+                    stmt: Stmt::StaticRoute {
+                        prefix: *p,
+                        next_hop: *next_hop,
+                    },
                 }));
             }
         }

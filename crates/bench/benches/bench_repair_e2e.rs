@@ -25,13 +25,18 @@ fn bench_incident_repairs(c: &mut Criterion) {
         FaultType::WrongOverrideAsn,
         FaultType::MissingPeerGroup,
     ] {
-        let Some(incident) = try_inject(fault, &net, 0) else { continue };
+        let Some(incident) = try_inject(fault, &net, 0) else {
+            continue;
+        };
         group.bench_function(format!("{fault}"), |b| {
             b.iter(|| {
                 let engine = RepairEngine::new(
                     &net.topo,
                     &net.spec,
-                    RepairConfig { seed: 11, ..RepairConfig::default() },
+                    RepairConfig {
+                        seed: 11,
+                        ..RepairConfig::default()
+                    },
                 );
                 std::hint::black_box(engine.repair(&incident.broken))
             })

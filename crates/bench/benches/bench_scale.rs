@@ -19,8 +19,7 @@ fn bench_repair_scaling(c: &mut Criterion) {
             &(net, incident),
             |b, (net, incident)| {
                 b.iter(|| {
-                    let engine =
-                        RepairEngine::new(&net.topo, &net.spec, RepairConfig::default());
+                    let engine = RepairEngine::new(&net.topo, &net.spec, RepairConfig::default());
                     std::hint::black_box(engine.repair(&incident.broken))
                 })
             },

@@ -3,9 +3,9 @@
 //! enumeration, template instantiation, and the local SMT solve.
 
 use acr_bench::standard_network;
+use acr_core::ctx::RepairCtx;
 use acr_core::engine::models_of;
 use acr_core::templates::candidates_for_line;
-use acr_core::ctx::RepairCtx;
 use acr_localize::{cel_localize, localize, SbflFormula};
 use acr_prov::Provenance;
 use acr_verify::Verifier;
@@ -26,7 +26,10 @@ fn bench_spaces(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(cel_localize(&v.matrix)))
     });
 
-    let roots: Vec<_> = v.failures().flat_map(|r| r.deriv_roots.iter().copied()).collect();
+    let roots: Vec<_> = v
+        .failures()
+        .flat_map(|r| r.deriv_roots.iter().copied())
+        .collect();
     c.bench_function("provenance_leaf_enumeration", |b| {
         let prov = Provenance::new(&out.arena);
         b.iter(|| std::hint::black_box(prov.leaves(roots.iter().copied())))

@@ -11,12 +11,16 @@ fn bench_full_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_full_network");
     for n_bb in [4usize, 8, 16] {
         let net = scaled_network(n_bb);
-        group.bench_with_input(BenchmarkId::from_parameter(net.topo.len()), &net, |b, net| {
-            b.iter(|| {
-                let sim = Simulator::new(&net.topo, &net.cfg);
-                std::hint::black_box(sim.run())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.topo.len()),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let sim = Simulator::new(&net.topo, &net.cfg);
+                    std::hint::black_box(sim.run())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -38,5 +42,10 @@ fn bench_single_prefix(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_full_simulation, bench_model_compilation, bench_single_prefix);
+criterion_group!(
+    benches,
+    bench_full_simulation,
+    bench_model_compilation,
+    bench_single_prefix
+);
 criterion_main!(benches);

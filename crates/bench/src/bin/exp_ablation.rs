@@ -78,7 +78,11 @@ fn main() {
             let engine = RepairEngine::new(
                 &net.topo,
                 &net.spec,
-                RepairConfig { formula, seed: i as u64, ..RepairConfig::default() },
+                RepairConfig {
+                    formula,
+                    seed: i as u64,
+                    ..RepairConfig::default()
+                },
             );
             if engine.repair(&incident.broken).outcome.is_fixed() {
                 repaired += 1;
@@ -101,7 +105,10 @@ fn main() {
 
     // ---- 2. strategy ablation ----------------------------------------
     println!("\n=== generation strategy ablation ===\n");
-    let header = format!("{:>12} {:>9} {:>9} {:>11} {:>10}", "strategy", "repaired", "medIter", "medValid", "medTime");
+    let header = format!(
+        "{:>12} {:>9} {:>9} {:>11} {:>10}",
+        "strategy", "repaired", "medIter", "medValid", "medTime"
+    );
     println!("{header}");
     rule(header.len());
     for (name, strategy) in [
@@ -116,7 +123,11 @@ fn main() {
             let engine = RepairEngine::new(
                 &net.topo,
                 &net.spec,
-                RepairConfig { strategy: strategy.clone(), seed: i as u64, ..RepairConfig::default() },
+                RepairConfig {
+                    strategy: strategy.clone(),
+                    seed: i as u64,
+                    ..RepairConfig::default()
+                },
             );
             let r = engine.repair(&incident.broken);
             if r.outcome.is_fixed() {
@@ -136,13 +147,19 @@ fn main() {
             format!("{repaired}/{}", incidents.len()),
             med(&iters),
             med(&valids),
-            times.get(times.len() / 2).map(|t| fmt_duration(*t)).unwrap_or_else(|| "-".into()),
+            times
+                .get(times.len() / 2)
+                .map(|t| fmt_duration(*t))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 
     // ---- 2b. operator-set ablation (§6 universal change operators) ----
     println!("\n=== operator-set ablation: curated templates vs §6 universal donors ===\n");
-    let header = format!("{:>10} {:>9} {:>11} {:>10}", "operators", "repaired", "medValid", "medTime");
+    let header = format!(
+        "{:>10} {:>9} {:>11} {:>10}",
+        "operators", "repaired", "medValid", "medTime"
+    );
     println!("{header}");
     rule(header.len());
     for (name, ops) in [
@@ -157,7 +174,11 @@ fn main() {
             let engine = RepairEngine::new(
                 &net.topo,
                 &net.spec,
-                RepairConfig { operators: ops, seed: i as u64, ..RepairConfig::default() },
+                RepairConfig {
+                    operators: ops,
+                    seed: i as u64,
+                    ..RepairConfig::default()
+                },
             );
             let r = engine.repair(&incident.broken);
             if r.outcome.is_fixed() {
@@ -173,7 +194,10 @@ fn main() {
             name,
             format!("{repaired}/{}", incidents.len()),
             valids.get(valids.len() / 2).copied().unwrap_or(0),
-            times.get(times.len() / 2).map(|t| fmt_duration(*t)).unwrap_or_else(|| "-".into()),
+            times
+                .get(times.len() / 2)
+                .map(|t| fmt_duration(*t))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 
@@ -201,7 +225,10 @@ fn main() {
         router: acr_net_types::RouterId(0),
         index: 2,
     });
-    for (label, patch) in [("prefix-list edit", &local_patch), ("session edit", &session_patch)] {
+    for (label, patch) in [
+        ("prefix-list edit", &local_patch),
+        ("session edit", &session_patch),
+    ] {
         let candidate = patch.apply_cloned(&big.cfg).unwrap();
         let verifier = Verifier::new(&big.topo, &big.spec);
         let t = Instant::now();

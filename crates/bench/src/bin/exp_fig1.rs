@@ -20,7 +20,10 @@ fn main() {
         .unwrap_or(120);
     let net = standard_network();
     let incidents = corpus(&net, count, 7);
-    println!("corpus: {} incidents; measuring automatic resolving time\n", incidents.len());
+    println!(
+        "corpus: {} incidents; measuring automatic resolving time\n",
+        incidents.len()
+    );
 
     let mut times: Vec<f64> = Vec::new();
     let mut unfixed = 0usize;
@@ -34,7 +37,10 @@ fn main() {
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
-    let header = format!("{:>22} {:>10} {:>10}", "resolved within", "ACR", "manual (paper)");
+    let header = format!(
+        "{:>22} {:>10} {:>10}",
+        "resolved within", "ACR", "manual (paper)"
+    );
     println!("{header}");
     rule(header.len());
     // ACR CDF at sub-second granularity; the paper's manual curve at its
@@ -51,7 +57,11 @@ fn main() {
         println!("{label:>22} {:>9.1}% {:>10}", frac * 100.0, "-");
     }
     for (label, manual) in [("30 min", "83.4%"), ("5 h", "~100%")] {
-        println!("{label:>22} {:>9.1}% {:>10}", 100.0 * times.len() as f64 / (times.len() + unfixed).max(1) as f64, manual);
+        println!(
+            "{label:>22} {:>9.1}% {:>10}",
+            100.0 * times.len() as f64 / (times.len() + unfixed).max(1) as f64,
+            manual
+        );
     }
     rule(header.len());
     println!(

@@ -14,11 +14,11 @@
 //! ```
 
 use acr_bench::{rule, scaled_network};
+use acr_core::ctx::RepairCtx;
 use acr_core::engine::models_of;
 use acr_core::space::{acr_space, aed_free_variables, metaprov_space};
-use acr_prov::Provenance;
-use acr_core::ctx::RepairCtx;
 use acr_localize::{localize, SbflFormula};
+use acr_prov::Provenance;
 use acr_verify::Verifier;
 use acr_workloads::{try_inject, FaultType};
 
@@ -41,7 +41,10 @@ fn main() {
         let metaprov = metaprov_space(&out.arena, &v);
         let prov_nodes = {
             let prov = Provenance::new(&out.arena);
-            let roots: Vec<_> = v.failures().flat_map(|r| r.deriv_roots.iter().copied()).collect();
+            let roots: Vec<_> = v
+                .failures()
+                .flat_map(|r| r.deriv_roots.iter().copied())
+                .collect();
             prov.node_count(roots)
         };
         let aed_vars = aed_free_variables(&incident.broken);

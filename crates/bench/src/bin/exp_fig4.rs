@@ -23,7 +23,10 @@ fn main() {
     let broken = compound
         .apply_cloned(&net.cfg)
         .expect("independent faults compose");
-    println!("compound incident: [{}] + [{}]", a.description, b.description);
+    println!(
+        "compound incident: [{}] + [{}]",
+        a.description, b.description
+    );
 
     let engine = RepairEngine::new(&net.topo, &net.spec, RepairConfig::default());
     let report = engine.repair(&broken);
@@ -37,8 +40,13 @@ fn main() {
     for it in &report.iterations {
         println!(
             "{:>5} {:>8} {:>6} {:>10} {:>6} {:>11} {:>9}",
-            it.iteration, it.fitness, it.best_fitness, it.generated, it.kept,
-            it.recomputed_prefixes, it.reused_prefixes
+            it.iteration,
+            it.fitness,
+            it.best_fitness,
+            it.generated,
+            it.kept,
+            it.recomputed_prefixes,
+            it.reused_prefixes
         );
     }
     rule(header.len());

@@ -91,7 +91,10 @@ fn main() {
                 .device(info.id)
                 .map(|d| d.stmts().iter().map(shape).collect())
                 .unwrap_or_default();
-            by_role.entry(info.role.to_string()).or_default().push(shapes);
+            by_role
+                .entry(info.role.to_string())
+                .or_default()
+                .push(shapes);
         }
 
         println!("=== {name} ===");

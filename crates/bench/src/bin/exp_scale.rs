@@ -20,9 +20,15 @@ fn main() {
     // A single-line fault (where provenance methods shine) and a
     // multi-line omission fault (where they cannot help and synthesis
     // exhausts) — the two regimes of the paper's §2.3 comparison.
-    run_sweep("extra redirect rule in PBR (single-line)", FaultType::ExtraPbrRedirect);
+    run_sweep(
+        "extra redirect rule in PBR (single-line)",
+        FaultType::ExtraPbrRedirect,
+    );
     println!();
-    run_sweep("missing peer group (multi-line omission)", FaultType::MissingPeerGroup);
+    run_sweep(
+        "missing peer group (multi-line omission)",
+        FaultType::MissingPeerGroup,
+    );
     println!("\nREGR = the accepted provenance fix broke previously passing intents (§2.3);");
     println!("EXHAUSTED = the synthesis sweep ran out of validation budget (Figure 3b's blow-up).");
 }

@@ -76,8 +76,10 @@ fn main() {
             paper_ratio,
             100.0 * injected as f64 / total as f64,
             format!("{fixed}/{injected}"),
-            row.map(|r| med(&r.iterations)).unwrap_or_else(|| "-".into()),
-            row.map(|r| med(&r.validations)).unwrap_or_else(|| "-".into()),
+            row.map(|r| med(&r.iterations))
+                .unwrap_or_else(|| "-".into()),
+            row.map(|r| med(&r.validations))
+                .unwrap_or_else(|| "-".into()),
         );
         let _ = FaultType::MissingRedistribution; // anchor the import
     }

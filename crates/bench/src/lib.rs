@@ -32,7 +32,10 @@ pub fn repair(net: &GeneratedNetwork, incident: &Incident, seed: u64) -> RepairR
     let engine = RepairEngine::new(
         &net.topo,
         &net.spec,
-        RepairConfig { seed, ..RepairConfig::default() },
+        RepairConfig {
+            seed,
+            ..RepairConfig::default()
+        },
     );
     engine.repair(&incident.broken)
 }

@@ -418,11 +418,14 @@ mod tests {
             Stmt::Network(p("10.0.0.0/8")).required_block(),
             Some(BlockKind::Bgp)
         );
-        assert_eq!(Stmt::StaticRoute {
-            prefix: p("10.0.0.0/8"),
-            next_hop: NextHop::Null0
-        }
-        .required_block(), None);
+        assert_eq!(
+            Stmt::StaticRoute {
+                prefix: p("10.0.0.0/8"),
+                next_hop: NextHop::Null0
+            }
+            .required_block(),
+            None
+        );
     }
 
     #[test]

@@ -237,7 +237,10 @@ mod tests {
     fn line_ids_are_one_based() {
         let cfg = sample();
         assert_eq!(cfg.line(1), Some(&Stmt::BgpProcess(Asn(65001))));
-        assert_eq!(cfg.line(4).map(|s| s.to_string()).unwrap(), "ip route-static 20.0.0.0 16 NULL0");
+        assert_eq!(
+            cfg.line(4).map(|s| s.to_string()).unwrap(),
+            "ip route-static 20.0.0.0 16 NULL0"
+        );
         assert_eq!(cfg.line(0), None);
         assert_eq!(cfg.line(5), None);
         assert_eq!(LineId::new(RouterId(0), 3).index(), 2);
@@ -257,14 +260,24 @@ mod tests {
     fn network_lines_and_fingerprint() {
         let mut net = NetworkConfig::new();
         net.insert(RouterId(1), sample());
-        net.insert(RouterId(0), DeviceConfig::new("B", vec![Stmt::Remark("x".into())]));
+        net.insert(
+            RouterId(0),
+            DeviceConfig::new("B", vec![Stmt::Remark("x".into())]),
+        );
         assert_eq!(net.total_lines(), 5);
         let ids: Vec<LineId> = net.all_lines().collect();
         assert_eq!(ids.len(), 5);
         assert_eq!(ids[0], LineId::new(RouterId(0), 1));
         let fp1 = net.fingerprint();
-        net.insert(RouterId(0), DeviceConfig::new("B", vec![Stmt::Remark("y".into())]));
-        assert_ne!(fp1, net.fingerprint(), "fingerprint must see content changes");
+        net.insert(
+            RouterId(0),
+            DeviceConfig::new("B", vec![Stmt::Remark("y".into())]),
+        );
+        assert_ne!(
+            fp1,
+            net.fingerprint(),
+            "fingerprint must see content changes"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ fn device_diff(router: RouterId, from: &[Stmt], to: &[Stmt], patch: &mut Patch) 
     // its final position.
     for (j, stmt) in to.iter().enumerate() {
         if !keep.1.contains(&j) {
-            patch.push(Edit::Insert { router, index: j, stmt: stmt.clone() });
+            patch.push(Edit::Insert {
+                router,
+                index: j,
+                stmt: stmt.clone(),
+            });
         }
     }
 }

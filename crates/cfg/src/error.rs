@@ -7,14 +7,26 @@ use std::fmt;
 pub enum CfgError {
     /// A line could not be parsed. Carries the 1-based line number and the
     /// offending text.
-    Parse { line: u32, text: String, reason: String },
+    Parse {
+        line: u32,
+        text: String,
+        reason: String,
+    },
     /// A sub-statement appeared outside the block kind it requires.
-    OutOfBlock { line: u32, text: String, needs: String },
+    OutOfBlock {
+        line: u32,
+        text: String,
+        needs: String,
+    },
     /// Semantic validation failed (e.g. a peer references an undefined
     /// group).
     Semantic { device: String, reason: String },
     /// A patch edit referenced a statement index that does not exist.
-    BadEditTarget { device: String, index: usize, len: usize },
+    BadEditTarget {
+        device: String,
+        index: usize,
+        len: usize,
+    },
     /// A patch named a device that is not part of the network.
     UnknownDevice(String),
 }
@@ -26,13 +38,19 @@ impl fmt::Display for CfgError {
                 write!(f, "parse error at line {line}: {reason} (`{text}`)")
             }
             CfgError::OutOfBlock { line, text, needs } => {
-                write!(f, "line {line}: `{text}` must appear inside a `{needs}` block")
+                write!(
+                    f,
+                    "line {line}: `{text}` must appear inside a `{needs}` block"
+                )
             }
             CfgError::Semantic { device, reason } => {
                 write!(f, "semantic error on {device}: {reason}")
             }
             CfgError::BadEditTarget { device, index, len } => {
-                write!(f, "edit target {index} out of range for {device} ({len} statements)")
+                write!(
+                    f,
+                    "edit target {index} out of range for {device} ({len} statements)"
+                )
             }
             CfgError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
         }

@@ -33,8 +33,10 @@ pub mod parse;
 pub mod patch;
 
 pub use ast::{AclRuleCfg, Dir, MatchProto, NextHop, PbrAction, PeerRef, PlAction, Proto, Stmt};
-pub use diff::diff;
 pub use config::{DeviceConfig, LineId, NetworkConfig};
+pub use diff::diff;
 pub use error::CfgError;
-pub use model::{AclEntry, DeviceModel, GroupCfg, MatchCond, PeerCfg, PlEntry, PolicyNode, StaticRouteCfg};
+pub use model::{
+    AclEntry, DeviceModel, GroupCfg, MatchCond, PeerCfg, PlEntry, PolicyNode, StaticRouteCfg,
+};
 pub use patch::{Edit, Patch};

@@ -39,9 +39,7 @@ impl PlEntry {
     /// `0.0.0.0 0` (the `default_all` list of Figure 2b) matches every
     /// route.
     pub fn matches(&self, p: Prefix) -> bool {
-        self.prefix.covers(p)
-            && p.len() >= self.ge.unwrap_or(0)
-            && p.len() <= self.le.unwrap_or(32)
+        self.prefix.covers(p) && p.len() >= self.ge.unwrap_or(0) && p.len() <= self.le.unwrap_or(32)
     }
 }
 
@@ -72,7 +70,10 @@ pub struct PolicyNode {
 pub enum ApplyAction {
     /// Replace the AS_PATH with the given AS (`None` = the device's own).
     AsPathOverwrite(Option<Asn>),
-    AsPathPrepend { asn: Asn, count: u32 },
+    AsPathPrepend {
+        asn: Asn,
+        count: u32,
+    },
     LocalPref(u32),
     Med(u32),
     Community(acr_net_types::Community),
@@ -150,7 +151,7 @@ impl AclEntry {
         proto_ok
             && self.rule.src.contains(flow.src)
             && self.rule.dst.contains(flow.dst)
-            && self.rule.dst_port.map_or(true, |p| p == flow.dst_port)
+            && self.rule.dst_port.is_none_or(|p| p == flow.dst_port)
     }
 }
 
@@ -215,7 +216,8 @@ impl DeviceModel {
             match stmt {
                 Stmt::BgpProcess(asn) => {
                     if m.asn.is_some() {
-                        m.warnings.push(format!("duplicate bgp process at line {line}"));
+                        m.warnings
+                            .push(format!("duplicate bgp process at line {line}"));
                     }
                     m.asn = Some((*asn, line));
                 }
@@ -282,19 +284,27 @@ impl DeviceModel {
                             .push((MatchCond::Community(*c), line));
                     }
                 }
-                Stmt::ApplyAsPathOverwrite(asn) => {
-                    push_apply(&mut m, &current_policy, ApplyAction::AsPathOverwrite(*asn), line)
-                }
+                Stmt::ApplyAsPathOverwrite(asn) => push_apply(
+                    &mut m,
+                    &current_policy,
+                    ApplyAction::AsPathOverwrite(*asn),
+                    line,
+                ),
                 Stmt::ApplyAsPathPrepend { asn, count } => push_apply(
                     &mut m,
                     &current_policy,
-                    ApplyAction::AsPathPrepend { asn: *asn, count: *count },
+                    ApplyAction::AsPathPrepend {
+                        asn: *asn,
+                        count: *count,
+                    },
                     line,
                 ),
                 Stmt::ApplyLocalPref(v) => {
                     push_apply(&mut m, &current_policy, ApplyAction::LocalPref(*v), line)
                 }
-                Stmt::ApplyMed(v) => push_apply(&mut m, &current_policy, ApplyAction::Med(*v), line),
+                Stmt::ApplyMed(v) => {
+                    push_apply(&mut m, &current_policy, ApplyAction::Med(*v), line)
+                }
                 Stmt::ApplyCommunity(c) => {
                     push_apply(&mut m, &current_policy, ApplyAction::Community(*c), line)
                 }
@@ -304,7 +314,10 @@ impl DeviceModel {
                 }
                 Stmt::AclRule(rule) => {
                     if let Some(n) = current_acl {
-                        m.acls.get_mut(&n).unwrap().push(AclEntry { rule: rule.clone(), line });
+                        m.acls.get_mut(&n).unwrap().push(AclEntry {
+                            rule: rule.clone(),
+                            line,
+                        });
                     }
                 }
                 Stmt::PbrPolicyDef(name) => {
@@ -313,14 +326,19 @@ impl DeviceModel {
                 }
                 Stmt::PbrRule { acl, action } => {
                     if let Some(name) = &current_pbr {
-                        m.pbr_policies
-                            .get_mut(name)
-                            .unwrap()
-                            .push(PbrEntry { acl: *acl, action: *action, line });
+                        m.pbr_policies.get_mut(name).unwrap().push(PbrEntry {
+                            acl: *acl,
+                            action: *action,
+                            line,
+                        });
                     }
                 }
                 Stmt::Interface(name) => {
-                    m.interfaces.push(InterfaceCfg { name: name.clone(), addr: None, line });
+                    m.interfaces.push(InterfaceCfg {
+                        name: name.clone(),
+                        addr: None,
+                        line,
+                    });
                     current_iface = Some(m.interfaces.len() - 1);
                 }
                 Stmt::IpAddress { addr, len } => {
@@ -328,18 +346,32 @@ impl DeviceModel {
                         m.interfaces[i].addr = Some((*addr, *len, line));
                     }
                 }
-                Stmt::PrefixListEntry { list, index, action, prefix, ge, le } => {
-                    m.prefix_lists.entry(list.clone()).or_default().push(PlEntry {
-                        index: *index,
-                        action: *action,
-                        prefix: *prefix,
-                        ge: *ge,
-                        le: *le,
-                        line,
-                    });
+                Stmt::PrefixListEntry {
+                    list,
+                    index,
+                    action,
+                    prefix,
+                    ge,
+                    le,
+                } => {
+                    m.prefix_lists
+                        .entry(list.clone())
+                        .or_default()
+                        .push(PlEntry {
+                            index: *index,
+                            action: *action,
+                            prefix: *prefix,
+                            ge: *ge,
+                            le: *le,
+                            line,
+                        });
                 }
                 Stmt::StaticRoute { prefix, next_hop } => {
-                    m.static_routes.push(StaticRouteCfg { prefix: *prefix, next_hop: *next_hop, line });
+                    m.static_routes.push(StaticRouteCfg {
+                        prefix: *prefix,
+                        next_hop: *next_hop,
+                        line,
+                    });
                 }
                 Stmt::ApplyTrafficPolicy(name) => m.pbr_applied = Some((name.clone(), line)),
                 Stmt::Remark(_) => {}
@@ -420,7 +452,10 @@ impl DeviceModel {
         // Dangling-reference warnings.
         let policy_names: Vec<String> = m.route_policies.keys().cloned().collect();
         for (ip, peer) in &m.peers {
-            for pol in [&peer.import_policy, &peer.export_policy].into_iter().flatten() {
+            for pol in [&peer.import_policy, &peer.export_policy]
+                .into_iter()
+                .flatten()
+            {
                 if !policy_names.contains(&pol.0) {
                     m.warnings.push(format!(
                         "peer {ip} references undefined route-policy `{}` (line {})",
@@ -482,7 +517,9 @@ fn push_apply(
     line: u32,
 ) {
     if let Some((name, idx)) = current {
-        m.route_policies.get_mut(name).unwrap()[*idx].applies.push((action, line));
+        m.route_policies.get_mut(name).unwrap()[*idx]
+            .applies
+            .push((action, line));
     }
 }
 
@@ -517,7 +554,10 @@ ip route-static 20.0.0.0 16 NULL0
     fn collects_bgp_basics() {
         let m = model();
         assert_eq!(m.asn, Some((Asn(65001), 1)));
-        assert_eq!(m.router_id.map(|(ip, _)| ip), Some(Ipv4Addr::new(1, 1, 1, 1)));
+        assert_eq!(
+            m.router_id.map(|(ip, _)| ip),
+            Some(Ipv4Addr::new(1, 1, 1, 1))
+        );
         assert_eq!(m.networks, vec![("10.70.0.0/16".parse().unwrap(), 3)]);
         assert_eq!(m.redistribute, vec![(Proto::Static, 4)]);
         assert_eq!(m.static_routes.len(), 1);
@@ -528,7 +568,11 @@ ip route-static 20.0.0.0 16 NULL0
     fn resolves_group_inheritance() {
         let m = model();
         let member = &m.peers[&Ipv4Addr::new(10, 2, 1, 2)];
-        assert_eq!(member.asn, Some((Asn(65100), 8)), "asn inherited from group");
+        assert_eq!(
+            member.asn,
+            Some((Asn(65100), 8)),
+            "asn inherited from group"
+        );
         assert_eq!(
             member.import_policy.as_ref().map(|(n, _)| n.as_str()),
             Some("Override_All")
@@ -553,7 +597,10 @@ ip route-static 20.0.0.0 16 NULL0
             nodes[0].matches,
             vec![(MatchCond::PrefixList("default_all".to_string()), 12)]
         );
-        assert_eq!(nodes[0].applies, vec![(ApplyAction::AsPathOverwrite(None), 13)]);
+        assert_eq!(
+            nodes[0].applies,
+            vec![(ApplyAction::AsPathOverwrite(None), 13)]
+        );
     }
 
     #[test]
@@ -570,13 +617,33 @@ ip route-static 20.0.0.0 16 NULL0
 
     #[test]
     fn prefix_list_bounds_respected() {
-        let cfg = parse_device("X", "ip prefix-list p index 10 permit 10.0.0.0 8 ge 16 le 24\n").unwrap();
+        let cfg = parse_device(
+            "X",
+            "ip prefix-list p index 10 permit 10.0.0.0 8 ge 16 le 24\n",
+        )
+        .unwrap();
         let m = DeviceModel::from_config(&cfg);
-        assert!(m.eval_prefix_list("p", "10.1.0.0/16".parse().unwrap()).is_some());
-        assert!(m.eval_prefix_list("p", "10.0.0.0/8".parse().unwrap()).is_none(), "below ge");
-        assert!(m.eval_prefix_list("p", "10.1.1.0/25".parse().unwrap()).is_none(), "above le");
-        assert!(m.eval_prefix_list("p", "11.0.0.0/16".parse().unwrap()).is_none(), "not covered");
-        assert!(m.eval_prefix_list("nolist", "10.0.0.0/8".parse().unwrap()).is_none());
+        assert!(m
+            .eval_prefix_list("p", "10.1.0.0/16".parse().unwrap())
+            .is_some());
+        assert!(
+            m.eval_prefix_list("p", "10.0.0.0/8".parse().unwrap())
+                .is_none(),
+            "below ge"
+        );
+        assert!(
+            m.eval_prefix_list("p", "10.1.1.0/25".parse().unwrap())
+                .is_none(),
+            "above le"
+        );
+        assert!(
+            m.eval_prefix_list("p", "11.0.0.0/16".parse().unwrap())
+                .is_none(),
+            "not covered"
+        );
+        assert!(m
+            .eval_prefix_list("nolist", "10.0.0.0/8".parse().unwrap())
+            .is_none());
     }
 
     #[test]
@@ -624,7 +691,10 @@ ip route-static 20.0.0.0 16 NULL0
         )
         .unwrap();
         let m = DeviceModel::from_config(&cfg);
-        assert_eq!(m.pbr_applied.as_ref().map(|(n, _)| n.as_str()), Some("pbr1"));
+        assert_eq!(
+            m.pbr_applied.as_ref().map(|(n, _)| n.as_str()),
+            Some("pbr1")
+        );
         assert_eq!(m.pbr_policies["pbr1"].len(), 2);
         assert!(m.warnings.is_empty());
     }

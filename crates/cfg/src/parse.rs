@@ -7,7 +7,9 @@
 //! not survive printing (statement indices are assigned over statements
 //! only, so patched configs keep dense line numbering).
 
-use crate::ast::{AclRuleCfg, BlockKind, Dir, MatchProto, NextHop, PbrAction, PeerRef, PlAction, Proto, Stmt};
+use crate::ast::{
+    AclRuleCfg, BlockKind, Dir, MatchProto, NextHop, PbrAction, PeerRef, PlAction, Proto, Stmt,
+};
 use crate::config::DeviceConfig;
 use crate::error::CfgError;
 use acr_net_types::{Asn, Ipv4Addr, Prefix};
@@ -18,8 +20,11 @@ pub fn parse_device(name: impl Into<String>, text: &str) -> Result<DeviceConfig,
     let mut current_block: Option<BlockKind> = None;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i as u32 + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        // Trim indentation only: `description` remarks keep their text
+        // (including interior/trailing spacing) verbatim, so a printed
+        // config reparses to the identical statement list.
+        let line = raw.trim_start().trim_end_matches(['\n', '\r']);
+        if line.trim().is_empty() || line.starts_with('#') {
             continue;
         }
         let stmt = parse_stmt(line, current_block).map_err(|reason| CfgError::Parse {
@@ -51,17 +56,20 @@ pub fn parse_device(name: impl Into<String>, text: &str) -> Result<DeviceConfig,
 pub fn parse_stmt(line: &str, block: Option<BlockKind>) -> Result<Stmt, String> {
     let toks: Vec<&str> = line.split_whitespace().collect();
     let t = |i: usize| -> Result<&str, String> {
-        toks.get(i).copied().ok_or_else(|| "unexpected end of line".to_string())
+        toks.get(i)
+            .copied()
+            .ok_or_else(|| "unexpected end of line".to_string())
     };
     let asn = |s: &str| -> Result<Asn, String> {
-        s.parse::<u32>().map(Asn).map_err(|_| format!("bad AS number `{s}`"))
+        s.parse::<u32>()
+            .map(Asn)
+            .map_err(|_| format!("bad AS number `{s}`"))
     };
     let ip = |s: &str| -> Result<Ipv4Addr, String> {
         s.parse().map_err(|_| format!("bad IPv4 address `{s}`"))
     };
-    let num = |s: &str| -> Result<u32, String> {
-        s.parse().map_err(|_| format!("bad number `{s}`"))
-    };
+    let num =
+        |s: &str| -> Result<u32, String> { s.parse().map_err(|_| format!("bad number `{s}`")) };
     let prefix2 = |a: &str, l: &str| -> Result<Prefix, String> {
         let addr = ip(a)?;
         let len: u8 = l.parse().map_err(|_| format!("bad prefix length `{l}`"))?;
@@ -100,7 +108,10 @@ pub fn parse_stmt(line: &str, block: Option<BlockKind>) -> Result<Stmt, String> 
                 Err(_) => PeerRef::Group(target.to_string()),
             };
             match t(2)? {
-                "as-number" => Ok(Stmt::PeerAs { peer: peer_ref, asn: asn(t(3)?)? }),
+                "as-number" => Ok(Stmt::PeerAs {
+                    peer: peer_ref,
+                    asn: asn(t(3)?)?,
+                }),
                 "group" => match peer_ref {
                     PeerRef::Ip(peer) => Ok(Stmt::PeerGroup {
                         peer,
@@ -162,7 +173,8 @@ pub fn parse_stmt(line: &str, block: Option<BlockKind>) -> Result<Stmt, String> 
             (_, "traffic-policy") => Ok(Stmt::ApplyTrafficPolicy(t(2)?.to_string())),
             (b, other) => Err(format!(
                 "`apply {other}` not valid here (block: {})",
-                b.map(|k| k.to_string()).unwrap_or_else(|| "top level".into())
+                b.map(|k| k.to_string())
+                    .unwrap_or_else(|| "top level".into())
             )),
         },
         "acl" => Ok(Stmt::AclDef(num(t(1)?)?)),
@@ -227,60 +239,68 @@ pub fn parse_stmt(line: &str, block: Option<BlockKind>) -> Result<Stmt, String> 
             Ok(Stmt::PbrRule { acl, action: act })
         }
         "interface" => Ok(Stmt::Interface(t(1)?.to_string())),
-        "ip" => match t(1)? {
-            "address" => Ok(Stmt::IpAddress {
-                addr: ip(t(2)?)?,
-                len: t(3)?.parse().map_err(|e| format!("bad mask length: {e}"))?,
-            }),
-            "prefix-list" => {
-                if t(3)? != "index" {
-                    return Err("expected `ip prefix-list <list> index <n> …`".to_string());
-                }
-                let prefix = prefix2(t(6)?, t(7)?)?;
-                let mut ge = None;
-                let mut le = None;
-                let mut i = 8;
-                while i < toks.len() {
-                    match toks[i] {
-                        "ge" => {
-                            ge = Some(
-                                t(i + 1)?
-                                    .parse::<u8>()
-                                    .map_err(|_| format!("bad ge `{}`", t(i + 1).unwrap_or("")))?,
-                            );
-                            i += 2;
-                        }
-                        "le" => {
-                            le = Some(
-                                t(i + 1)?
-                                    .parse::<u8>()
-                                    .map_err(|_| format!("bad le `{}`", t(i + 1).unwrap_or("")))?,
-                            );
-                            i += 2;
-                        }
-                        other => return Err(format!("unexpected token `{other}`")),
+        "ip" => {
+            match t(1)? {
+                "address" => Ok(Stmt::IpAddress {
+                    addr: ip(t(2)?)?,
+                    len: t(3)?.parse().map_err(|e| format!("bad mask length: {e}"))?,
+                }),
+                "prefix-list" => {
+                    if t(3)? != "index" {
+                        return Err("expected `ip prefix-list <list> index <n> …`".to_string());
                     }
+                    let prefix = prefix2(t(6)?, t(7)?)?;
+                    let mut ge = None;
+                    let mut le = None;
+                    let mut i = 8;
+                    while i < toks.len() {
+                        match toks[i] {
+                            "ge" => {
+                                ge =
+                                    Some(t(i + 1)?.parse::<u8>().map_err(|_| {
+                                        format!("bad ge `{}`", t(i + 1).unwrap_or(""))
+                                    })?);
+                                i += 2;
+                            }
+                            "le" => {
+                                le =
+                                    Some(t(i + 1)?.parse::<u8>().map_err(|_| {
+                                        format!("bad le `{}`", t(i + 1).unwrap_or(""))
+                                    })?);
+                                i += 2;
+                            }
+                            other => return Err(format!("unexpected token `{other}`")),
+                        }
+                    }
+                    Ok(Stmt::PrefixListEntry {
+                        list: t(2)?.to_string(),
+                        index: num(t(4)?)?,
+                        action: action(t(5)?)?,
+                        prefix,
+                        ge,
+                        le,
+                    })
                 }
-                Ok(Stmt::PrefixListEntry {
-                    list: t(2)?.to_string(),
-                    index: num(t(4)?)?,
-                    action: action(t(5)?)?,
-                    prefix,
-                    ge,
-                    le,
-                })
+                "route-static" => {
+                    let prefix = prefix2(t(2)?, t(3)?)?;
+                    let next_hop = match t(4)? {
+                        "NULL0" => NextHop::Null0,
+                        other => NextHop::Addr(ip(other)?),
+                    };
+                    Ok(Stmt::StaticRoute { prefix, next_hop })
+                }
+                other => Err(format!("unknown `ip` statement `{other}`")),
             }
-            "route-static" => {
-                let prefix = prefix2(t(2)?, t(3)?)?;
-                let next_hop = match t(4)? {
-                    "NULL0" => NextHop::Null0,
-                    other => NextHop::Addr(ip(other)?),
-                };
-                Ok(Stmt::StaticRoute { prefix, next_hop })
-            }
-            other => Err(format!("unknown `ip` statement `{other}`")),
-        },
-        "description" => Ok(Stmt::Remark(toks[1..].join(" "))),
+        }
+        "description" => {
+            // Keep the remark text verbatim (minus the single separating
+            // space): joining tokens would collapse interior whitespace
+            // and break print→parse round-tripping.
+            let rest = line.trim_start().strip_prefix("description").unwrap_or("");
+            Ok(Stmt::Remark(
+                rest.strip_prefix(' ').unwrap_or(rest).to_string(),
+            ))
+        }
         other => Err(format!("unknown statement `{other}`")),
     }
 }
@@ -316,7 +336,10 @@ apply traffic-policy pbr1
         let cfg = parse_device("A", FIG2B_ROUTER_A).unwrap();
         assert_eq!(cfg.len(), 16);
         assert_eq!(cfg.line(1), Some(&Stmt::BgpProcess(Asn(65001))));
-        assert!(matches!(cfg.line(13), Some(Stmt::ApplyAsPathOverwrite(None))));
+        assert!(matches!(
+            cfg.line(13),
+            Some(Stmt::ApplyAsPathOverwrite(None))
+        ));
         assert!(matches!(
             cfg.line(14),
             Some(Stmt::PrefixListEntry { prefix, .. }) if prefix.is_default()
@@ -379,7 +402,10 @@ apply traffic-policy pbr1
         assert_eq!(cfg.len(), 6);
         assert!(matches!(
             cfg.line(4),
-            Some(Stmt::PbrRule { acl: 3000, action: PbrAction::Redirect(_) })
+            Some(Stmt::PbrRule {
+                acl: 3000,
+                action: PbrAction::Redirect(_)
+            })
         ));
         let rt = parse_device("X", &cfg.to_text()).unwrap();
         assert_eq!(cfg, rt);
@@ -408,7 +434,10 @@ apply traffic-policy pbr1
             "route-policy P permit node 10\n apply as-path overwrite 65009\n",
         )
         .unwrap();
-        assert_eq!(cfg.line(2), Some(&Stmt::ApplyAsPathOverwrite(Some(Asn(65009)))));
+        assert_eq!(
+            cfg.line(2),
+            Some(&Stmt::ApplyAsPathOverwrite(Some(Asn(65009))))
+        );
     }
 
     #[test]
@@ -424,8 +453,30 @@ apply traffic-policy pbr1
         );
         let rt = parse_device("X", &cfg.to_text()).unwrap();
         assert_eq!(cfg, rt);
-        assert!(parse_device("X", "route-policy P permit node 10\n if-match community nope\n").is_err());
+        assert!(parse_device(
+            "X",
+            "route-policy P permit node 10\n if-match community nope\n"
+        )
+        .is_err());
         assert!(parse_device("X", "route-policy P permit node 10\n if-match as-path x\n").is_err());
+    }
+
+    #[test]
+    fn remark_text_round_trips_verbatim() {
+        // Regression: `description  a` (leading space in the remark) used
+        // to reparse as `Remark("a")` because the line was fully trimmed
+        // and re-joined on single spaces.
+        let cfg = crate::DeviceConfig::new(
+            "P",
+            vec![Stmt::Remark(" a".into()), Stmt::BgpProcess(Asn(1))],
+        );
+        let rt = parse_device("P", &cfg.to_text()).unwrap();
+        assert_eq!(cfg, rt);
+        for text in ["", " ", "two  spaces", " lead and trail "] {
+            let cfg = crate::DeviceConfig::new("P", vec![Stmt::Remark(text.into())]);
+            let rt = parse_device("P", &cfg.to_text()).unwrap();
+            assert_eq!(cfg, rt, "remark {text:?} must survive a round trip");
+        }
     }
 
     #[test]

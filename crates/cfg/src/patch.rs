@@ -25,20 +25,28 @@ pub enum Edit {
     /// (0-based); `index == len` appends. Inserting after a block's header
     /// (or between two of its sub-statements) places the statement inside
     /// that block.
-    Insert { router: RouterId, index: usize, stmt: Stmt },
+    Insert {
+        router: RouterId,
+        index: usize,
+        stmt: Stmt,
+    },
     /// Delete the statement at `index`.
     Delete { router: RouterId, index: usize },
     /// Replace the statement at `index` with `stmt`.
-    Replace { router: RouterId, index: usize, stmt: Stmt },
+    Replace {
+        router: RouterId,
+        index: usize,
+        stmt: Stmt,
+    },
 }
 
 impl Edit {
     /// The device the edit touches.
     pub fn router(&self) -> RouterId {
         match self {
-            Edit::Insert { router, .. } | Edit::Delete { router, .. } | Edit::Replace { router, .. } => {
-                *router
-            }
+            Edit::Insert { router, .. }
+            | Edit::Delete { router, .. }
+            | Edit::Replace { router, .. } => *router,
         }
     }
 }
@@ -46,11 +54,19 @@ impl Edit {
 impl fmt::Display for Edit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Edit::Insert { router, index, stmt } => {
+            Edit::Insert {
+                router,
+                index,
+                stmt,
+            } => {
                 write!(f, "{router}: insert @{index}: {}", stmt.to_string().trim())
             }
             Edit::Delete { router, index } => write!(f, "{router}: delete @{index}"),
-            Edit::Replace { router, index, stmt } => {
+            Edit::Replace {
+                router,
+                index,
+                stmt,
+            } => {
                 write!(f, "{router}: replace @{index}: {}", stmt.to_string().trim())
             }
         }
@@ -125,20 +141,32 @@ impl Patch {
             match edit {
                 Edit::Insert { index, stmt, .. } => {
                     if *index > stmts.len() {
-                        return Err(CfgError::BadEditTarget { device: name, index: *index, len: stmts.len() });
+                        return Err(CfgError::BadEditTarget {
+                            device: name,
+                            index: *index,
+                            len: stmts.len(),
+                        });
                     }
                     stmts.insert(*index, stmt.clone());
                     touched.push(LineId::new(router, *index as u32 + 1));
                 }
                 Edit::Delete { index, .. } => {
                     if *index >= stmts.len() {
-                        return Err(CfgError::BadEditTarget { device: name, index: *index, len: stmts.len() });
+                        return Err(CfgError::BadEditTarget {
+                            device: name,
+                            index: *index,
+                            len: stmts.len(),
+                        });
                     }
                     stmts.remove(*index);
                 }
                 Edit::Replace { index, stmt, .. } => {
                     if *index >= stmts.len() {
-                        return Err(CfgError::BadEditTarget { device: name, index: *index, len: stmts.len() });
+                        return Err(CfgError::BadEditTarget {
+                            device: name,
+                            index: *index,
+                            len: stmts.len(),
+                        });
                     }
                     stmts[*index] = stmt.clone();
                     touched.push(LineId::new(router, *index as u32 + 1));
@@ -183,13 +211,20 @@ mod tests {
         let mut n = NetworkConfig::new();
         n.insert(
             RouterId(0),
-            parse_device("A", "bgp 1\n router-id 1.1.1.1\nip route-static 10.0.0.0 8 NULL0\n").unwrap(),
+            parse_device(
+                "A",
+                "bgp 1\n router-id 1.1.1.1\nip route-static 10.0.0.0 8 NULL0\n",
+            )
+            .unwrap(),
         );
         n
     }
 
     fn static_route(p: &str) -> Stmt {
-        Stmt::StaticRoute { prefix: p.parse::<Prefix>().unwrap(), next_hop: NextHop::Null0 }
+        Stmt::StaticRoute {
+            prefix: p.parse::<Prefix>().unwrap(),
+            next_hop: NextHop::Null0,
+        }
     }
 
     #[test]
@@ -215,9 +250,13 @@ mod tests {
     #[test]
     fn append_at_len_is_allowed() {
         let mut n = net();
-        Patch::single(Edit::Insert { router: RouterId(0), index: 3, stmt: static_route("30.0.0.0/8") })
-            .apply(&mut n)
-            .unwrap();
+        Patch::single(Edit::Insert {
+            router: RouterId(0),
+            index: 3,
+            stmt: static_route("30.0.0.0/8"),
+        })
+        .apply(&mut n)
+        .unwrap();
         assert_eq!(n.device(RouterId(0)).unwrap().len(), 4);
     }
 
@@ -225,8 +264,15 @@ mod tests {
     fn delete_and_replace() {
         let mut n = net();
         let mut p = Patch::new();
-        p.push(Edit::Replace { router: RouterId(0), index: 2, stmt: static_route("99.0.0.0/8") });
-        p.push(Edit::Delete { router: RouterId(0), index: 1 });
+        p.push(Edit::Replace {
+            router: RouterId(0),
+            index: 2,
+            stmt: static_route("99.0.0.0/8"),
+        });
+        p.push(Edit::Delete {
+            router: RouterId(0),
+            index: 1,
+        });
         p.apply(&mut n).unwrap();
         let d = n.device(RouterId(0)).unwrap();
         assert_eq!(d.len(), 2);
@@ -236,17 +282,37 @@ mod tests {
     #[test]
     fn out_of_range_errors() {
         let mut n = net();
-        let err = Patch::single(Edit::Delete { router: RouterId(0), index: 3 })
-            .apply(&mut n)
-            .unwrap_err();
-        assert!(matches!(err, CfgError::BadEditTarget { index: 3, len: 3, .. }), "{err}");
-        let err = Patch::single(Edit::Insert { router: RouterId(0), index: 4, stmt: static_route("1.0.0.0/8") })
-            .apply(&mut n)
-            .unwrap_err();
+        let err = Patch::single(Edit::Delete {
+            router: RouterId(0),
+            index: 3,
+        })
+        .apply(&mut n)
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CfgError::BadEditTarget {
+                    index: 3,
+                    len: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = Patch::single(Edit::Insert {
+            router: RouterId(0),
+            index: 4,
+            stmt: static_route("1.0.0.0/8"),
+        })
+        .apply(&mut n)
+        .unwrap_err();
         assert!(matches!(err, CfgError::BadEditTarget { .. }), "{err}");
-        let err = Patch::single(Edit::Delete { router: RouterId(9), index: 0 })
-            .apply(&mut n)
-            .unwrap_err();
+        let err = Patch::single(Edit::Delete {
+            router: RouterId(9),
+            index: 0,
+        })
+        .apply(&mut n)
+        .unwrap_err();
         assert!(matches!(err, CfgError::UnknownDevice(_)), "{err}");
     }
 
@@ -254,9 +320,12 @@ mod tests {
     fn apply_cloned_leaves_original() {
         let n = net();
         let fp = n.fingerprint();
-        let patched = Patch::single(Edit::Delete { router: RouterId(0), index: 0 })
-            .apply_cloned(&n)
-            .unwrap();
+        let patched = Patch::single(Edit::Delete {
+            router: RouterId(0),
+            index: 0,
+        })
+        .apply_cloned(&n)
+        .unwrap();
         assert_eq!(n.fingerprint(), fp);
         assert_ne!(patched.fingerprint(), fp);
     }
@@ -274,20 +343,35 @@ mod tests {
         .apply(&mut n)
         .unwrap();
         let text = n.device(RouterId(0)).unwrap().to_text();
-        assert!(parse_device("A", &text).is_ok(), "patched config must reparse:\n{text}");
+        assert!(
+            parse_device("A", &text).is_ok(),
+            "patched config must reparse:\n{text}"
+        );
     }
 
     #[test]
     fn patch_display_and_helpers() {
         let mut p = Patch::new();
         assert!(p.is_empty());
-        p.push(Edit::Delete { router: RouterId(1), index: 0 });
-        p.push(Edit::Delete { router: RouterId(1), index: 1 });
-        p.push(Edit::Delete { router: RouterId(2), index: 0 });
+        p.push(Edit::Delete {
+            router: RouterId(1),
+            index: 0,
+        });
+        p.push(Edit::Delete {
+            router: RouterId(1),
+            index: 1,
+        });
+        p.push(Edit::Delete {
+            router: RouterId(2),
+            index: 0,
+        });
         assert_eq!(p.len(), 3);
         assert_eq!(p.routers(), vec![RouterId(1), RouterId(2)]);
         assert!(p.to_string().contains("r1: delete @0"));
-        let q = p.concat(&Patch::single(Edit::Delete { router: RouterId(3), index: 0 }));
+        let q = p.concat(&Patch::single(Edit::Delete {
+            router: RouterId(3),
+            index: 0,
+        }));
         assert_eq!(q.len(), 4);
     }
 
@@ -295,9 +379,13 @@ mod tests {
     fn empty_device_insert() {
         let mut n = NetworkConfig::new();
         n.insert(RouterId(0), DeviceConfig::new("E", vec![]));
-        Patch::single(Edit::Insert { router: RouterId(0), index: 0, stmt: static_route("1.0.0.0/8") })
-            .apply(&mut n)
-            .unwrap();
+        Patch::single(Edit::Insert {
+            router: RouterId(0),
+            index: 0,
+            stmt: static_route("1.0.0.0/8"),
+        })
+        .apply(&mut n)
+        .unwrap();
         assert_eq!(n.device(RouterId(0)).unwrap().len(), 1);
     }
 }

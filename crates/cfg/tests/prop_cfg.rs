@@ -5,6 +5,9 @@
 //! additionally checked for length accounting and for preserving
 //! parseability when inserts respect block context.
 
+// Gated: run with `cargo test --features heavy-tests` (vendored proptest shim).
+#![cfg(feature = "heavy-tests")]
+
 use acr_cfg::ast::{NextHop, PlAction, Proto, Stmt};
 use acr_cfg::diff::diff;
 use acr_cfg::parse::parse_device;
@@ -23,12 +26,20 @@ fn arb_name() -> impl Strategy<Value = String> {
 /// Strategy over *top-level* statements (always parseable standalone).
 fn arb_top_stmt() -> impl Strategy<Value = Stmt> {
     prop_oneof![
-        arb_prefix().prop_map(|p| Stmt::StaticRoute { prefix: p, next_hop: NextHop::Null0 }),
+        arb_prefix().prop_map(|p| Stmt::StaticRoute {
+            prefix: p,
+            next_hop: NextHop::Null0
+        }),
         (arb_prefix(), any::<u32>()).prop_map(|(p, ip)| Stmt::StaticRoute {
             prefix: p,
             next_hop: NextHop::Addr(Ipv4Addr(ip)),
         }),
-        (arb_name(), 1u32..100, arb_prefix(), proptest::option::of(0u8..=32))
+        (
+            arb_name(),
+            1u32..100,
+            arb_prefix(),
+            proptest::option::of(0u8..=32)
+        )
             .prop_map(|(list, index, prefix, le)| Stmt::PrefixListEntry {
                 list,
                 index,
@@ -117,7 +128,7 @@ proptest! {
 
     #[test]
     fn replace_preserves_length(cfg in arb_config(), stmt in arb_top_stmt(), seed in any::<u32>()) {
-        prop_assume!(cfg.len() > 0);
+        prop_assume!(!cfg.is_empty());
         let mut net = NetworkConfig::new();
         let len = cfg.len();
         net.insert(RouterId(0), cfg);

@@ -19,12 +19,12 @@ use crate::strategy::{crossover, Strategy};
 use crate::templates::{candidates_for_line, CandidateFix, TemplateKind};
 use crate::universal::universal_candidates;
 use acr_cfg::{DeviceModel, LineId, NetworkConfig, Patch};
-use acr_localize::{localize, SbflFormula};
+use acr_lint::{lint_with_models, Diagnostic};
+use acr_localize::{localize, localize_boosted, SbflFormula};
+use acr_net_types::{RouterId, SplitMix64};
 use acr_topo::Topology;
 use acr_verify::{IncrementalVerifier, Spec, Verification};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// The paper's iteration cap.
@@ -61,6 +61,11 @@ pub struct RepairConfig {
     /// The operator vocabulary (curated templates, §6 universal donors,
     /// or both).
     pub operators: OperatorSet,
+    /// Run the `acr-lint` static pass alongside the loop: lint findings
+    /// boost SBFL suspiciousness, and candidates that introduce a *new*
+    /// lint error (relative to the broken baseline) are rejected before
+    /// they reach the simulator.
+    pub lint: bool,
 }
 
 impl Default for RepairConfig {
@@ -74,6 +79,7 @@ impl Default for RepairConfig {
             samples_per_property: 1,
             allowed_templates: None,
             operators: OperatorSet::Curated,
+            lint: true,
         }
     }
 }
@@ -93,17 +99,28 @@ pub struct IterationStats {
     /// iteration's validations.
     pub recomputed_prefixes: usize,
     pub reused_prefixes: usize,
+    /// Candidates rejected by the static lint gate before simulation.
+    pub lint_rejected: usize,
 }
 
 /// How a repair run ended.
 #[derive(Debug, Clone)]
 pub enum RepairOutcome {
     /// A feasible update: every test passes.
-    Fixed { patch: Patch, repaired: NetworkConfig },
+    Fixed {
+        patch: Patch,
+        repaired: NetworkConfig,
+    },
     /// The candidate set dried up before reaching fitness 0.
-    NoCandidates { best_patch: Patch, best_fitness: usize },
+    NoCandidates {
+        best_patch: Patch,
+        best_fitness: usize,
+    },
     /// The iteration cap was reached.
-    IterationLimit { best_patch: Patch, best_fitness: usize },
+    IterationLimit {
+        best_patch: Patch,
+        best_fitness: usize,
+    },
 }
 
 impl RepairOutcome {
@@ -137,6 +154,9 @@ struct Variant {
     patch: Patch,
     verification: Verification,
     fitness: usize,
+    /// Lint findings on this variant (empty when linting is off) — they
+    /// boost localization when the variant is expanded.
+    diags: Vec<Diagnostic>,
 }
 
 /// The repair engine, bound to a topology and spec.
@@ -161,18 +181,45 @@ impl<'a> RepairEngine<'a> {
     /// three termination conditions fires.
     pub fn repair(&self, original: &NetworkConfig) -> RepairReport {
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut iv =
-            IncrementalVerifier::with_samples(self.topo, self.spec, self.config.samples_per_property);
+        let mut rng = SplitMix64::new(self.config.seed);
+        let mut iv = IncrementalVerifier::with_samples(
+            self.topo,
+            self.spec,
+            self.config.samples_per_property,
+        );
         let base_verification = iv.commit(original);
         let initial_failed = base_verification.failed_count();
+
+        // Static baseline: the broken network's own lint findings. The
+        // gate only rejects candidates that introduce *new* error keys —
+        // pre-existing ones may well be the fault under repair.
+        let lint_base = self.config.lint.then(|| {
+            let models = models_of(self.topo, original);
+            let report = lint_with_models(self.topo, original, &models);
+            let idx: HashMap<RouterId, usize> = self
+                .topo
+                .routers()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.id, i))
+                .collect();
+            let keys = report.keys();
+            (models, idx, keys, report.diagnostics)
+        });
+        let base_diags = lint_base
+            .as_ref()
+            .map(|(_, _, _, d)| d.clone())
+            .unwrap_or_default();
 
         let mut iterations = Vec::new();
         let mut validations = 0usize;
 
         if initial_failed == 0 {
             return RepairReport {
-                outcome: RepairOutcome::Fixed { patch: Patch::new(), repaired: original.clone() },
+                outcome: RepairOutcome::Fixed {
+                    patch: Patch::new(),
+                    repaired: original.clone(),
+                },
                 iterations,
                 initial_failed,
                 validations,
@@ -185,6 +232,7 @@ impl<'a> RepairEngine<'a> {
             patch: Patch::new(),
             fitness: initial_failed,
             verification: base_verification,
+            diags: base_diags,
         }];
         let mut prev_fitness = initial_failed;
         let mut seen: HashSet<Patch> = HashSet::new();
@@ -193,8 +241,10 @@ impl<'a> RepairEngine<'a> {
         for iteration in 1..=self.config.max_iterations {
             // ---- localize + fix: generate candidate full patches -------
             let proposals = self.generate(&population, &iv, &mut rng);
-            let fresh: Vec<Patch> =
-                proposals.into_iter().filter(|p| seen.insert(p.clone())).collect();
+            let fresh: Vec<Patch> = proposals
+                .into_iter()
+                .filter(|p| seen.insert(p.clone()))
+                .collect();
             let generated = fresh.len();
             if generated == 0 {
                 let best = best_of(&population);
@@ -214,10 +264,32 @@ impl<'a> RepairEngine<'a> {
             let mut kept: Vec<Variant> = Vec::new();
             let mut recomputed = 0;
             let mut reused = 0;
+            let mut lint_rejected = 0;
             for patch in fresh {
-                let Ok(candidate_cfg) = patch.apply_cloned(original) else { continue };
+                let Ok(candidate_cfg) = patch.apply_cloned(original) else {
+                    continue;
+                };
                 if !reparses(&candidate_cfg, &patch) {
                     continue;
+                }
+                // Static gate: a candidate that introduces a fresh lint
+                // error edits something semantically inert or dangling —
+                // it cannot improve fitness, so skip the simulation.
+                let mut diags = Vec::new();
+                if let Some((base_models, idx, base_keys, _)) = &lint_base {
+                    let mut models = base_models.clone();
+                    for r in patch.routers() {
+                        if let (Some(&i), Some(dc)) = (idx.get(&r), candidate_cfg.device(r)) {
+                            models[i] = DeviceModel::from_config(dc);
+                        }
+                    }
+                    let report = lint_with_models(self.topo, &candidate_cfg, &models);
+                    let fresh_error = report.errors().any(|d| !base_keys.contains(&d.key()));
+                    if fresh_error {
+                        lint_rejected += 1;
+                        continue;
+                    }
+                    diags = report.diagnostics;
                 }
                 let verification = iv.verify_candidate(&candidate_cfg, &patch);
                 validations += 1;
@@ -229,7 +301,13 @@ impl<'a> RepairEngine<'a> {
                 if fitness > prev_fitness {
                     continue;
                 }
-                kept.push(Variant { cfg: candidate_cfg, patch, verification, fitness });
+                kept.push(Variant {
+                    cfg: candidate_cfg,
+                    patch,
+                    verification,
+                    fitness,
+                    diags,
+                });
             }
 
             let kept_count = kept.len();
@@ -239,7 +317,10 @@ impl<'a> RepairEngine<'a> {
             population.extend(kept);
             population.sort_by_key(|v| (v.fitness, v.patch.len()));
             population.truncate(self.config.max_population);
-            let best_fitness = population.first().map(|v| v.fitness).unwrap_or(prev_fitness);
+            let best_fitness = population
+                .first()
+                .map(|v| v.fitness)
+                .unwrap_or(prev_fitness);
 
             iterations.push(IterationStats {
                 iteration,
@@ -249,6 +330,7 @@ impl<'a> RepairEngine<'a> {
                 kept: kept_count,
                 recomputed_prefixes: recomputed,
                 reused_prefixes: reused,
+                lint_rejected,
             });
             prev_fitness = iter_fitness;
 
@@ -290,7 +372,7 @@ impl<'a> RepairEngine<'a> {
         &self,
         population: &[Variant],
         iv: &IncrementalVerifier<'_>,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> Vec<Patch> {
         let mut out = Vec::new();
         match &self.config.strategy {
@@ -302,10 +384,14 @@ impl<'a> RepairEngine<'a> {
                     out.extend(fixes.into_iter().map(|f| parent.patch.concat(&f.patch)));
                 }
             }
-            Strategy::Genetic { mutations, crossovers, top_k } => {
+            Strategy::Genetic {
+                mutations,
+                crossovers,
+                top_k,
+            } => {
                 for _ in 0..*mutations {
-                    let parent = &population[rng.gen_range(0..population.len())];
-                    let fixes = self.fixes_of(parent, iv, *top_k, Some(rng.gen()), rng);
+                    let parent = &population[rng.index(population.len())];
+                    let fixes = self.fixes_of(parent, iv, *top_k, Some(rng.next_u64()), rng);
                     if let Some(fix) = pick(rng, &fixes) {
                         out.push(parent.patch.concat(&fix.patch));
                     }
@@ -314,13 +400,13 @@ impl<'a> RepairEngine<'a> {
                     if population.len() < 2 {
                         break;
                     }
-                    let a = &population[rng.gen_range(0..population.len())];
-                    let b = &population[rng.gen_range(0..population.len())];
+                    let a = &population[rng.index(population.len())];
+                    let b = &population[rng.index(population.len())];
                     if a.patch.is_empty() && b.patch.is_empty() {
                         continue;
                     }
-                    let pa = rng.gen_range(0..=a.patch.len());
-                    let pb = rng.gen_range(0..=b.patch.len());
+                    let pa = rng.index(a.patch.len() + 1);
+                    let pb = rng.index(b.patch.len() + 1);
                     let child = crossover(&a.patch, &b.patch, pa, pb);
                     if !child.is_empty() {
                         out.push(child);
@@ -341,9 +427,14 @@ impl<'a> RepairEngine<'a> {
         iv: &IncrementalVerifier<'_>,
         width: usize,
         pick_line: Option<u64>,
-        _rng: &mut StdRng,
+        _rng: &mut SplitMix64,
     ) -> Vec<CandidateFix> {
-        let ranking = localize(&variant.verification.matrix, self.config.formula);
+        let boosts = boost_map(&variant.diags);
+        let ranking = if boosts.is_empty() {
+            localize(&variant.verification.matrix, self.config.formula)
+        } else {
+            localize_boosted(&variant.verification.matrix, self.config.formula, &boosts)
+        };
         if ranking.is_empty() {
             return Vec::new();
         }
@@ -366,7 +457,7 @@ impl<'a> RepairEngine<'a> {
             self.config
                 .allowed_templates
                 .as_ref()
-                .map_or(true, |ts| ts.contains(&f.template))
+                .is_none_or(|ts| ts.contains(&f.template))
         };
         // One line's candidates under the configured operator vocabulary.
         let expand = |line: LineId| -> Vec<CandidateFix> {
@@ -389,7 +480,17 @@ impl<'a> RepairEngine<'a> {
         };
         match pick_line {
             Some(seed) if !pool.is_empty() => {
-                let line = pool[(seed % pool.len() as u64) as usize];
+                // Seeded mutation pick, weighted by lint boost: a line a
+                // static rule flagged is mutated proportionally more
+                // often than its spectrum twins.
+                let weighted: Vec<LineId> = pool
+                    .iter()
+                    .flat_map(|l| {
+                        let w = boosts.get(l).copied().unwrap_or(1.0).max(1.0) as usize;
+                        std::iter::repeat_n(*l, w)
+                    })
+                    .collect();
+                let line = weighted[(seed % weighted.len() as u64) as usize];
                 expand(line)
             }
             _ => {
@@ -401,6 +502,25 @@ impl<'a> RepairEngine<'a> {
             }
         }
     }
+}
+
+/// Suspiciousness multipliers from lint findings: primary-span lines get
+/// 4x, related locations 2x (the strongest factor wins on overlap).
+fn boost_map(diags: &[Diagnostic]) -> BTreeMap<LineId, f64> {
+    let mut boosts: BTreeMap<LineId, f64> = BTreeMap::new();
+    let mut bump = |line: LineId, factor: f64| {
+        let e = boosts.entry(line).or_insert(1.0);
+        *e = e.max(factor);
+    };
+    for d in diags {
+        for line in d.span.0..=d.span.1 {
+            bump(LineId::new(d.device, line), 4.0);
+        }
+        for r in &d.related {
+            bump(LineId::new(r.device, r.line), 2.0);
+        }
+    }
+    boosts
 }
 
 /// The best variant: lowest fitness, then smallest patch.
@@ -417,7 +537,10 @@ pub fn models_of(topo: &Topology, cfg: &NetworkConfig) -> Vec<DeviceModel> {
         .iter()
         .map(|r| match cfg.device(r.id) {
             Some(dc) => DeviceModel::from_config(dc),
-            None => DeviceModel { name: r.name.clone(), ..DeviceModel::default() },
+            None => DeviceModel {
+                name: r.name.clone(),
+                ..DeviceModel::default()
+            },
         })
         .collect()
 }
@@ -431,11 +554,11 @@ fn reparses(cfg: &NetworkConfig, patch: &Patch) -> bool {
 }
 
 /// Uniform pick from a slice.
-fn pick<'t, T>(rng: &mut StdRng, xs: &'t [T]) -> Option<&'t T> {
+fn pick<'t, T>(rng: &mut SplitMix64, xs: &'t [T]) -> Option<&'t T> {
     if xs.is_empty() {
         None
     } else {
-        Some(&xs[rng.gen_range(0..xs.len())])
+        Some(&xs[rng.index(xs.len())])
     }
 }
 

@@ -39,7 +39,9 @@ pub mod templates;
 pub mod universal;
 
 pub use ctx::RepairCtx;
-pub use engine::{IterationStats, OperatorSet, RepairConfig, RepairEngine, RepairOutcome, RepairReport};
+pub use engine::{
+    IterationStats, OperatorSet, RepairConfig, RepairEngine, RepairOutcome, RepairReport,
+};
 pub use strategy::Strategy;
 pub use templates::{templates_for, CandidateFix, TemplateKind};
 pub use universal::universal_candidates;

@@ -24,7 +24,9 @@ use acr_verify::Verification;
 /// search forest, Fig. 3c). `pool` is the suspicious-line set the
 /// localizer produced.
 pub fn acr_space(ctx: &RepairCtx<'_>, pool: &[acr_cfg::LineId]) -> usize {
-    pool.iter().map(|l| candidates_for_line(*l, ctx).len()).sum()
+    pool.iter()
+        .map(|l| candidates_for_line(*l, ctx).len())
+        .sum()
 }
 
 /// An upper bound on ACR's *static* search space: every failure-covered
@@ -104,7 +106,11 @@ mod tests {
         let mut cfg = NetworkConfig::new();
         cfg.insert(
             RouterId(0),
-            parse_device("A", "bgp 65001\n network 10.0.0.0 16\nip route-static 20.0.0.0 16 NULL0\n").unwrap(),
+            parse_device(
+                "A",
+                "bgp 65001\n network 10.0.0.0 16\nip route-static 20.0.0.0 16 NULL0\n",
+            )
+            .unwrap(),
         );
         let small = aed_free_variables(&cfg);
         // 3 lines: bgp (1+1), network (1+1), static (1+2) = 7.

@@ -34,7 +34,11 @@ pub enum Strategy {
 
 impl Default for Strategy {
     fn default() -> Self {
-        Strategy::Genetic { mutations: 16, crossovers: 4, top_k: 10 }
+        Strategy::Genetic {
+            mutations: 16,
+            crossovers: 4,
+            top_k: 10,
+        }
     }
 }
 
@@ -63,13 +67,20 @@ mod tests {
     use acr_net_types::RouterId;
 
     fn del(r: u32, i: usize) -> Edit {
-        Edit::Delete { router: RouterId(r), index: i }
+        Edit::Delete {
+            router: RouterId(r),
+            index: i,
+        }
     }
 
     #[test]
     fn crossover_combines_prefix_and_suffix() {
-        let a = Patch { edits: vec![del(0, 0), del(0, 1)] };
-        let b = Patch { edits: vec![del(1, 0), del(1, 1), del(1, 2)] };
+        let a = Patch {
+            edits: vec![del(0, 0), del(0, 1)],
+        };
+        let b = Patch {
+            edits: vec![del(1, 0), del(1, 1), del(1, 2)],
+        };
         let c = crossover(&a, &b, 1, 2);
         assert_eq!(c.edits, vec![del(0, 0), del(1, 2)]);
         // Degenerate points produce copies.
@@ -80,6 +91,9 @@ mod tests {
     #[test]
     fn default_strategy_is_genetic() {
         assert!(matches!(Strategy::default(), Strategy::Genetic { .. }));
-        assert!(matches!(Strategy::brute_force(), Strategy::BruteForce { top_lines: 15 }));
+        assert!(matches!(
+            Strategy::brute_force(),
+            Strategy::BruteForce { top_lines: 15 }
+        ));
     }
 }

@@ -31,11 +31,15 @@ pub fn solve_prefix_set(ctx: &RepairCtx<'_>, anchor_lines: &[LineId]) -> Option<
 
     let mut constrained = false;
     for rec in &ctx.verification.records {
-        let Some(cov) = ctx.coverage_of(rec.id) else { continue };
+        let Some(cov) = ctx.coverage_of(rec.id) else {
+            continue;
+        };
         if !anchor_lines.iter().any(|l| cov.contains(l)) {
             continue;
         }
-        let Some(dst) = ctx.dst_prefix_of(rec) else { continue };
+        let Some(dst) = ctx.dst_prefix_of(rec) else {
+            continue;
+        };
         constrained = true;
         // Polarity: the paper's worked example is an *over-matching*
         // fault (passed ⇒ keep matching, failed ⇒ stop matching). The
@@ -87,7 +91,9 @@ fn denied_at_anchor(
 pub fn failing_dsts(ctx: &RepairCtx<'_>, anchor_lines: &[LineId]) -> BTreeSet<Prefix> {
     let mut out = BTreeSet::new();
     for rec in ctx.verification.records.iter().filter(|r| !r.passed) {
-        let Some(cov) = ctx.coverage_of(rec.id) else { continue };
+        let Some(cov) = ctx.coverage_of(rec.id) else {
+            continue;
+        };
         if !anchor_lines.iter().any(|l| cov.contains(l)) {
             continue;
         }

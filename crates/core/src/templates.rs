@@ -142,12 +142,18 @@ pub fn templates_for(stmt: &Stmt) -> Vec<TemplateKind> {
 
 /// Instantiates every applicable template at a suspicious line.
 pub fn candidates_for_line(line: LineId, ctx: &RepairCtx<'_>) -> Vec<CandidateFix> {
-    let Some(stmt) = ctx.stmt(line) else { return Vec::new() };
+    let Some(stmt) = ctx.stmt(line) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for kind in templates_for(stmt) {
         for patch in instantiate(kind, line, ctx) {
             if !patch.is_empty() {
-                out.push(CandidateFix { patch, template: kind, origin: line });
+                out.push(CandidateFix {
+                    patch,
+                    template: kind,
+                    origin: line,
+                });
             }
         }
     }
@@ -186,7 +192,10 @@ pub fn instantiate(kind: TemplateKind, line: LineId, ctx: &RepairCtx<'_>) -> Vec
 fn delete_stmt(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     match ctx.stmt(line) {
         Some(stmt) if !stmt.is_header() => {
-            vec![Patch::single(Edit::Delete { router: line.router, index: line.index() })]
+            vec![Patch::single(Edit::Delete {
+                router: line.router,
+                index: line.index(),
+            })]
         }
         _ => Vec::new(),
     }
@@ -195,7 +204,9 @@ fn delete_stmt(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
 /// The 0-based index right after the `bgp` header on `router`, or `None`
 /// when the device runs no BGP.
 fn after_bgp_header(ctx: &RepairCtx<'_>, router: RouterId) -> Option<usize> {
-    ctx.model(router).asn.map(|(_, header_line)| header_line as usize)
+    ctx.model(router)
+        .asn
+        .map(|(_, header_line)| header_line as usize)
 }
 
 /// Names of prefix lists a suspicious line leads to (chasing policy
@@ -230,7 +241,9 @@ fn target_lists(line: LineId, ctx: &RepairCtx<'_>) -> Vec<String> {
         ) => {
             // Find the enclosing policy header above this line.
             let device = ctx.cfg.device(line.router);
-            let Some(device) = device else { return Vec::new() };
+            let Some(device) = device else {
+                return Vec::new();
+            };
             for idx in (0..line.index()).rev() {
                 if let Some(Stmt::RoutePolicyDef { name, .. }) = device.stmts().get(idx) {
                     return lists_of_policy(name);
@@ -255,10 +268,14 @@ fn prefix_list_adjust(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     for list in target_lists(line, ctx) {
         let entries = model.prefix_lists.get(&list).cloned().unwrap_or_default();
         // Anchor: the list's own lines plus the suspicious line.
-        let mut anchors: Vec<LineId> =
-            entries.iter().map(|e| LineId::new(router, e.line)).collect();
+        let mut anchors: Vec<LineId> = entries
+            .iter()
+            .map(|e| LineId::new(router, e.line))
+            .collect();
         anchors.push(line);
-        let Some(solution) = solve_prefix_set(ctx, &anchors) else { continue };
+        let Some(solution) = solve_prefix_set(ctx, &anchors) else {
+            continue;
+        };
         // No-op guard: identical contents produce nothing.
         let current: std::collections::BTreeSet<Prefix> = entries
             .iter()
@@ -268,8 +285,7 @@ fn prefix_list_adjust(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
         if entries.len() == current.len() && current == solution {
             continue;
         }
-        let mut positions: Vec<usize> =
-            entries.iter().map(|e| (e.line - 1) as usize).collect();
+        let mut positions: Vec<usize> = entries.iter().map(|e| (e.line - 1) as usize).collect();
         positions.sort_unstable();
         let insert_at = positions
             .first()
@@ -277,7 +293,10 @@ fn prefix_list_adjust(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
             .unwrap_or_else(|| ctx.cfg.device(router).map_or(0, |d| d.len()) - positions.len());
         let mut patch = Patch::new();
         for idx in positions.iter().rev() {
-            patch.push(Edit::Delete { router, index: *idx });
+            patch.push(Edit::Delete {
+                router,
+                index: *idx,
+            });
         }
         // Insert in reverse so the final order is ascending.
         for (i, p) in solution.iter().enumerate().rev() {
@@ -306,7 +325,9 @@ fn disable_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
         Some(Stmt::RoutePolicyDef { name, .. }) => {
             // One candidate per peer statement applying this policy.
             let device = ctx.cfg.device(line.router);
-            let Some(device) = device else { return Vec::new() };
+            let Some(device) = device else {
+                return Vec::new();
+            };
             device
                 .lines()
                 .filter_map(|(ln, stmt)| match stmt {
@@ -363,22 +384,32 @@ fn recreate_filter_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
         return Vec::new();
     }
     let router = line.router;
-    let Some(device) = ctx.cfg.device(router) else { return Vec::new() };
+    let Some(device) = ctx.cfg.device(router) else {
+        return Vec::new();
+    };
     let end = device.len();
     let push = |patch: &mut Patch, at: &mut usize, stmt: Stmt| {
-        patch.push(Edit::Insert { router, index: *at, stmt });
+        patch.push(Edit::Insert {
+            router,
+            index: *at,
+            stmt,
+        });
         *at += 1;
     };
     let entries = |patch: &mut Patch, at: &mut usize, list: &str| {
         for (i, p) in set.iter().enumerate() {
-            push(patch, at, Stmt::PrefixListEntry {
-                list: list.to_string(),
-                index: (i as u32 + 1) * 10,
-                action: PlAction::Permit,
-                prefix: *p,
-                ge: None,
-                le: None,
-            });
+            push(
+                patch,
+                at,
+                Stmt::PrefixListEntry {
+                    list: list.to_string(),
+                    index: (i as u32 + 1) * 10,
+                    action: PlAction::Permit,
+                    prefix: *p,
+                    ge: None,
+                    le: None,
+                },
+            );
         }
     };
 
@@ -386,28 +417,40 @@ fn recreate_filter_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     let mut filter = Patch::new();
     let mut at = end;
     let list = format!("{policy}_blk");
-    push(&mut filter, &mut at, Stmt::RoutePolicyDef {
-        name: policy.clone(),
-        action: PlAction::Deny,
-        node: 5,
-    });
+    push(
+        &mut filter,
+        &mut at,
+        Stmt::RoutePolicyDef {
+            name: policy.clone(),
+            action: PlAction::Deny,
+            node: 5,
+        },
+    );
     push(&mut filter, &mut at, Stmt::IfMatchPrefixList(list.clone()));
-    push(&mut filter, &mut at, Stmt::RoutePolicyDef {
-        name: policy.clone(),
-        action: PlAction::Permit,
-        node: 100,
-    });
+    push(
+        &mut filter,
+        &mut at,
+        Stmt::RoutePolicyDef {
+            name: policy.clone(),
+            action: PlAction::Permit,
+            node: 100,
+        },
+    );
     entries(&mut filter, &mut at, &list);
 
     // Variant 2: override ingress.
     let mut over = Patch::new();
     let mut at = end;
     let list = format!("{policy}_ovr");
-    push(&mut over, &mut at, Stmt::RoutePolicyDef {
-        name: policy.clone(),
-        action: PlAction::Permit,
-        node: 10,
-    });
+    push(
+        &mut over,
+        &mut at,
+        Stmt::RoutePolicyDef {
+            name: policy.clone(),
+            action: PlAction::Permit,
+            node: 10,
+        },
+    );
     push(&mut over, &mut at, Stmt::IfMatchPrefixList(list.clone()));
     push(&mut over, &mut at, Stmt::ApplyAsPathOverwrite(None));
     entries(&mut over, &mut at, &list);
@@ -425,7 +468,9 @@ fn add_redistribution(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     if model.static_routes.is_empty() {
         return Vec::new(); // nothing to redistribute
     }
-    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let Some(at) = after_bgp_header(ctx, router) else {
+        return Vec::new();
+    };
     vec![Patch::single(Edit::Insert {
         router,
         index: at,
@@ -436,11 +481,15 @@ fn add_redistribution(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
 /// Originates failing destinations owned by this router with `network`.
 fn add_network(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     let router = line.router;
-    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let Some(at) = after_bgp_header(ctx, router) else {
+        return Vec::new();
+    };
     let model = ctx.model(router);
     let mut out = Vec::new();
     for rec in ctx.failures() {
-        let Some((prefix, owner)) = ctx.prefix_owning(rec.flow.dst) else { continue };
+        let Some((prefix, owner)) = ctx.prefix_owning(rec.flow.dst) else {
+            continue;
+        };
         if owner != router {
             continue;
         }
@@ -462,12 +511,18 @@ fn add_network(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
 /// Originates failing destinations with a NULL0 static + redistribution.
 fn add_static_origin(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     let router = line.router;
-    let Some(bgp_at) = after_bgp_header(ctx, router) else { return Vec::new() };
-    let Some(device) = ctx.cfg.device(router) else { return Vec::new() };
+    let Some(bgp_at) = after_bgp_header(ctx, router) else {
+        return Vec::new();
+    };
+    let Some(device) = ctx.cfg.device(router) else {
+        return Vec::new();
+    };
     let model = ctx.model(router);
     let mut out = Vec::new();
     for rec in ctx.failures() {
-        let Some((prefix, owner)) = ctx.prefix_owning(rec.flow.dst) else { continue };
+        let Some((prefix, owner)) = ctx.prefix_owning(rec.flow.dst) else {
+            continue;
+        };
         if owner != router {
             continue;
         }
@@ -478,7 +533,10 @@ fn add_static_origin(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
         patch.push(Edit::Insert {
             router,
             index: device.len(),
-            stmt: Stmt::StaticRoute { prefix, next_hop: NextHop::Null0 },
+            stmt: Stmt::StaticRoute {
+                prefix,
+                next_hop: NextHop::Null0,
+            },
         });
         if !model.redistribute.iter().any(|(p, _)| *p == Proto::Static) {
             patch.push(Edit::Insert {
@@ -509,16 +567,27 @@ fn create_missing_group(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     if group_known {
         return Vec::new();
     }
-    let Some(remote_as) = ctx.actual_as_of(*peer) else { return Vec::new() };
-    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let Some(remote_as) = ctx.actual_as_of(*peer) else {
+        return Vec::new();
+    };
+    let Some(at) = after_bgp_header(ctx, router) else {
+        return Vec::new();
+    };
     let mut patch = Patch::new();
     if model.groups.get(group).and_then(|g| g.def_line).is_none() {
-        patch.push(Edit::Insert { router, index: at, stmt: Stmt::GroupDef(group.clone()) });
+        patch.push(Edit::Insert {
+            router,
+            index: at,
+            stmt: Stmt::GroupDef(group.clone()),
+        });
     }
     patch.push(Edit::Insert {
         router,
         index: at + patch.len(),
-        stmt: Stmt::PeerAs { peer: PeerRef::Group(group.clone()), asn: remote_as },
+        stmt: Stmt::PeerAs {
+            peer: PeerRef::Group(group.clone()),
+            asn: remote_as,
+        },
     });
     // Plastic-surgery hypothesis (§6): devices with the same role carry
     // near-identical configs, so copy the import policy other devices
@@ -569,13 +638,22 @@ fn create_missing_peer(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
         let SessionFailure::NotConfiguredRemotely { remote } = diag.failure else {
             continue;
         };
-        let Some(local_as) = ctx.model(router).asn.map(|(a, _)| a) else { continue };
-        let Some(our_addr) = ctx.topo.addr_towards(router, remote) else { continue };
-        let Some(at) = after_bgp_header(ctx, remote) else { continue };
+        let Some(local_as) = ctx.model(router).asn.map(|(a, _)| a) else {
+            continue;
+        };
+        let Some(our_addr) = ctx.topo.addr_towards(router, remote) else {
+            continue;
+        };
+        let Some(at) = after_bgp_header(ctx, remote) else {
+            continue;
+        };
         let patch = Patch::single(Edit::Insert {
             router: remote,
             index: at,
-            stmt: Stmt::PeerAs { peer: PeerRef::Ip(our_addr), asn: local_as },
+            stmt: Stmt::PeerAs {
+                peer: PeerRef::Ip(our_addr),
+                asn: local_as,
+            },
         });
         if !out.contains(&patch) {
             out.push(patch);
@@ -606,7 +684,10 @@ fn fix_peer_asn(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
         Some(actual) if actual != *asn => vec![Patch::single(Edit::Replace {
             router,
             index: line.index(),
-            stmt: Stmt::PeerAs { peer: peer.clone(), asn: actual },
+            stmt: Stmt::PeerAs {
+                peer: peer.clone(),
+                asn: actual,
+            },
         })],
         _ => Vec::new(),
     }
@@ -617,7 +698,9 @@ fn fix_peer_asn(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
 fn apply_import_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     let router = line.router;
     let model = ctx.model(router);
-    let Some(at) = after_bgp_header(ctx, router) else { return Vec::new() };
+    let Some(at) = after_bgp_header(ctx, router) else {
+        return Vec::new();
+    };
     let target: Option<PeerRef> = match ctx.stmt(line) {
         Some(Stmt::PeerGroup { group, .. }) | Some(Stmt::GroupDef(group)) => {
             let bare = model
@@ -627,14 +710,19 @@ fn apply_import_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
                 .unwrap_or(true);
             bare.then(|| PeerRef::Group(group.clone()))
         }
-        Some(Stmt::PeerAs { peer: PeerRef::Ip(ip), .. }) => model
+        Some(Stmt::PeerAs {
+            peer: PeerRef::Ip(ip),
+            ..
+        }) => model
             .peers
             .get(ip)
             .is_some_and(|p| p.import_policy.is_none())
             .then_some(PeerRef::Ip(*ip)),
         _ => None,
     };
-    let Some(target) = target else { return Vec::new() };
+    let Some(target) = target else {
+        return Vec::new();
+    };
     model
         .route_policies
         .keys()
@@ -657,13 +745,19 @@ fn apply_import_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
 fn add_pbr_permit(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     let router = line.router;
     let model = ctx.model(router);
-    let Some((policy_name, _)) = &model.pbr_applied else { return Vec::new() };
-    let Some(rules) = model.pbr_policies.get(policy_name) else { return Vec::new() };
+    let Some((policy_name, _)) = &model.pbr_applied else {
+        return Vec::new();
+    };
+    let Some(rules) = model.pbr_policies.get(policy_name) else {
+        return Vec::new();
+    };
     let dsts = failing_dsts(ctx, &[line]);
     if dsts.is_empty() {
         return Vec::new();
     }
-    let Some(device) = ctx.cfg.device(router) else { return Vec::new() };
+    let Some(device) = ctx.cfg.device(router) else {
+        return Vec::new();
+    };
     // Insertion point: before the first existing rule, or right after the
     // policy header.
     let first_rule_at = rules.first().map(|r| (r.line - 1) as usize).or_else(|| {
@@ -672,12 +766,18 @@ fn add_pbr_permit(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
             _ => None,
         })
     });
-    let Some(rule_at) = first_rule_at else { return Vec::new() };
+    let Some(rule_at) = first_rule_at else {
+        return Vec::new();
+    };
     let acl_num = model.acls.keys().max().copied().unwrap_or(3000) + 1;
     let mut patch = Patch::new();
     // Append the ACL block at the end (does not shift `rule_at`).
     let end = device.len();
-    patch.push(Edit::Insert { router, index: end, stmt: Stmt::AclDef(acl_num) });
+    patch.push(Edit::Insert {
+        router,
+        index: end,
+        stmt: Stmt::AclDef(acl_num),
+    });
     for (i, p) in dsts.iter().enumerate() {
         patch.push(Edit::Insert {
             router,
@@ -696,7 +796,10 @@ fn add_pbr_permit(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     patch.push(Edit::Insert {
         router,
         index: rule_at,
-        stmt: Stmt::PbrRule { acl: acl_num, action: PbrAction::Permit },
+        stmt: Stmt::PbrRule {
+            acl: acl_num,
+            action: PbrAction::Permit,
+        },
     });
     vec![patch]
 }

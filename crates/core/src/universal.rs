@@ -84,9 +84,15 @@ fn copy_missing_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
         }
         for donor in siblings(ctx, router) {
             let donor_model = ctx.model(donor);
-            let Some(_) = donor_model.route_policies.get(name) else { continue };
-            let Some(donor_cfg) = ctx.cfg.device(donor) else { continue };
-            let Some(device) = ctx.cfg.device(router) else { continue };
+            let Some(_) = donor_model.route_policies.get(name) else {
+                continue;
+            };
+            let Some(donor_cfg) = ctx.cfg.device(donor) else {
+                continue;
+            };
+            let Some(device) = ctx.cfg.device(router) else {
+                continue;
+            };
             let mut patch = Patch::new();
             let mut at = device.len();
             // Copy the policy blocks and, behind them, the entries of the
@@ -97,14 +103,24 @@ fn copy_missing_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
                 match stmt {
                     Stmt::RoutePolicyDef { name: n, .. } if n == name => {
                         in_block = true;
-                        patch.push(Edit::Insert { router, index: at, stmt: stmt.clone() });
+                        patch.push(Edit::Insert {
+                            router,
+                            index: at,
+                            stmt: stmt.clone(),
+                        });
                         at += 1;
                     }
-                    s if in_block && s.required_block() == Some(acr_cfg::ast::BlockKind::RoutePolicy) => {
+                    s if in_block
+                        && s.required_block() == Some(acr_cfg::ast::BlockKind::RoutePolicy) =>
+                    {
                         if let Stmt::IfMatchPrefixList(list) = s {
                             lists.insert(list.clone());
                         }
-                        patch.push(Edit::Insert { router, index: at, stmt: s.clone() });
+                        patch.push(Edit::Insert {
+                            router,
+                            index: at,
+                            stmt: s.clone(),
+                        });
                         at += 1;
                     }
                     _ => in_block = false,
@@ -113,7 +129,11 @@ fn copy_missing_policy(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
             for stmt in donor_cfg.stmts() {
                 if let Stmt::PrefixListEntry { list, .. } = stmt {
                     if lists.contains(list) && !model.prefix_lists.contains_key(list) {
-                        patch.push(Edit::Insert { router, index: at, stmt: stmt.clone() });
+                        patch.push(Edit::Insert {
+                            router,
+                            index: at,
+                            stmt: stmt.clone(),
+                        });
                         at += 1;
                     }
                 }
@@ -135,24 +155,43 @@ fn copy_missing_group(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     };
     let router = line.router;
     let model = ctx.model(router);
-    if model.groups.get(group).map(|g| g.asn.is_some()).unwrap_or(false) {
+    if model
+        .groups
+        .get(group)
+        .map(|g| g.asn.is_some())
+        .unwrap_or(false)
+    {
         return Vec::new();
     }
-    let Some(at) = model.asn.map(|(_, l)| l as usize) else { return Vec::new() };
+    let Some(at) = model.asn.map(|(_, l)| l as usize) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for donor in siblings(ctx, router) {
-        let Some(donor_cfg) = ctx.cfg.device(donor) else { continue };
+        let Some(donor_cfg) = ctx.cfg.device(donor) else {
+            continue;
+        };
         let mut patch = Patch::new();
         let mut offset = 0usize;
         for stmt in donor_cfg.stmts() {
             let copy = match stmt {
                 Stmt::GroupDef(g) => g == group,
-                Stmt::PeerAs { peer: PeerRef::Group(g), .. } => g == group,
-                Stmt::PeerPolicy { peer: PeerRef::Group(g), .. } => g == group,
+                Stmt::PeerAs {
+                    peer: PeerRef::Group(g),
+                    ..
+                } => g == group,
+                Stmt::PeerPolicy {
+                    peer: PeerRef::Group(g),
+                    ..
+                } => g == group,
                 _ => false,
             };
             if copy {
-                patch.push(Edit::Insert { router, index: at + offset, stmt: stmt.clone() });
+                patch.push(Edit::Insert {
+                    router,
+                    index: at + offset,
+                    stmt: stmt.clone(),
+                });
                 offset += 1;
             }
         }
@@ -169,7 +208,9 @@ fn copy_missing_group(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
 fn copy_neutral_statement(line: LineId, ctx: &RepairCtx<'_>) -> Vec<Patch> {
     let router = line.router;
     let model = ctx.model(router);
-    let Some(at) = model.asn.map(|(_, l)| l as usize) else { return Vec::new() };
+    let Some(at) = model.asn.map(|(_, l)| l as usize) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     let mut proposed: BTreeSet<Proto> = BTreeSet::new();
     for donor in siblings(ctx, router) {
@@ -202,7 +243,13 @@ mod tests {
         out: &'a acr_sim::SimOutcome,
         models: &'a [acr_cfg::DeviceModel],
     ) -> RepairCtx<'a> {
-        RepairCtx { topo: &net.topo, cfg: broken, verification: v, arena: &out.arena, models }
+        RepairCtx {
+            topo: &net.topo,
+            cfg: broken,
+            verification: v,
+            arena: &out.arena,
+            models,
+        }
     }
 
     #[test]
@@ -219,15 +266,25 @@ mod tests {
         let line = inc
             .broken
             .all_lines()
-            .find(|l| matches!(inc.broken.stmt(*l), Some(Stmt::PeerPolicy { .. })
-                if l.router == inc.patch.routers()[0]))
+            .find(|l| {
+                matches!(inc.broken.stmt(*l), Some(Stmt::PeerPolicy { .. })
+                if l.router == inc.patch.routers()[0])
+            })
             .expect("application line survives");
         let candidates = universal_candidates(line, &ctx);
         // Some donor-copy candidate recreates a policy block.
         let policy_copies: Vec<_> = candidates
             .iter()
             .filter(|p| {
-                p.edits.iter().any(|e| matches!(e, Edit::Insert { stmt: Stmt::RoutePolicyDef { .. }, .. }))
+                p.edits.iter().any(|e| {
+                    matches!(
+                        e,
+                        Edit::Insert {
+                            stmt: Stmt::RoutePolicyDef { .. },
+                            ..
+                        }
+                    )
+                })
             })
             .collect();
         assert!(!policy_copies.is_empty(), "{candidates:?}");
@@ -252,13 +309,23 @@ mod tests {
         let line = inc
             .broken
             .all_lines()
-            .find(|l| matches!(inc.broken.stmt(*l), Some(Stmt::PeerGroup { .. })
-                if l.router == inc.patch.routers()[0]))
+            .find(|l| {
+                matches!(inc.broken.stmt(*l), Some(Stmt::PeerGroup { .. })
+                if l.router == inc.patch.routers()[0])
+            })
             .expect("membership line survives");
         let candidates = universal_candidates(line, &ctx);
-        let scaffold = candidates
-            .iter()
-            .find(|p| p.edits.iter().any(|e| matches!(e, Edit::Insert { stmt: Stmt::GroupDef(_), .. })));
+        let scaffold = candidates.iter().find(|p| {
+            p.edits.iter().any(|e| {
+                matches!(
+                    e,
+                    Edit::Insert {
+                        stmt: Stmt::GroupDef(_),
+                        ..
+                    }
+                )
+            })
+        });
         let scaffold = scaffold.expect("a donor must supply the group scaffold");
         // The scaffold alone brings the group's sessions (and policy) back.
         let repaired = scaffold.apply_cloned(&inc.broken).unwrap();
@@ -283,10 +350,13 @@ mod tests {
         let line = LineId::new(sick, 1); // the bgp header
         let candidates = universal_candidates(line, &ctx);
         assert!(
-            candidates.iter().any(|p| p
-                .edits
-                .iter()
-                .any(|e| matches!(e, Edit::Insert { stmt: Stmt::ImportRoute(Proto::Static), .. }))),
+            candidates.iter().any(|p| p.edits.iter().any(|e| matches!(
+                e,
+                Edit::Insert {
+                    stmt: Stmt::ImportRoute(Proto::Static),
+                    ..
+                }
+            ))),
             "a same-role sibling redistributes static: {candidates:?}"
         );
     }

@@ -1,0 +1,394 @@
+//! # acr-lint
+//!
+//! Semantic static analysis over parsed router configurations — the
+//! "compiler warnings" layer of the repair pipeline. Where simulation
+//! answers *"does this network satisfy the spec?"*, the linter answers
+//! *"is this configuration internally coherent?"* — without simulating
+//! anything, in one pass over the ASTs and the topology.
+//!
+//! The rule catalog ([`Rule`]) targets the misconfiguration classes of
+//! the paper's Table 1: dangling references (a route-policy applied but
+//! never defined — "missing a routing policy"), shadowed prefix-list
+//! entries (the Figure 2 `0.0.0.0 0` catch-all makes every later entry
+//! dead), PBR rules behind a catch-all redirect, dead peer-group items,
+//! wrong-AS overwrites, and cross-device session asymmetries.
+//!
+//! Findings feed the repair loop twice (see `acr-core`):
+//!
+//! - **localization seeding** — lines carrying findings get their SBFL
+//!   suspiciousness boosted, pulling the template expansion toward
+//!   statically suspect statements even when coverage alone ties;
+//! - **search-space pruning** — a candidate patch that *introduces* a
+//!   new [`Severity::Error`] finding is rejected before simulation.
+//!   Error rules flag only semantically inert or dangling constructs
+//!   (see [`Severity`]), so a rejected candidate can never have been
+//!   the needed fix.
+//!
+//! ```
+//! use acr_cfg::parse::parse_device;
+//! use acr_topo::{Role, TopologyBuilder};
+//!
+//! let mut tb = TopologyBuilder::new();
+//! let a = tb.router("A", Role::Backbone);
+//! let topo = tb.build();
+//! let mut cfg = acr_cfg::NetworkConfig::new();
+//! cfg.insert(a, parse_device("A", "bgp 65001\n peer 10.0.0.1 route-policy Absent import\n").unwrap());
+//!
+//! let report = acr_lint::lint_network(&topo, &cfg);
+//! assert_eq!(report.errors().count(), 1);
+//! assert!(report.render(&cfg).contains("undefined-route-policy"));
+//! ```
+
+mod ctx;
+mod diag;
+mod pbr;
+mod policy;
+mod refs;
+mod session;
+
+pub use diag::{DiagKey, Diagnostic, LintReport, RelatedNote, Rule, Severity};
+
+use acr_cfg::{DeviceModel, NetworkConfig};
+use acr_topo::Topology;
+
+/// Lints a network, building the semantic models itself.
+pub fn lint_network(topo: &Topology, cfg: &NetworkConfig) -> LintReport {
+    let models: Vec<DeviceModel> = topo
+        .routers()
+        .iter()
+        .map(|r| match cfg.device(r.id) {
+            Some(d) => DeviceModel::from_config(d),
+            None => DeviceModel {
+                name: r.name.clone(),
+                ..DeviceModel::default()
+            },
+        })
+        .collect();
+    lint_with_models(topo, cfg, &models)
+}
+
+/// Lints a network against pre-built semantic models.
+///
+/// `models` must be parallel to `topo.routers()` (the contract of
+/// `acr_core::models_of`) — the repair engine uses this entry point to
+/// re-model only the devices a candidate patch touched.
+pub fn lint_with_models(
+    topo: &Topology,
+    cfg: &NetworkConfig,
+    models: &[DeviceModel],
+) -> LintReport {
+    let ctx = ctx::Ctx::new(topo, cfg, models);
+    let mut diagnostics = Vec::new();
+    refs::run(&ctx, &mut diagnostics);
+    policy::run(&ctx, &mut diagnostics);
+    pbr::run(&ctx, &mut diagnostics);
+    session::run(&ctx, &mut diagnostics);
+    diagnostics.sort_by(|a, b| {
+        (a.device, a.span, a.rule)
+            .cmp(&(b.device, b.span, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    diagnostics.dedup();
+    LintReport { diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_cfg::parse::parse_device;
+    use acr_net_types::RouterId;
+    use acr_topo::{Role, Topology, TopologyBuilder};
+
+    /// Two routers on one link; `a_text`/`b_text` become their configs.
+    fn pair(a_text: &str, b_text: &str) -> (Topology, NetworkConfig, RouterId, RouterId) {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.router("A", Role::Backbone);
+        let b = tb.router("B", Role::Backbone);
+        tb.link(a, b); // 172.16.0.1 / .2
+        let topo = tb.build();
+        let mut cfg = NetworkConfig::new();
+        cfg.insert(a, parse_device("A", a_text).unwrap());
+        cfg.insert(b, parse_device("B", b_text).unwrap());
+        (topo, cfg, a, b)
+    }
+
+    fn rules_of(report: &LintReport) -> Vec<Rule> {
+        report.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn symmetric_pair_is_clean() {
+        let (topo, cfg, _, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        assert!(report.is_clean(), "{}", report.render(&cfg));
+    }
+
+    #[test]
+    fn undefined_references_are_errors() {
+        let (topo, cfg, a, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\n peer 172.16.0.2 route-policy Nope import\n peer 172.16.0.2 group Ghost\napply traffic-policy missing\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let rules = rules_of(&report);
+        assert!(rules.contains(&Rule::UndefinedRoutePolicy), "{rules:?}");
+        assert!(rules.contains(&Rule::UndefinedPeerGroup), "{rules:?}");
+        assert!(rules.contains(&Rule::UndefinedTrafficPolicy), "{rules:?}");
+        assert!(report.errors().all(|d| d.device == a));
+    }
+
+    #[test]
+    fn catch_all_shadows_later_entries() {
+        let (topo, cfg, _, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\n peer 172.16.0.2 route-policy P import\nroute-policy P permit node 10\n if-match ip-prefix L\nip prefix-list L index 10 permit 0.0.0.0 0\nip prefix-list L index 20 permit 10.0.0.0 16\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let shadows: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::ShadowedPrefixListEntry)
+            .collect();
+        assert_eq!(shadows.len(), 1, "{}", report.render(&cfg));
+        assert!(
+            shadows[0].message.contains("entry index 20"),
+            "{}",
+            shadows[0].message
+        );
+        assert_eq!(shadows[0].severity, Severity::Error);
+        // A `le 32` catch-all shadows too; disjoint entries do not.
+        let (topo, cfg, _, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\n peer 172.16.0.2 route-policy P import\nroute-policy P permit node 10\n if-match ip-prefix L\nip prefix-list L index 10 permit 10.0.0.0 8 le 32\nip prefix-list L index 20 permit 10.1.0.0 16\nip prefix-list L index 30 permit 20.0.0.0 16\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let shadows: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::ShadowedPrefixListEntry)
+            .collect();
+        assert_eq!(shadows.len(), 1, "{}", report.render(&cfg));
+        assert!(shadows[0].message.contains("entry index 20"));
+    }
+
+    #[test]
+    fn policy_dataflow_rules_fire() {
+        let (topo, cfg, _, _) = pair(
+            concat!(
+                "bgp 65001\n",
+                " peer 172.16.0.2 as-number 65002\n",
+                " peer 172.16.0.2 route-policy P import\n",
+                "route-policy P permit node 10\n",
+                " apply as-path prepend 65001 3\n",
+                " apply as-path overwrite\n",
+                "route-policy P deny node 20\n",
+                " apply local-preference 200\n",
+                "route-policy P permit node 30\n",
+                " if-match ip-prefix L\n",
+                "ip prefix-list L index 10 permit 10.0.0.0 16\n",
+            ),
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let rules = rules_of(&report);
+        // Node 10 has no if-match: nodes 20 and 30 are unreachable, the
+        // prepend is clobbered, and node 20's apply is on a deny node.
+        assert!(rules.contains(&Rule::UnreachablePolicyNode), "{rules:?}");
+        assert!(rules.contains(&Rule::ClobberedAsPathPrepend), "{rules:?}");
+        assert!(rules.contains(&Rule::ApplyOnDenyNode), "{rules:?}");
+    }
+
+    #[test]
+    fn override_asn_mismatch_is_flagged() {
+        let (topo, cfg, _, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\n peer 172.16.0.2 route-policy P import\nroute-policy P permit node 10\n if-match ip-prefix L\n apply as-path overwrite 64999\nip prefix-list L index 10 permit 10.0.0.0 16\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::OverrideAsnMismatch)
+            .expect("mismatch flagged");
+        assert!(d.message.contains("AS 64999"), "{}", d.message);
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn session_asn_mismatch_and_one_sided() {
+        let (topo, cfg, a, b) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 64999\n",
+            "bgp 65002\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let rules = rules_of(&report);
+        assert!(rules.contains(&Rule::SessionAsnMismatch), "{rules:?}");
+        assert!(rules.contains(&Rule::OneSidedSession), "{rules:?}");
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.device == a || d.device == b));
+    }
+
+    #[test]
+    fn unknown_peer_is_flagged() {
+        let (topo, cfg, _, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\n peer 192.0.2.9 as-number 65009\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        assert!(rules_of(&report).contains(&Rule::UnknownPeer));
+    }
+
+    #[test]
+    fn pbr_shadowing_rules_fire() {
+        let (topo, cfg, _, _) = pair(
+            concat!(
+                "bgp 65001\n",
+                " peer 172.16.0.2 as-number 65002\n",
+                "acl 3800\n",
+                " rule 5 permit ip source 0.0.0.0 0 destination 10.0.0.0 8\n",
+                "acl 3801\n",
+                " rule 5 permit ip source 0.0.0.0 0 destination 0.0.0.0 0\n",
+                "traffic-policy guard\n",
+                " match acl 3801 redirect next-hop 172.16.0.2\n",
+                " match acl 3800 permit\n",
+                " match acl 3801 deny\n",
+                "apply traffic-policy guard\n",
+            ),
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let shadows: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::ShadowedPbrRule)
+            .collect();
+        // The catch-all redirect shadows the permit; the second acl-3801
+        // rule is a same-acl shadow.
+        assert_eq!(shadows.len(), 2, "{}", report.render(&cfg));
+    }
+
+    #[test]
+    fn unused_definitions_warn() {
+        let (topo, cfg, _, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\nroute-policy Orphan permit node 10\n if-match ip-prefix L\nip prefix-list L index 10 permit 10.0.0.0 16\nacl 3800\n rule 5 permit ip source 0.0.0.0 0 destination 10.0.0.0 8\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let unused: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::UnusedDefinition)
+            .collect();
+        // The orphan policy and the orphan acl — the list is used by the
+        // (unused) policy and stays quiet.
+        assert_eq!(unused.len(), 2, "{}", report.render(&cfg));
+        assert!(unused.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn group_asn_conflict_fires() {
+        let (topo, cfg, _, _) = pair(
+            concat!(
+                "bgp 65001\n",
+                " peer 172.16.0.2 as-number 65002\n",
+                " group Cust external\n",
+                " peer Cust as-number 64999\n",
+                " peer 172.16.0.2 group Cust\n",
+            ),
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::GroupAsnConflict)
+            .expect("conflict flagged");
+        assert!(
+            d.message.contains("64999") && d.message.contains("65002"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn import_filter_gap_spots_unroutable_neighbor_prefix() {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.router("A", Role::Backbone);
+        let b = tb.router("PoP", Role::PoP);
+        tb.link(a, b);
+        tb.attach(b, "10.7.0.0/16".parse().unwrap());
+        let topo = tb.build();
+        let mut cfg = NetworkConfig::new();
+        let a_text = concat!(
+            "bgp 65001\n",
+            " peer 172.16.0.2 as-number 64999\n",
+            " peer 172.16.0.2 route-policy In import\n",
+            "route-policy In permit node 10\n",
+            " if-match ip-prefix space\n",
+            "ip prefix-list space index 10 permit 20.0.0.0 16\n",
+        );
+        cfg.insert(a, parse_device("A", a_text).unwrap());
+        cfg.insert(
+            b,
+            parse_device(
+                "PoP",
+                "bgp 64999\n peer 172.16.0.1 as-number 65001\n network 10.7.0.0 16\n",
+            )
+            .unwrap(),
+        );
+        let report = lint_network(&topo, &cfg);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::ImportFilterGap)
+            .expect("gap flagged");
+        assert!(d.message.contains("10.7.0.0/16"), "{}", d.message);
+        // Widening the list to cover the prefix silences the rule.
+        let fixed = a_text.replace("permit 20.0.0.0 16", "permit 10.0.0.0 8 le 24");
+        let mut cfg2 = cfg.clone();
+        cfg2.insert(a, parse_device("A", &fixed).unwrap());
+        let report = lint_network(&topo, &cfg2);
+        assert!(
+            !rules_of(&report).contains(&Rule::ImportFilterGap),
+            "{}",
+            report.render(&cfg2)
+        );
+    }
+
+    #[test]
+    fn duplicate_router_id_across_devices() {
+        let (topo, cfg, _, b) = pair(
+            "bgp 65001\n router-id 1.1.1.1\n peer 172.16.0.2 as-number 65002\n",
+            "bgp 65002\n router-id 1.1.1.1\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let report = lint_network(&topo, &cfg);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::DuplicateRouterId)
+            .expect("duplicate flagged");
+        assert_eq!(d.device, b);
+        assert_eq!(d.related.len(), 1);
+    }
+
+    #[test]
+    fn lint_with_models_matches_lint_network() {
+        let (topo, cfg, _, _) = pair(
+            "bgp 65001\n peer 172.16.0.2 as-number 64999\n",
+            "bgp 65002\n peer 172.16.0.1 as-number 65001\n",
+        );
+        let models: Vec<_> = topo
+            .routers()
+            .iter()
+            .map(|r| acr_cfg::DeviceModel::from_config(cfg.device(r.id).unwrap()))
+            .collect();
+        let a = lint_network(&topo, &cfg);
+        let b = lint_with_models(&topo, &cfg, &models);
+        assert_eq!(a.keys(), b.keys());
+    }
+}

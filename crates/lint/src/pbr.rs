@@ -1,0 +1,64 @@
+//! PBR (traffic-policy) rule reachability, per device.
+
+use crate::ctx::{Ctx, DiagExt};
+use crate::diag::{Diagnostic, Rule};
+use acr_cfg::{DeviceModel, MatchProto, PlAction};
+use acr_net_types::Prefix;
+
+pub(crate) fn run(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for (id, _device, model) in ctx.devices() {
+        for (name, rules) in &model.pbr_policies {
+            for (j, later) in rules.iter().enumerate() {
+                // Earlier rule on the same ACL: whatever the action, it
+                // consumes every packet the later rule could match.
+                if let Some(earlier) = rules[..j].iter().find(|r| r.acl == later.acl) {
+                    out.push(
+                        ctx.diag(
+                            Rule::ShadowedPbrRule,
+                            id,
+                            (later.line, later.line),
+                            format!(
+                                "traffic-policy `{name}`: the second rule on acl {} is shadowed by the first",
+                                later.acl
+                            ),
+                        )
+                        .with_related(ctx, id, earlier.line, "the shadowing rule"),
+                    );
+                    continue;
+                }
+                // Earlier rule whose ACL opens with a universal permit
+                // matches every packet outright.
+                if let Some(earlier) = rules[..j].iter().find(|r| acl_is_universal(model, r.acl)) {
+                    out.push(
+                        ctx.diag(
+                            Rule::ShadowedPbrRule,
+                            id,
+                            (later.line, later.line),
+                            format!(
+                                "traffic-policy `{name}`: the rule on acl {} is shadowed by an earlier catch-all rule on acl {}",
+                                later.acl, earlier.acl
+                            ),
+                        )
+                        .with_related(ctx, id, earlier.line, "the catch-all rule"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether the ACL's first rule permits every packet.
+fn acl_is_universal(model: &DeviceModel, acl: u32) -> bool {
+    model
+        .acls
+        .get(&acl)
+        .and_then(|entries| entries.first())
+        .map(|e| {
+            e.rule.action == PlAction::Permit
+                && e.rule.proto == MatchProto::Ip
+                && e.rule.src == Prefix::DEFAULT
+                && e.rule.dst == Prefix::DEFAULT
+                && e.rule.dst_port.is_none()
+        })
+        .unwrap_or(false)
+}

@@ -1,0 +1,142 @@
+//! Route-policy dataflow and prefix-list reachability, per device.
+
+use crate::ctx::{Ctx, DiagExt};
+use crate::diag::{Diagnostic, Rule};
+use acr_cfg::model::ApplyAction;
+use acr_cfg::{PlAction, PlEntry};
+
+pub(crate) fn run(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for (id, _device, model) in ctx.devices() {
+        // ---- route-policy dataflow -----------------------------------
+        for (name, nodes) in &model.route_policies {
+            // A node with no if-match clauses matches every route:
+            // whatever follows it can never be evaluated.
+            if let Some(t) = nodes.iter().position(|n| n.matches.is_empty()) {
+                for n in &nodes[t + 1..] {
+                    out.push(
+                        ctx.diag(
+                            Rule::UnreachablePolicyNode,
+                            id,
+                            (n.line, n.line),
+                            format!(
+                                "route-policy `{name}` node {} is unreachable: node {} matches every route",
+                                n.node, nodes[t].node
+                            ),
+                        )
+                        .with_related(ctx, id, nodes[t].line, "the terminal match-all node"),
+                    );
+                }
+            }
+            for n in nodes {
+                if n.action == PlAction::Deny && !n.applies.is_empty() {
+                    let first = n.applies.first().map(|(_, l)| *l).unwrap_or(n.line);
+                    let last = n.applies.last().map(|(_, l)| *l).unwrap_or(n.line);
+                    out.push(
+                        ctx.diag(
+                            Rule::ApplyOnDenyNode,
+                            id,
+                            (first, last),
+                            format!(
+                                "route-policy `{name}` node {} denies, so its apply actions never take effect",
+                                n.node
+                            ),
+                        )
+                        .with_related(ctx, id, n.line, "the deny node"),
+                    );
+                }
+                // `apply as-path overwrite` replaces the whole AS_PATH:
+                // any earlier prepend in the same node is discarded.
+                let prepend = n
+                    .applies
+                    .iter()
+                    .position(|(a, _)| matches!(a, ApplyAction::AsPathPrepend { .. }));
+                if let Some(p) = prepend {
+                    if let Some((_, oline)) = n.applies[p + 1..]
+                        .iter()
+                        .find(|(a, _)| matches!(a, ApplyAction::AsPathOverwrite(_)))
+                    {
+                        out.push(
+                            ctx.diag(
+                                Rule::ClobberedAsPathPrepend,
+                                id,
+                                (*oline, *oline),
+                                format!(
+                                    "route-policy `{name}` node {}: as-path overwrite discards the earlier as-path prepend",
+                                    n.node
+                                ),
+                            )
+                            .with_related(ctx, id, n.applies[p].1, "the clobbered prepend"),
+                        );
+                    }
+                }
+                for (a, aline) in &n.applies {
+                    if let ApplyAction::AsPathOverwrite(Some(asn)) = a {
+                        if let Some((own, _)) = model.asn {
+                            if *asn != own {
+                                out.push(ctx.diag(
+                                    Rule::OverrideAsnMismatch,
+                                    id,
+                                    (*aline, *aline),
+                                    format!(
+                                        "route-policy `{name}` node {} overwrites as-path with AS {} but the device runs bgp {}",
+                                        n.node, asn.0, own.0
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- prefix-list entry reachability --------------------------
+        for (list, entries) in &model.prefix_lists {
+            for (j, later) in entries.iter().enumerate() {
+                if matchable_lengths(later).is_none() {
+                    out.push(ctx.diag(
+                        Rule::ShadowedPrefixListEntry,
+                        id,
+                        (later.line, later.line),
+                        format!(
+                            "prefix-list `{list}` entry index {} can never match: its ge/le bounds admit no length",
+                            later.index
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(earlier) = entries[..j].iter().find(|e| shadows(e, later)) {
+                    out.push(
+                        ctx.diag(
+                            Rule::ShadowedPrefixListEntry,
+                            id,
+                            (later.line, later.line),
+                            format!(
+                                "prefix-list `{list}` entry index {} can never match: entry index {} shadows it",
+                                later.index, earlier.index
+                            ),
+                        )
+                        .with_related(ctx, id, earlier.line, "the shadowing entry"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The (lo, hi) route lengths an entry can match, or `None` when empty.
+fn matchable_lengths(e: &PlEntry) -> Option<(u8, u8)> {
+    let lo = e.ge.unwrap_or(0).max(e.prefix.len());
+    let hi = e.le.unwrap_or(32);
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Whether every route `later` matches is already consumed by `earlier`
+/// (first-match evaluation), regardless of either entry's action.
+fn shadows(earlier: &PlEntry, later: &PlEntry) -> bool {
+    let (Some((elo, ehi)), Some((llo, lhi))) =
+        (matchable_lengths(earlier), matchable_lengths(later))
+    else {
+        return false;
+    };
+    earlier.prefix.covers(later.prefix) && elo <= llo && ehi >= lhi
+}

@@ -1,0 +1,226 @@
+//! Cross-device consistency: BGP session symmetry, AS agreement, group
+//! conflicts, ingress-filter coverage, and router-id uniqueness. These
+//! rules are the reason the linter takes the [`acr_topo::Topology`] —
+//! a single device in isolation cannot know who sits on the far end of
+//! a `peer` statement.
+
+use crate::ctx::{Ctx, DiagExt};
+use crate::diag::{Diagnostic, Rule};
+use acr_cfg::ast::{PeerRef, Stmt};
+use acr_cfg::{DeviceModel, MatchCond, PlAction, PolicyNode};
+use acr_net_types::{Asn, Ipv4Addr, Prefix};
+use std::collections::BTreeMap;
+
+pub(crate) fn run(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    // ---- duplicate router-ids across the network ---------------------
+    let mut rid_seen: BTreeMap<Ipv4Addr, (acr_net_types::RouterId, u32)> = BTreeMap::new();
+    for (id, _device, model) in ctx.devices() {
+        if let Some((rid, line)) = model.router_id {
+            match rid_seen.get(&rid) {
+                Some((first, first_line)) => {
+                    out.push(
+                        ctx.diag(
+                            Rule::DuplicateRouterId,
+                            id,
+                            (line, line),
+                            format!("router-id {rid} is already used by {}", ctx.name_of(*first)),
+                        )
+                        .with_related(
+                            ctx,
+                            *first,
+                            *first_line,
+                            "first declared here",
+                        ),
+                    );
+                }
+                None => {
+                    rid_seen.insert(rid, (id, line));
+                }
+            }
+        }
+    }
+
+    for (id, device, model) in ctx.devices() {
+        // ---- per-session checks --------------------------------------
+        for (addr, peer) in &model.peers {
+            let first_line = peer.lines.first().copied().unwrap_or(1);
+            let Some(owner) = ctx.topo.owner_of(*addr) else {
+                out.push(ctx.diag(
+                    Rule::UnknownPeer,
+                    id,
+                    (first_line, first_line),
+                    format!("peer {addr} matches no interface address in the topology"),
+                ));
+                continue;
+            };
+            if owner == id {
+                continue; // peering one's own address — sim territory
+            }
+            let owner_model = ctx.model(owner);
+
+            // Remote-AS agreement with the neighbor's BGP process.
+            if let (Some((asn, asn_line)), Some(Some((owner_asn, owner_line)))) =
+                (peer.asn, owner_model.map(|m| m.asn))
+            {
+                if asn != owner_asn {
+                    out.push(
+                        ctx.diag(
+                            Rule::SessionAsnMismatch,
+                            id,
+                            (asn_line, asn_line),
+                            format!(
+                                "peer {addr} is configured with as-number {} but {} runs bgp {}",
+                                asn.0,
+                                ctx.name_of(owner),
+                                owner_asn.0
+                            ),
+                        )
+                        .with_related(
+                            ctx,
+                            owner,
+                            owner_line,
+                            "the neighbor's BGP process",
+                        ),
+                    );
+                }
+            }
+
+            // Session symmetry: the neighbor must peer our address on
+            // the shared link.
+            if let (Some(my_addr), Some(om)) = (ctx.topo.addr_towards(id, owner), owner_model) {
+                if !om.peers.contains_key(&my_addr) {
+                    out.push(ctx.diag(
+                        Rule::OneSidedSession,
+                        id,
+                        (first_line, first_line),
+                        format!(
+                            "peer {addr}: {} has no matching session back to {}",
+                            ctx.name_of(owner),
+                            ctx.name_of(id)
+                        ),
+                    ));
+                }
+            }
+
+            // Ingress coverage: an import policy must be able to admit
+            // each prefix the neighbor originates. Conservative — only
+            // certain denial (under first-match list evaluation, with
+            // unknowns such as community matches treated as permissive)
+            // is flagged.
+            if let Some((pol, pol_line)) = &peer.import_policy {
+                if let Some(nodes) = model.route_policies.get(pol) {
+                    for p in &ctx.topo.router(owner).attached {
+                        if !could_permit(model, nodes, *p) {
+                            out.push(
+                                ctx.diag(
+                                    Rule::ImportFilterGap,
+                                    id,
+                                    (*pol_line, *pol_line),
+                                    format!(
+                                        "import policy `{pol}` on the session to {} cannot admit its prefix {p}",
+                                        ctx.name_of(owner)
+                                    ),
+                                )
+                                .with_related(
+                                    ctx,
+                                    id,
+                                    nodes.first().map(|n| n.line).unwrap_or(*pol_line),
+                                    "the filtering policy",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- group items dead on arrival -----------------------------
+        // A member with a direct as-number ignores the group's: if the
+        // two disagree, either the membership or the group item is wrong.
+        let mut direct_asn: BTreeMap<Ipv4Addr, (Asn, u32)> = BTreeMap::new();
+        for (line, stmt) in device.lines() {
+            if let Stmt::PeerAs {
+                peer: PeerRef::Ip(ip),
+                asn,
+            } = stmt
+            {
+                direct_asn.insert(*ip, (*asn, line));
+            }
+        }
+        for (line, stmt) in device.lines() {
+            let Stmt::PeerGroup { peer, group } = stmt else {
+                continue;
+            };
+            let Some((direct, direct_line)) = direct_asn.get(peer) else {
+                continue;
+            };
+            let Some((gasn, gasn_line)) = model.groups.get(group).and_then(|g| g.asn) else {
+                continue;
+            };
+            if *direct != gasn {
+                out.push(
+                    ctx.diag(
+                        Rule::GroupAsnConflict,
+                        id,
+                        (line, line),
+                        format!(
+                            "peer {peer} has as-number {} but joins group `{group}` carrying as-number {}",
+                            direct.0, gasn.0
+                        ),
+                    )
+                    .with_related(ctx, id, *direct_line, "the peer's own as-number")
+                    .with_related(ctx, id, gasn_line, "the group's as-number"),
+                );
+            }
+        }
+    }
+}
+
+/// Whether some evaluation of `nodes` (resolving unknowns permissively)
+/// admits a route for `p`.
+fn could_permit(model: &DeviceModel, nodes: &[PolicyNode], p: Prefix) -> bool {
+    for node in nodes {
+        match (match_status(model, node, p), node.action) {
+            (Match::Yes, PlAction::Permit) => return true,
+            (Match::Yes, PlAction::Deny) => return false,
+            (Match::Maybe, PlAction::Permit) => return true,
+            // Definitely not matched, or only possibly denied: a later
+            // node may still admit the route.
+            _ => {}
+        }
+    }
+    false // fall-through is an implicit deny
+}
+
+enum Match {
+    Yes,
+    Maybe,
+    No,
+}
+
+/// Whether `p` satisfies every if-match clause of `node`.
+fn match_status(model: &DeviceModel, node: &PolicyNode, p: Prefix) -> Match {
+    if node.matches.is_empty() {
+        return Match::Yes; // no clauses: the node matches everything
+    }
+    let mut maybe = false;
+    for (cond, _) in &node.matches {
+        match cond {
+            MatchCond::PrefixList(list) => {
+                if !model.prefix_lists.contains_key(list) {
+                    // Dangling list — undefined-prefix-list reports it;
+                    // here it only degrades certainty.
+                    maybe = true;
+                } else if !matches!(model.eval_prefix_list(list, p), Some((true, _))) {
+                    return Match::No; // list evaluation is deterministic
+                }
+            }
+            MatchCond::Community(_) => maybe = true,
+        }
+    }
+    if maybe {
+        Match::Maybe
+    } else {
+        Match::Yes
+    }
+}

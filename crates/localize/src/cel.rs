@@ -23,8 +23,7 @@ pub fn cel_localize(matrix: &CoverageMatrix) -> Vec<LineId> {
         return Vec::new();
     }
     let mut solver = Solver::new();
-    let faulty: BTreeMap<LineId, VarId> =
-        pool.iter().map(|l| (*l, solver.new_bool())).collect();
+    let faulty: BTreeMap<LineId, VarId> = pool.iter().map(|l| (*l, solver.new_bool())).collect();
 
     // Hard: each failed test is explained by some faulty covered line.
     for t in matrix.tests().iter().filter(|t| !t.passed) {

@@ -20,4 +20,4 @@ pub mod sbfl;
 
 pub use cel::cel_localize;
 pub use ranking::Ranking;
-pub use sbfl::{localize, suspiciousness, SbflFormula};
+pub use sbfl::{localize, localize_boosted, suspiciousness, SbflFormula};

@@ -40,7 +40,9 @@ impl Ranking {
     /// "the statements with the highest suspiciousness across all
     /// routers").
     pub fn top_tied(&self) -> Vec<LineId> {
-        let Some((_, best)) = self.top() else { return Vec::new() };
+        let Some((_, best)) = self.top() else {
+            return Vec::new();
+        };
         self.entries
             .iter()
             .take_while(|(_, s)| (s - best).abs() < 1e-12)
@@ -50,13 +52,19 @@ impl Ranking {
 
     /// Score of a specific line, if ranked.
     pub fn score_of(&self, line: LineId) -> Option<f64> {
-        self.entries.iter().find(|(l, _)| *l == line).map(|(_, s)| *s)
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|(_, s)| *s)
     }
 
     /// 1-based rank of a line (ties share the better rank region as
     /// positioned deterministically).
     pub fn rank_of(&self, line: LineId) -> Option<usize> {
-        self.entries.iter().position(|(l, _)| *l == line).map(|i| i + 1)
+        self.entries
+            .iter()
+            .position(|(l, _)| *l == line)
+            .map(|i| i + 1)
     }
 
     /// EXAM score: fraction of ranked lines an operator inspects (in rank
@@ -116,7 +124,12 @@ mod tests {
 
     #[test]
     fn exam_score_is_rank_fraction() {
-        let r = Ranking::new(vec![(l(0, 1), 0.9), (l(0, 2), 0.8), (l(0, 3), 0.1), (l(0, 4), 0.0)]);
+        let r = Ranking::new(vec![
+            (l(0, 1), 0.9),
+            (l(0, 2), 0.8),
+            (l(0, 3), 0.1),
+            (l(0, 4), 0.0),
+        ]);
         assert_eq!(r.exam_score(l(0, 1)), Some(0.25));
         assert_eq!(r.exam_score(l(0, 4)), Some(1.0));
         assert_eq!(r.exam_score(l(9, 9)), None);

@@ -78,9 +78,52 @@ pub fn localize(matrix: &CoverageMatrix, formula: SbflFormula) -> Ranking {
         .per_line_counts()
         .into_iter()
         .map(|(line, (p, f))| {
-            (line, suspiciousness(formula, p, f, total_passed, total_failed))
+            (
+                line,
+                suspiciousness(formula, p, f, total_passed, total_failed),
+            )
         })
         .collect();
+    Ranking::new(entries)
+}
+
+/// Scores every covered line, multiplying suspiciousness by a per-line
+/// boost factor (static-analysis hits from `acr-lint` feed in here).
+///
+/// Lines absent from `boosts` keep their spectrum score (factor 1). A
+/// boosted line whose spectrum score is 0 — typically a line a static
+/// rule flagged but no failing probe covered — receives a floor of
+/// `0.05 * factor` so it enters the ranking instead of being invisible
+/// to the template stage.
+pub fn localize_boosted(
+    matrix: &CoverageMatrix,
+    formula: SbflFormula,
+    boosts: &std::collections::BTreeMap<acr_cfg::LineId, f64>,
+) -> Ranking {
+    let (total_passed, total_failed) = matrix.totals();
+    let mut entries: Vec<(acr_cfg::LineId, f64)> = matrix
+        .per_line_counts()
+        .into_iter()
+        .map(|(line, (p, f))| {
+            let base = suspiciousness(formula, p, f, total_passed, total_failed);
+            let factor = boosts.get(&line).copied().unwrap_or(1.0);
+            let score = if base > 0.0 {
+                base * factor
+            } else if factor > 1.0 {
+                0.05 * factor
+            } else {
+                base
+            };
+            (line, score)
+        })
+        .collect();
+    // Flagged lines the spectrum never saw still deserve a slot.
+    let covered: std::collections::BTreeSet<_> = entries.iter().map(|(l, _)| *l).collect();
+    for (&line, &factor) in boosts {
+        if factor > 1.0 && !covered.contains(&line) {
+            entries.push((line, 0.05 * factor));
+        }
+    }
     Ranking::new(entries)
 }
 
@@ -144,12 +187,53 @@ mod tests {
         let l = |n: u32| LineId::new(RouterId(0), n);
         let mut m = CoverageMatrix::new();
         // Line 3 covered only by the failure; line 1 by everything.
-        m.push(TestCoverage { test: TestId(0), passed: true, lines: [l(1)].into() });
-        m.push(TestCoverage { test: TestId(1), passed: true, lines: [l(1), l(2)].into() });
-        m.push(TestCoverage { test: TestId(2), passed: false, lines: [l(1), l(3)].into() });
+        m.push(TestCoverage {
+            test: TestId(0),
+            passed: true,
+            lines: [l(1)].into(),
+        });
+        m.push(TestCoverage {
+            test: TestId(1),
+            passed: true,
+            lines: [l(1), l(2)].into(),
+        });
+        m.push(TestCoverage {
+            test: TestId(2),
+            passed: false,
+            lines: [l(1), l(3)].into(),
+        });
         let ranking = localize(&m, SbflFormula::Tarantula);
         assert_eq!(ranking.top().unwrap().0, l(3));
         assert!(ranking.score_of(l(3)).unwrap() > ranking.score_of(l(1)).unwrap());
         assert_eq!(ranking.score_of(l(2)), Some(0.0));
+    }
+
+    #[test]
+    fn boosted_localization_reorders_and_floors() {
+        let l = |n: u32| LineId::new(RouterId(0), n);
+        let mut m = CoverageMatrix::new();
+        m.push(TestCoverage {
+            test: TestId(0),
+            passed: true,
+            lines: [l(1)].into(),
+        });
+        m.push(TestCoverage {
+            test: TestId(1),
+            passed: false,
+            lines: [l(1), l(2), l(3)].into(),
+        });
+        let plain = localize(&m, SbflFormula::Tarantula);
+        // Lines 2 and 3 tie on the spectrum alone.
+        assert_eq!(plain.score_of(l(2)), plain.score_of(l(3)));
+
+        let boosts = [(l(3), 4.0), (l(9), 2.0)].into_iter().collect();
+        let boosted = localize_boosted(&m, SbflFormula::Tarantula, &boosts);
+        // The lint-flagged line now outranks its spectrum twin.
+        assert!(boosted.score_of(l(3)).unwrap() > boosted.score_of(l(2)).unwrap());
+        assert_eq!(boosted.top().unwrap().0, l(3));
+        // A flagged line the spectrum never covered gets the floor score.
+        assert!((boosted.score_of(l(9)).unwrap() - 0.1).abs() < 1e-9);
+        // Unflagged lines keep their plain scores.
+        assert_eq!(boosted.score_of(l(1)), plain.score_of(l(1)));
     }
 }

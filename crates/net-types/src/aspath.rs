@@ -64,7 +64,7 @@ impl AsPath {
     /// Prepend the local AS `count` times (route-policy `as-path prepend`).
     pub fn prepend_n(&self, asn: Asn, count: usize) -> AsPath {
         let mut hops = Vec::with_capacity(self.0.len() + count);
-        hops.extend(std::iter::repeat(asn).take(count));
+        hops.extend(std::iter::repeat_n(asn, count));
         hops.extend_from_slice(&self.0);
         AsPath(hops)
     }
@@ -127,7 +127,10 @@ mod tests {
         let short = AsPath::overwrite(Asn(9));
         assert_eq!(short.len(), 1);
         assert!(short.len() < long.len());
-        assert!(!short.contains(Asn(1)), "overwrite must erase loop evidence");
+        assert!(
+            !short.contains(Asn(1)),
+            "overwrite must erase loop evidence"
+        );
     }
 
     #[test]
@@ -147,6 +150,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(AsPath::from_hops([Asn(65001), Asn(65002)]).to_string(), "[65001 65002]");
+        assert_eq!(
+            AsPath::from_hops([Asn(65001), Asn(65002)]).to_string(),
+            "[65001 65002]"
+        );
     }
 }

@@ -39,7 +39,9 @@ impl FromStr for Community {
     type Err = ParseCommunityError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (a, v) = s.split_once(':').ok_or_else(|| ParseCommunityError(s.into()))?;
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| ParseCommunityError(s.into()))?;
         Ok(Community {
             asn: a.parse().map_err(|_| ParseCommunityError(s.into()))?,
             value: v.parse().map_err(|_| ParseCommunityError(s.into()))?,

@@ -31,7 +31,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The full port range.
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
 
     /// A range covering exactly one port.
     pub const fn single(p: u16) -> Self {
@@ -164,9 +167,18 @@ mod tests {
             dst_port: 53,
         };
         assert!(hs.contains(&good));
-        assert!(!hs.contains(&Flow { dst_port: 54, ..good }));
-        assert!(!hs.contains(&Flow { proto: Protocol::Tcp, ..good }));
-        assert!(!hs.contains(&Flow { src: Ipv4Addr::new(11, 0, 0, 1), ..good }));
+        assert!(!hs.contains(&Flow {
+            dst_port: 54,
+            ..good
+        }));
+        assert!(!hs.contains(&Flow {
+            proto: Protocol::Tcp,
+            ..good
+        }));
+        assert!(!hs.contains(&Flow {
+            src: Ipv4Addr::new(11, 0, 0, 1),
+            ..good
+        }));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod community;
 pub mod flow;
 pub mod headerspace;
 pub mod prefix;
+pub mod rng;
 pub mod trie;
 
 pub use addr::Ipv4Addr;
@@ -30,6 +31,7 @@ pub use community::Community;
 pub use flow::{Flow, Protocol};
 pub use headerspace::HeaderSpace;
 pub use prefix::{ParsePrefixError, Prefix};
+pub use rng::SplitMix64;
 pub use trie::PrefixTrie;
 
 /// Identifier of a router in a network, stable across simulation runs.

@@ -47,6 +47,8 @@ impl Prefix {
     }
 
     /// The prefix length in bits.
+    // A /0 prefix is not "empty", so there is no `is_empty` counterpart.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }

@@ -1,0 +1,97 @@
+//! A small deterministic PRNG (SplitMix64).
+//!
+//! The repair engine and workload injectors only need reproducible,
+//! well-mixed draws keyed by an explicit `seed` field — not cryptographic
+//! quality — so a vendored SplitMix64 keeps the workspace free of external
+//! crates while preserving determinism: the same seed always yields the
+//! same stream on every platform.
+
+/// Deterministic 64-bit PRNG with the SplitMix64 update function.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; returns 0 when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // the small ranges used here and determinism is all that matters.
+        let x = self.next_u64() as u128;
+        ((x * n as u128) >> 64) as usize
+    }
+
+    /// Uniform draw in `[0.0, 1.0)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits into the mantissa.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for n in 1usize..40 {
+            for _ in 0..50 {
+                assert!(r.index(n) < n);
+            }
+        }
+        assert_eq!(r.index(0), 0);
+    }
+
+    #[test]
+    fn index_covers_small_ranges() {
+        let mut r = SplitMix64::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..5 should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

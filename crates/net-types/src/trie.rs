@@ -221,7 +221,11 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let got: Vec<Prefix> = t.covered_by(p("10.1.0.0/16")).into_iter().map(|(p, _)| p).collect();
+        let got: Vec<Prefix> = t
+            .covered_by(p("10.1.0.0/16"))
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
         assert!(got.contains(&p("10.1.0.0/16")));
         assert!(got.contains(&p("10.1.128.0/17")));
         assert_eq!(got.len(), 2);
@@ -230,7 +234,10 @@ mod tests {
     #[test]
     fn host_route_lookup() {
         let t: PrefixTrie<u32> = [(p("1.2.3.4/32"), 9)].into_iter().collect();
-        assert_eq!(t.lookup("1.2.3.4".parse().unwrap()).map(|(_, v)| *v), Some(9));
+        assert_eq!(
+            t.lookup("1.2.3.4".parse().unwrap()).map(|(_, v)| *v),
+            Some(9)
+        );
         assert!(t.lookup("1.2.3.5".parse().unwrap()).is_none());
     }
 

@@ -3,6 +3,9 @@
 //! The trie is checked against a naive linear-scan longest-prefix-match
 //! model, and prefixes/paths against their algebraic laws.
 
+// Gated: run with `cargo test --features heavy-tests` (vendored proptest shim).
+#![cfg(feature = "heavy-tests")]
+
 use acr_net_types::{AsPath, Asn, HeaderSpace, Ipv4Addr, Prefix, PrefixTrie};
 use proptest::prelude::*;
 

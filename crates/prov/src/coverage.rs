@@ -84,7 +84,10 @@ impl CoverageMatrix {
 
     /// Every line covered by at least one test.
     pub fn covered_lines(&self) -> BTreeSet<LineId> {
-        self.tests.iter().flat_map(|t| t.lines.iter().copied()).collect()
+        self.tests
+            .iter()
+            .flat_map(|t| t.lines.iter().copied())
+            .collect()
     }
 
     /// Lines covered by at least one *failed* test — the SBFL candidate
@@ -108,7 +111,11 @@ mod tests {
     }
 
     fn cov(test: u32, passed: bool, lines: &[LineId]) -> TestCoverage {
-        TestCoverage { test: TestId(test), passed, lines: lines.iter().copied().collect() }
+        TestCoverage {
+            test: TestId(test),
+            passed,
+            lines: lines.iter().copied().collect(),
+        }
     }
 
     /// The worked example of §5: three tests, one failed; the line covered

@@ -73,7 +73,13 @@ impl<'a> Provenance<'a> {
         out
     }
 
-    fn explain_into(&self, id: DerivId, depth: usize, out: &mut String, seen: &mut BTreeSet<DerivId>) {
+    fn explain_into(
+        &self,
+        id: DerivId,
+        depth: usize,
+        out: &mut String,
+        seen: &mut BTreeSet<DerivId>,
+    ) {
         let node = self.arena.node(id);
         for _ in 0..depth {
             out.push_str("  ");

@@ -138,7 +138,9 @@ pub fn run_prefix(
         sessions_of[s.b.index()].push(s);
     }
 
-    let mut best: Vec<Option<Route>> = (0..n).map(|i| select_best(locals[i].iter().cloned())).collect();
+    let mut best: Vec<Option<Route>> = (0..n)
+        .map(|i| select_best(locals[i].iter().cloned()))
+        .collect();
     let mut seen_states: HashMap<u64, usize> = HashMap::new();
     let mut history: Vec<Vec<Option<Route>>> = Vec::new();
     let mut rejections: Vec<DerivId> = Vec::new();
@@ -164,7 +166,12 @@ pub fn run_prefix(
             }
             rejections.sort_unstable();
             rejections.dedup();
-            return PrefixOutcome::Flapping { first_seen_round: first, cycle_len, observed, rejections };
+            return PrefixOutcome::Flapping {
+                first_seen_round: first,
+                cycle_len,
+                observed,
+                rejections,
+            };
         }
         seen_states.insert(state_hash, round);
         history.push(best.clone());
@@ -193,19 +200,20 @@ pub fn run_prefix(
             next.push(select_best(candidates));
         }
 
-        let stable = next
-            .iter()
-            .zip(&best)
-            .all(|(a, b)| match (a, b) {
-                (Some(x), Some(y)) => x.key() == y.key(),
-                (None, None) => true,
-                _ => false,
-            });
+        let stable = next.iter().zip(&best).all(|(a, b)| match (a, b) {
+            (Some(x), Some(y)) => x.key() == y.key(),
+            (None, None) => true,
+            _ => false,
+        });
         best = next;
         if stable {
             rejections.sort_unstable();
             rejections.dedup();
-            return PrefixOutcome::Converged { rounds: round + 1, best, rejections };
+            return PrefixOutcome::Converged {
+                rounds: round + 1,
+                best,
+                rejections,
+            };
         }
     }
     // Defensive cap without a repeated state (should not happen for
@@ -216,7 +224,14 @@ pub fn run_prefix(
     PrefixOutcome::Flapping {
         first_seen_round: 0,
         cycle_len: max_rounds,
-        observed: vec![best.into_iter().flatten().map(|r| vec![r]).next().unwrap_or_default(); n],
+        observed: vec![
+            best.into_iter()
+                .flatten()
+                .map(|r| vec![r])
+                .next()
+                .unwrap_or_default();
+            n
+        ],
         rejections,
     }
 }
@@ -247,7 +262,11 @@ fn export(
     let mut overwrote = false;
     if let Some((policy, app_line)) = sender_view.export {
         match eval_policy(sender.model, sender.id, own_asn, policy, best) {
-            PolicyVerdict::Permit { route, overwrote_path, lines: pol_lines } => {
+            PolicyVerdict::Permit {
+                route,
+                overwrote_path,
+                lines: pol_lines,
+            } => {
                 out = route;
                 overwrote = overwrote_path;
                 lines.push(app_line);
@@ -257,7 +276,11 @@ fn export(
                 let mut all = lines;
                 all.push(app_line);
                 all.extend(deny_lines);
-                return Err(Some(arena.intern(DerivKind::ExportDenied, all, vec![best.deriv])));
+                return Err(Some(arena.intern(
+                    DerivKind::ExportDenied,
+                    all,
+                    vec![best.deriv],
+                )));
             }
         }
     }
@@ -298,7 +321,11 @@ fn import(
     let mut out = msg.clone();
     if let Some((policy, app_line)) = view.import {
         match eval_policy(receiver.model, receiver.id, own_asn, policy, msg) {
-            PolicyVerdict::Permit { route, lines: pol_lines, .. } => {
+            PolicyVerdict::Permit {
+                route,
+                lines: pol_lines,
+                ..
+            } => {
                 out = route;
                 lines.push(app_line);
                 lines.extend(pol_lines);
@@ -307,7 +334,11 @@ fn import(
                 let mut all = lines;
                 all.push(app_line);
                 all.extend(deny_lines);
-                return Err(Some(arena.intern(DerivKind::ImportDenied, all, vec![msg.deriv])));
+                return Err(Some(arena.intern(
+                    DerivKind::ImportDenied,
+                    all,
+                    vec![msg.deriv],
+                )));
             }
         }
     }
@@ -334,8 +365,8 @@ fn hash_state(best: &[Option<Route>]) -> u64 {
 mod tests {
     use super::*;
     use crate::session::establish;
-    use acr_cfg::parse::parse_device;
     use acr_cfg::model::DeviceModel;
+    use acr_cfg::parse::parse_device;
     use acr_topo::{gen, Role, Topology, TopologyBuilder};
 
     fn models_of(topo: &Topology, cfgs: &[&str]) -> Vec<DeviceModel> {
@@ -383,7 +414,9 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 3];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
         let PrefixOutcome::Converged { best, .. } = &out else {
             panic!("should converge");
@@ -391,7 +424,10 @@ mod tests {
         // R0: local; R1: path [65000]; R2: path [65001 65000].
         assert!(best[0].as_ref().unwrap().as_path.is_empty());
         assert_eq!(best[1].as_ref().unwrap().as_path.hops(), &[Asn(65000)]);
-        assert_eq!(best[2].as_ref().unwrap().as_path.hops(), &[Asn(65001), Asn(65000)]);
+        assert_eq!(
+            best[2].as_ref().unwrap().as_path.hops(),
+            &[Asn(65001), Asn(65000)]
+        );
         assert_eq!(best[1].as_ref().unwrap().learned_from, Some(RouterId(0)));
         // Next hops point along the line.
         assert_eq!(best[1].as_ref().unwrap().next_hop.to_string(), "172.16.0.1");
@@ -409,7 +445,9 @@ mod tests {
         let mut arena = DerivArena::new();
         let orig = vec![Origination::default(); 3];
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
-        let PrefixOutcome::Converged { best, rounds, .. } = out else { panic!() };
+        let PrefixOutcome::Converged { best, rounds, .. } = out else {
+            panic!()
+        };
         assert!(best.iter().all(|b| b.is_none()));
         assert_eq!(rounds, 1);
     }
@@ -431,9 +469,13 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 3];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
-        let PrefixOutcome::Converged { best, .. } = out else { panic!("must converge") };
+        let PrefixOutcome::Converged { best, .. } = out else {
+            panic!("must converge")
+        };
         // R1 and R2 each pick the direct one-hop path to R0.
         assert_eq!(best[1].as_ref().unwrap().as_path.len(), 1);
         assert_eq!(best[2].as_ref().unwrap().as_path.len(), 1);
@@ -454,9 +496,13 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 3];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
-        let PrefixOutcome::Converged { best, .. } = out else { panic!() };
+        let PrefixOutcome::Converged { best, .. } = out else {
+            panic!()
+        };
         assert!(best[0].is_some());
         assert!(best[1].is_none(), "import deny must filter");
         assert!(best[2].is_none(), "nothing to propagate onward");
@@ -476,9 +522,13 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 3];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
-        let PrefixOutcome::Converged { best, .. } = out else { panic!() };
+        let PrefixOutcome::Converged { best, .. } = out else {
+            panic!()
+        };
         // Prepend 2 + the normal export prepend = 3 hops at R1.
         assert_eq!(best[1].as_ref().unwrap().as_path.len(), 3);
     }
@@ -497,12 +547,19 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 3];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
-        let PrefixOutcome::Converged { best, .. } = out else { panic!() };
+        let PrefixOutcome::Converged { best, .. } = out else {
+            panic!()
+        };
         assert_eq!(best[1].as_ref().unwrap().as_path.hops(), &[Asn(65001)]);
         // R2 sees [65001 65001] (R1's overwritten path + export prepend).
-        assert_eq!(best[2].as_ref().unwrap().as_path.hops(), &[Asn(65001), Asn(65001)]);
+        assert_eq!(
+            best[2].as_ref().unwrap().as_path.hops(),
+            &[Asn(65001), Asn(65001)]
+        );
     }
     /// The classic BAD GADGET: three spokes around an origin hub, each
     /// preferring (via local-pref) the route heard from its clockwise
@@ -552,14 +609,23 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 4];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
         match out {
-            PrefixOutcome::Flapping { cycle_len, ref observed, .. } => {
-                assert!(cycle_len >= 2, "period must be non-trivial, got {cycle_len}");
+            PrefixOutcome::Flapping {
+                cycle_len,
+                ref observed,
+                ..
+            } => {
+                assert!(
+                    cycle_len >= 2,
+                    "period must be non-trivial, got {cycle_len}"
+                );
                 // Every spoke observes at least two distinct bests.
-                for spoke in 1..4 {
-                    assert!(observed[spoke].len() > 1, "spoke {spoke}: {:?}", observed[spoke]);
+                for (spoke, seen) in observed.iter().enumerate().take(4).skip(1) {
+                    assert!(seen.len() > 1, "spoke {spoke}: {seen:?}");
                 }
                 // Coverage of the flap reaches the local-pref policy lines.
                 let roots = out.deriv_roots();
@@ -608,15 +674,25 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 3];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let out = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
         let PrefixOutcome::Converged { best, .. } = out else {
             panic!("mutual overwrite should converge to a stable (looping) state")
         };
         // X\'s best points at Y, and Y\'s best points at X: a stable
         // control plane whose data plane loops.
-        assert_eq!(best[1].as_ref().unwrap().learned_from, Some(RouterId(2)), "{best:?}");
-        assert_eq!(best[2].as_ref().unwrap().learned_from, Some(RouterId(1)), "{best:?}");
+        assert_eq!(
+            best[1].as_ref().unwrap().learned_from,
+            Some(RouterId(2)),
+            "{best:?}"
+        );
+        assert_eq!(
+            best[2].as_ref().unwrap().learned_from,
+            Some(RouterId(1)),
+            "{best:?}"
+        );
     }
 
     #[test]
@@ -626,7 +702,9 @@ mod tests {
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
         let mut orig = vec![Origination::default(); 4];
-        orig[0].sources.push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let _ = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
         assert!(arena.len() < 128, "arena grew to {}", arena.len());
     }

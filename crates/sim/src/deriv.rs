@@ -81,7 +81,12 @@ impl DerivArena {
 
     /// Interns a node, returning the existing id when an identical node is
     /// already present.
-    pub fn intern(&mut self, kind: DerivKind, mut lines: Vec<LineId>, mut parents: Vec<DerivId>) -> DerivId {
+    pub fn intern(
+        &mut self,
+        kind: DerivKind,
+        mut lines: Vec<LineId>,
+        mut parents: Vec<DerivId>,
+    ) -> DerivId {
         lines.sort_unstable();
         lines.dedup();
         parents.sort_unstable();
@@ -100,7 +105,11 @@ impl DerivArena {
             }
         }
         let id = DerivId(self.nodes.len() as u32);
-        self.nodes.push(DerivNode { kind, lines, parents });
+        self.nodes.push(DerivNode {
+            kind,
+            lines,
+            parents,
+        });
         self.index.entry(h).or_default().push(id);
         id
     }
@@ -132,7 +141,11 @@ impl DerivArena {
 
     /// Whether any node in the closure of `roots` touches a line in
     /// `lines` (used by incremental invalidation).
-    pub fn closure_touches(&self, roots: impl IntoIterator<Item = DerivId>, lines: &[LineId]) -> bool {
+    pub fn closure_touches(
+        &self,
+        roots: impl IntoIterator<Item = DerivId>,
+        lines: &[LineId],
+    ) -> bool {
         let mut seen = vec![false; self.nodes.len()];
         let mut stack: Vec<DerivId> = roots.into_iter().collect();
         while let Some(id) = stack.pop() {
@@ -152,7 +165,10 @@ impl DerivArena {
 
     /// Iterates all nodes with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (DerivId, &DerivNode)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (DerivId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DerivId(i as u32), n))
     }
 }
 
@@ -187,7 +203,10 @@ mod tests {
         assert_eq!(lines, vec![l(0, 6), l(1, 3), l(1, 5)]);
         assert!(a.closure_touches([import], &[l(1, 3)]));
         assert!(!a.closure_touches([import], &[l(9, 9)]));
-        assert!(!a.closure_touches([origin], &[l(0, 6)]), "closure is upward only");
+        assert!(
+            !a.closure_touches([origin], &[l(0, 6)]),
+            "closure is upward only"
+        );
     }
 
     #[test]

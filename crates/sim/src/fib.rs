@@ -113,7 +113,11 @@ pub fn base_fib(
         let deriv = arena.intern(DerivKind::FibConnected, lines, vec![]);
         fib.install(
             link.subnet,
-            FibEntry { action: FibAction::Deliver, source: FibSource::Connected, deriv },
+            FibEntry {
+                action: FibAction::Deliver,
+                source: FibSource::Connected,
+                deriv,
+            },
         );
     }
     // Connected: attached customer prefixes.
@@ -121,7 +125,11 @@ pub fn base_fib(
         let deriv = arena.intern(DerivKind::FibConnected, vec![], vec![]);
         fib.install(
             *p,
-            FibEntry { action: FibAction::Deliver, source: FibSource::Connected, deriv },
+            FibEntry {
+                action: FibAction::Deliver,
+                source: FibSource::Connected,
+                deriv,
+            },
         );
     }
     // Static routes.
@@ -138,7 +146,11 @@ pub fn base_fib(
         if let Some(action) = action {
             fib.install(
                 sr.prefix,
-                FibEntry { action, source: FibSource::Static, deriv },
+                FibEntry {
+                    action,
+                    source: FibSource::Static,
+                    deriv,
+                },
             );
         }
         // Unresolvable next hop: the static stays out of the FIB, exactly
@@ -158,12 +170,20 @@ pub fn resolve_next_hop(topo: &Topology, router: RouterId, addr: Ipv4Addr) -> Op
             .links_of(router)
             .any(|l| l.peer_of(router).map(|e| e.addr) == Some(addr));
         if adjacent {
-            return Some(FibAction::Forward { router: owner, addr });
+            return Some(FibAction::Forward {
+                router: owner,
+                addr,
+            });
         }
         return None;
     }
     // A gateway inside one of our attached subnets (e.g. the DCN edge).
-    if topo.router(router).attached.iter().any(|p| p.contains(addr)) {
+    if topo
+        .router(router)
+        .attached
+        .iter()
+        .any(|p| p.contains(addr))
+    {
         return Some(FibAction::Deliver);
     }
     None
@@ -185,7 +205,10 @@ mod tests {
         let s = b.router("S", Role::Backbone);
         b.link(a, s); // A=172.16.0.1, S=172.16.0.2
         b.attach(a, p("20.0.0.0/16"));
-        (b.build(), DeviceModel::from_config(&parse_device("A", cfg_a).unwrap()))
+        (
+            b.build(),
+            DeviceModel::from_config(&parse_device("A", cfg_a).unwrap()),
+        )
     }
 
     #[test]
@@ -250,7 +273,10 @@ mod tests {
         let mut arena = DerivArena::new();
         let mut fib = base_fib(&topo, RouterId(0), &model, &mut arena);
         // The attached 20.0/16 (connected) must shadow the NULL0 static.
-        assert_eq!(fib.get(p("20.0.0.0/16")).unwrap().source, FibSource::Connected);
+        assert_eq!(
+            fib.get(p("20.0.0.0/16")).unwrap().source,
+            FibSource::Connected
+        );
         // A BGP entry cannot displace either.
         let deriv = arena.intern(DerivKind::Import, vec![], vec![]);
         fib.install(
@@ -261,17 +287,28 @@ mod tests {
                 deriv,
             },
         );
-        assert_eq!(fib.get(p("20.0.0.0/16")).unwrap().source, FibSource::Connected);
+        assert_eq!(
+            fib.get(p("20.0.0.0/16")).unwrap().source,
+            FibSource::Connected
+        );
         // But a BGP entry installs fine for a new prefix, and a static then
         // replaces it.
         fib.install(
             p("40.0.0.0/8"),
-            FibEntry { action: FibAction::Drop, source: FibSource::Bgp, deriv },
+            FibEntry {
+                action: FibAction::Drop,
+                source: FibSource::Bgp,
+                deriv,
+            },
         );
         assert_eq!(fib.get(p("40.0.0.0/8")).unwrap().source, FibSource::Bgp);
         fib.install(
             p("40.0.0.0/8"),
-            FibEntry { action: FibAction::Deliver, source: FibSource::Static, deriv },
+            FibEntry {
+                action: FibAction::Deliver,
+                source: FibSource::Static,
+                deriv,
+            },
         );
         assert_eq!(fib.get(p("40.0.0.0/8")).unwrap().source, FibSource::Static);
     }

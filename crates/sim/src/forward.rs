@@ -88,7 +88,11 @@ pub fn walk(
     loop {
         if path.contains(&current) || path.len() >= MAX_HOPS {
             path.push(current);
-            return ForwardResult { path: path.clone(), outcome: ForwardOutcome::Loop(path), derivs };
+            return ForwardResult {
+                path: path.clone(),
+                outcome: ForwardOutcome::Loop(path),
+                derivs,
+            };
         }
         path.push(current);
         let model = &models[current.index()];
@@ -100,7 +104,11 @@ pub fn walk(
                 .links_of(current)
                 .any(|l| l.endpoint_of(current).map(|e| e.addr) == Some(flow.dst))
         {
-            return ForwardResult { path, outcome: ForwardOutcome::Delivered(current), derivs };
+            return ForwardResult {
+                path,
+                outcome: ForwardOutcome::Delivered(current),
+                derivs,
+            };
         }
 
         // PBR, if a traffic policy is applied on this device.
@@ -108,7 +116,9 @@ pub fn walk(
             if let Some(rules) = model.pbr_policies.get(policy_name) {
                 let mut matched = false;
                 for rule in rules {
-                    let Some(acl) = model.acls.get(&rule.acl) else { continue };
+                    let Some(acl) = model.acls.get(&rule.acl) else {
+                        continue;
+                    };
                     let Some(acl_entry) = acl.iter().find(|e| e.matches(flow)) else {
                         continue;
                     };
@@ -132,27 +142,25 @@ pub fn walk(
                                 derivs,
                             };
                         }
-                        PbrAction::Redirect(nh) => {
-                            match resolve_next_hop(topo, current, nh) {
-                                Some(FibAction::Forward { router, .. }) => {
-                                    current = router;
-                                }
-                                Some(FibAction::Deliver) => {
-                                    return ForwardResult {
-                                        path,
-                                        outcome: ForwardOutcome::Delivered(current),
-                                        derivs,
-                                    };
-                                }
-                                _ => {
-                                    return ForwardResult {
-                                        path,
-                                        outcome: ForwardOutcome::DroppedBadRedirect(current),
-                                        derivs,
-                                    };
-                                }
+                        PbrAction::Redirect(nh) => match resolve_next_hop(topo, current, nh) {
+                            Some(FibAction::Forward { router, .. }) => {
+                                current = router;
                             }
-                        }
+                            Some(FibAction::Deliver) => {
+                                return ForwardResult {
+                                    path,
+                                    outcome: ForwardOutcome::Delivered(current),
+                                    derivs,
+                                };
+                            }
+                            _ => {
+                                return ForwardResult {
+                                    path,
+                                    outcome: ForwardOutcome::DroppedBadRedirect(current),
+                                    derivs,
+                                };
+                            }
+                        },
                     }
                     matched = true;
                     break;
@@ -172,7 +180,11 @@ pub fn walk(
         let fib = &fibs[current.index()];
         match fib.lookup(flow.dst) {
             None => {
-                return ForwardResult { path, outcome: ForwardOutcome::NoRoute(current), derivs };
+                return ForwardResult {
+                    path,
+                    outcome: ForwardOutcome::NoRoute(current),
+                    derivs,
+                };
             }
             Some((_, entry)) => {
                 derivs.push(entry.deriv);
@@ -225,7 +237,9 @@ mod tests {
         let models: Vec<DeviceModel> = topo
             .routers()
             .iter()
-            .map(|r| DeviceModel::from_config(&parse_device(r.name.clone(), cfgs[r.id.index()]).unwrap()))
+            .map(|r| {
+                DeviceModel::from_config(&parse_device(r.name.clone(), cfgs[r.id.index()]).unwrap())
+            })
             .collect();
         let mut arena = DerivArena::new();
         let fibs: Vec<Fib> = topo
@@ -247,7 +261,14 @@ mod tests {
             "ip route-static 10.2.0.0 16 172.16.0.6\n",
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
         assert_eq!(r.path, vec![RouterId(0), RouterId(1), RouterId(2)]);
         // Coverage includes both static-route lines.
@@ -260,14 +281,29 @@ mod tests {
     fn missing_route_is_blackhole() {
         let (topo, models, fibs, mut arena) =
             line3(["ip route-static 10.2.0.0 16 172.16.0.2\n", "", ""]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::NoRoute(RouterId(1)));
     }
 
     #[test]
     fn null0_drops() {
-        let (topo, models, fibs, mut arena) = line3(["ip route-static 10.2.0.0 16 NULL0\n", "", ""]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let (topo, models, fibs, mut arena) =
+            line3(["ip route-static 10.2.0.0 16 NULL0\n", "", ""]);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::DroppedNull0(RouterId(0)));
     }
 
@@ -278,7 +314,14 @@ mod tests {
             "ip route-static 10.2.0.0 16 172.16.0.1\n", // points back at R0
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         match &r.outcome {
             ForwardOutcome::Loop(cycle) => {
                 assert_eq!(cycle, &vec![RouterId(0), RouterId(1), RouterId(0)]);
@@ -290,7 +333,14 @@ mod tests {
     #[test]
     fn delivery_at_injection_point() {
         let (topo, models, fibs, mut arena) = line3(["", "", ""]);
-        let r = walk(&topo, &models, &fibs, RouterId(2), &flow_to(Ipv4Addr::new(10, 2, 0, 9)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(2),
+            &flow_to(Ipv4Addr::new(10, 2, 0, 9)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
         assert_eq!(r.path.len(), 1);
     }
@@ -302,7 +352,14 @@ mod tests {
             "ip route-static 10.2.0.0 16 172.16.0.6\n",
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::DroppedPbr(RouterId(0)));
         let lines = arena.closure_lines(r.derivs.clone());
         // apply line (6), pbr rule line (5), acl rule line (3)
@@ -319,7 +376,14 @@ mod tests {
             "ip route-static 10.2.0.0 16 172.16.0.6\n",
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
         assert_eq!(r.path, vec![RouterId(0), RouterId(1), RouterId(2)]);
     }
@@ -331,7 +395,14 @@ mod tests {
             "ip route-static 10.2.0.0 16 172.16.0.6\n",
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
     }
 
@@ -342,7 +413,14 @@ mod tests {
             "ip route-static 10.2.0.0 16 172.16.0.6\n",
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
     }
 
@@ -353,7 +431,14 @@ mod tests {
             "",
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::DroppedBadRedirect(RouterId(0)));
     }
 
@@ -366,7 +451,14 @@ mod tests {
             "ip route-static 10.2.0.0 16 172.16.0.6\n",
             "",
         ]);
-        let r = walk(&topo, &models, &fibs, RouterId(0), &flow_to(Ipv4Addr::new(10, 2, 3, 4)), &mut arena);
+        let r = walk(
+            &topo,
+            &models,
+            &fibs,
+            RouterId(0),
+            &flow_to(Ipv4Addr::new(10, 2, 3, 4)),
+            &mut arena,
+        );
         assert_eq!(r.outcome, ForwardOutcome::Delivered(RouterId(2)));
     }
 }

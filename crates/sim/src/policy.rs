@@ -109,11 +109,18 @@ pub fn eval_policy(
                 }
             }
         }
-        return PolicyVerdict::Permit { route: out, overwrote_path: overwrote, lines };
+        return PolicyVerdict::Permit {
+            route: out,
+            overwrote_path: overwrote,
+            lines,
+        };
     }
     // Implicit deny: attribute it to the policy's first node header so the
     // rejection is visible to coverage at all.
-    let lines = nodes.first().map(|n| vec![LineId::new(router, n.line)]).unwrap_or_default();
+    let lines = nodes
+        .first()
+        .map(|n| vec![LineId::new(router, n.line)])
+        .unwrap_or_default();
     PolicyVerdict::Deny { lines }
 }
 
@@ -140,7 +147,11 @@ mod tests {
         let m = model("bgp 65001\n");
         let r = route("10.0.0.0/16");
         match eval_policy(&m, R, AS, "ghost", &r) {
-            PolicyVerdict::Permit { route, overwrote_path, lines } => {
+            PolicyVerdict::Permit {
+                route,
+                overwrote_path,
+                lines,
+            } => {
                 assert_eq!(route, r);
                 assert!(!overwrote_path);
                 assert!(lines.is_empty());
@@ -157,7 +168,11 @@ mod tests {
         let mut r = route("10.0.0.0/16");
         r.as_path = AsPath::from_hops([Asn(1), Asn(2), Asn(3)]);
         match eval_policy(&m, R, AS, "P", &r) {
-            PolicyVerdict::Permit { route, overwrote_path, lines } => {
+            PolicyVerdict::Permit {
+                route,
+                overwrote_path,
+                lines,
+            } => {
                 assert_eq!(route.as_path, AsPath::overwrite(AS));
                 assert!(overwrote_path);
                 // node header (1), if-match (2), pl entry (4), apply (3)
@@ -170,9 +185,7 @@ mod tests {
 
     #[test]
     fn explicit_overwrite_asn_wins() {
-        let m = model(
-            "route-policy P permit node 10\n apply as-path overwrite 64999\n",
-        );
+        let m = model("route-policy P permit node 10\n apply as-path overwrite 64999\n");
         match eval_policy(&m, R, AS, "P", &route("10.0.0.0/16")) {
             PolicyVerdict::Permit { route, .. } => {
                 assert_eq!(route.as_path, AsPath::overwrite(Asn(64999)));
@@ -245,7 +258,11 @@ mod tests {
             "route-policy P permit node 10\n apply as-path prepend 65001 2\n apply med 30\n apply community 65001:7\n",
         );
         match eval_policy(&m, R, AS, "P", &route("10.0.0.0/16")) {
-            PolicyVerdict::Permit { route, overwrote_path, .. } => {
+            PolicyVerdict::Permit {
+                route,
+                overwrote_path,
+                ..
+            } => {
                 assert_eq!(route.as_path.len(), 2);
                 assert_eq!(route.med, 30);
                 assert_eq!(route.communities.len(), 1);
@@ -283,10 +300,10 @@ mod tests {
             "route-policy P permit node 10\n if-match ip-prefix ten\n if-match community 65001:7\nip prefix-list ten index 10 permit 10.0.0.0 8 le 32\n",
         );
         let mut r = route("10.1.0.0/16");
-        assert!(matches!(
-            eval_policy(&m, R, AS, "P", &r),
-            PolicyVerdict::Deny { .. }
-        ), "prefix matches but community missing");
+        assert!(
+            matches!(eval_policy(&m, R, AS, "P", &r), PolicyVerdict::Deny { .. }),
+            "prefix matches but community missing"
+        );
         r.communities.push("65001:7".parse().unwrap());
         assert!(matches!(
             eval_policy(&m, R, AS, "P", &r),
@@ -294,9 +311,12 @@ mod tests {
         ));
         let mut wrong = route("20.0.0.0/16");
         wrong.communities.push("65001:7".parse().unwrap());
-        assert!(matches!(
-            eval_policy(&m, R, AS, "P", &wrong),
-            PolicyVerdict::Deny { .. }
-        ), "community matches but prefix does not");
+        assert!(
+            matches!(
+                eval_policy(&m, R, AS, "P", &wrong),
+                PolicyVerdict::Deny { .. }
+            ),
+            "community matches but prefix does not"
+        );
     }
 }

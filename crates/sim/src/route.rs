@@ -123,20 +123,32 @@ mod tests {
 
     #[test]
     fn higher_local_pref_wins() {
-        let a = Route { local_pref: 200, ..base() };
-        let b = Route { as_path: AsPath::from_hops([Asn(9)]), ..base() };
+        let a = Route {
+            local_pref: 200,
+            ..base()
+        };
+        let b = Route {
+            as_path: AsPath::from_hops([Asn(9)]),
+            ..base()
+        };
         assert_eq!(a.prefer(&b), Ordering::Greater);
         assert_eq!(b.prefer(&a), Ordering::Less);
     }
 
     #[test]
     fn shorter_path_wins_at_equal_pref() {
-        let short = Route { as_path: AsPath::from_hops([Asn(9)]), ..base() };
+        let short = Route {
+            as_path: AsPath::from_hops([Asn(9)]),
+            ..base()
+        };
         let long = base();
         assert_eq!(short.prefer(&long), Ordering::Greater);
         // This asymmetry is the Figure 2 mechanism: an overwritten
         // (length-1) path beats the honest longer path.
-        let overwritten = Route { as_path: AsPath::overwrite(Asn(7)), ..base() };
+        let overwritten = Route {
+            as_path: AsPath::overwrite(Asn(7)),
+            ..base()
+        };
         assert_eq!(overwritten.prefer(&long), Ordering::Greater);
     }
 
@@ -160,7 +172,10 @@ mod tests {
     #[test]
     fn neighbor_id_tiebreak() {
         let from1 = base();
-        let from2 = Route { learned_from: Some(RouterId(2)), ..base() };
+        let from2 = Route {
+            learned_from: Some(RouterId(2)),
+            ..base()
+        };
         assert_eq!(from1.prefer(&from2), Ordering::Greater);
     }
 
@@ -168,20 +183,33 @@ mod tests {
     fn select_best_is_deterministic_and_max() {
         let routes = vec![
             base(),
-            Route { local_pref: 200, ..base() },
-            Route { as_path: AsPath::from_hops([Asn(9)]), ..base() },
+            Route {
+                local_pref: 200,
+                ..base()
+            },
+            Route {
+                as_path: AsPath::from_hops([Asn(9)]),
+                ..base()
+            },
         ];
         let best = select_best(routes.clone()).unwrap();
         assert_eq!(best.local_pref, 200);
         let best2 = select_best(routes.into_iter().rev()).unwrap();
-        assert_eq!(best.key(), best2.key(), "order of candidates must not matter");
+        assert_eq!(
+            best.key(),
+            best2.key(),
+            "order of candidates must not matter"
+        );
         assert!(select_best(std::iter::empty()).is_none());
     }
 
     #[test]
     fn key_ignores_deriv() {
         let a = base();
-        let b = Route { deriv: DerivId(99), ..base() };
+        let b = Route {
+            deriv: DerivId(99),
+            ..base()
+        };
         assert_eq!(a.key(), b.key());
     }
 }

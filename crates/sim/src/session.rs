@@ -146,8 +146,11 @@ pub fn establish(topo: &Topology, models: &[DeviceModel]) -> (Vec<Session>, Vec<
     for r in topo.routers() {
         let model = &models[r.id.index()];
         for (peer_addr, peer_cfg) in &model.peers {
-            let lines: Vec<LineId> =
-                peer_cfg.lines.iter().map(|l| LineId::new(r.id, *l)).collect();
+            let lines: Vec<LineId> = peer_cfg
+                .lines
+                .iter()
+                .map(|l| LineId::new(r.id, *l))
+                .collect();
             // Resolve the peer address to an adjacent router.
             let Some(remote) = topo.owner_of(*peer_addr) else {
                 diags.push(SessionDiag {
@@ -158,10 +161,9 @@ pub fn establish(topo: &Topology, models: &[DeviceModel]) -> (Vec<Session>, Vec<
                 });
                 continue;
             };
-            let adjacent = topo
-                .neighbors(r.id)
-                .iter()
-                .any(|(n, link)| *n == remote && link.endpoint_of(remote).map(|e| e.addr) == Some(*peer_addr));
+            let adjacent = topo.neighbors(r.id).iter().any(|(n, link)| {
+                *n == remote && link.endpoint_of(remote).map(|e| e.addr) == Some(*peer_addr)
+            });
             if !adjacent {
                 diags.push(SessionDiag {
                     router: r.id,
@@ -189,7 +191,10 @@ pub fn establish(topo: &Topology, models: &[DeviceModel]) -> (Vec<Session>, Vec<
                 diags.push(SessionDiag {
                     router: r.id,
                     peer_addr: *peer_addr,
-                    failure: SessionFailure::AsMismatch { expected: expected_as, actual: actual_as },
+                    failure: SessionFailure::AsMismatch {
+                        expected: expected_as,
+                        actual: actual_as,
+                    },
                     lines,
                 });
                 continue;
@@ -226,14 +231,19 @@ pub fn establish(topo: &Topology, models: &[DeviceModel]) -> (Vec<Session>, Vec<
                     .map(|l| LineId::new(remote, *l))
                     .collect();
                 let pol = |router: RouterId, p: &Option<(String, u32)>| {
-                    p.as_ref().map(|(n, l)| (n.clone(), LineId::new(router, *l)))
+                    p.as_ref()
+                        .map(|(n, l)| (n.clone(), LineId::new(router, *l)))
                 };
                 sessions.push(Session {
                     a: r.id,
                     b: remote,
                     a_addr: our_addr,
                     b_addr: *peer_addr,
-                    a_base: peer_cfg.base_lines().iter().map(|l| LineId::new(r.id, *l)).collect(),
+                    a_base: peer_cfg
+                        .base_lines()
+                        .iter()
+                        .map(|l| LineId::new(r.id, *l))
+                        .collect(),
                     b_base: remote_peer_cfg
                         .base_lines()
                         .iter()
@@ -302,17 +312,26 @@ mod tests {
         assert_eq!(diags.len(), 2, "{diags:?}");
         assert!(diags.iter().any(|d| matches!(
             d.failure,
-            SessionFailure::AsMismatch { expected: Asn(65999), actual: Some(Asn(65002)) }
+            SessionFailure::AsMismatch {
+                expected: Asn(65999),
+                actual: Some(Asn(65002))
+            }
         )));
     }
 
     #[test]
     fn one_sided_peering_stays_down() {
-        let (topo, models) = two_node("bgp 65001\n peer 172.16.0.2 as-number 65002\n", "bgp 65002\n");
+        let (topo, models) = two_node(
+            "bgp 65001\n peer 172.16.0.2 as-number 65002\n",
+            "bgp 65002\n",
+        );
         let (sessions, diags) = establish(&topo, &models);
         assert!(sessions.is_empty());
         assert_eq!(diags.len(), 1);
-        assert!(matches!(diags[0].failure, SessionFailure::NotConfiguredRemotely { .. }));
+        assert!(matches!(
+            diags[0].failure,
+            SessionFailure::NotConfiguredRemotely { .. }
+        ));
     }
 
     #[test]
@@ -325,7 +344,12 @@ mod tests {
         );
         let (sessions, diags) = establish(&topo, &models);
         assert!(sessions.is_empty());
-        assert!(diags.iter().any(|d| d.failure == SessionFailure::NoAsNumber), "{diags:?}");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.failure == SessionFailure::NoAsNumber),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -340,7 +364,10 @@ mod tests {
         // a_lines must include the group definition (line 2), the group AS
         // (line 3) and the membership (line 4).
         let lines: Vec<u32> = s.a_lines.iter().map(|l| l.line).collect();
-        assert!(lines.contains(&2) && lines.contains(&3) && lines.contains(&4), "{lines:?}");
+        assert!(
+            lines.contains(&2) && lines.contains(&3) && lines.contains(&4),
+            "{lines:?}"
+        );
     }
 
     #[test]

@@ -31,11 +31,19 @@ impl<'a> Simulator<'a> {
             .iter()
             .map(|r| match cfg.device(r.id) {
                 Some(dc) => DeviceModel::from_config(dc),
-                None => DeviceModel { name: r.name.clone(), ..DeviceModel::default() },
+                None => DeviceModel {
+                    name: r.name.clone(),
+                    ..DeviceModel::default()
+                },
             })
             .collect();
         let (sessions, session_diags) = establish(topo, &models);
-        Simulator { topo, models, sessions, session_diags }
+        Simulator {
+            topo,
+            models,
+            sessions,
+            session_diags,
+        }
     }
 
     /// The semantic models, indexed by `RouterId::index()`.
@@ -142,7 +150,12 @@ impl<'a> Simulator<'a> {
         let mut arena = DerivArena::new();
         let outcomes = self.run_prefixes_into(prefixes, &mut arena);
         let fibs = self.fibs_for(&outcomes, &mut arena);
-        SimOutcome { outcomes, fibs, arena, session_diags: self.session_diags.clone() }
+        SimOutcome {
+            outcomes,
+            fibs,
+            arena,
+            session_diags: self.session_diags.clone(),
+        }
     }
 
     /// Runs exactly `prefixes`, interning derivations into a caller-owned
@@ -197,7 +210,10 @@ impl<'a> Simulator<'a> {
                     fibs[i].install(
                         *prefix,
                         FibEntry {
-                            action: FibAction::Forward { router: from, addr: route.next_hop },
+                            action: FibAction::Forward {
+                                router: from,
+                                addr: route.next_hop,
+                            },
                             source: FibSource::Bgp,
                             deriv: route.deriv,
                         },
@@ -210,7 +226,14 @@ impl<'a> Simulator<'a> {
 
     /// Convenience: run everything and walk one flow.
     pub fn forward(&self, outcome: &mut SimOutcome, start: RouterId, flow: &Flow) -> ForwardResult {
-        walk(self.topo, &self.models, &outcome.fibs, start, flow, &mut outcome.arena)
+        walk(
+            self.topo,
+            &self.models,
+            &outcome.fibs,
+            start,
+            flow,
+            &mut outcome.arena,
+        )
     }
 }
 
@@ -238,7 +261,10 @@ impl SimOutcome {
 
     /// Derivation roots (for coverage) of one prefix's outcome.
     pub fn prefix_deriv_roots(&self, prefix: Prefix) -> Vec<DerivId> {
-        self.outcomes.get(&prefix).map(|o| o.deriv_roots()).unwrap_or_default()
+        self.outcomes
+            .get(&prefix)
+            .map(|o| o.deriv_roots())
+            .unwrap_or_default()
     }
 }
 
@@ -279,7 +305,10 @@ mod tests {
         let (topo, cfg) = line3_cfg();
         let sim = Simulator::new(&topo, &cfg);
         let u = sim.universe();
-        assert_eq!(u, [p("10.0.0.0/16"), p("10.2.0.0/16")].into_iter().collect());
+        assert_eq!(
+            u,
+            [p("10.0.0.0/16"), p("10.2.0.0/16")].into_iter().collect()
+        );
     }
 
     #[test]
@@ -330,7 +359,9 @@ mod tests {
         let dst = Ipv4Addr::new(20, 0, 0, 1);
         // Attach 20.0/16 to R0 so delivery succeeds there.
         let mut b = TopologyBuilder::new();
-        let ids: Vec<RouterId> = (0..3).map(|i| b.router(&format!("R{i}"), Role::Backbone)).collect();
+        let ids: Vec<RouterId> = (0..3)
+            .map(|i| b.router(&format!("R{i}"), Role::Backbone))
+            .collect();
         b.link(ids[0], ids[1]);
         b.link(ids[1], ids[2]);
         b.attach(ids[0], p("20.0.0.0/16"));
@@ -340,13 +371,21 @@ mod tests {
         let cfg_ok = netcfg(&topo2, &with);
         let sim = Simulator::new(&topo2, &cfg_ok);
         let mut out = sim.run();
-        let res = sim.forward(&mut out, RouterId(2), &Flow::ip(Ipv4Addr::new(9, 9, 9, 9), dst));
+        let res = sim.forward(
+            &mut out,
+            RouterId(2),
+            &Flow::ip(Ipv4Addr::new(9, 9, 9, 9), dst),
+        );
         assert_eq!(res.outcome, ForwardOutcome::Delivered(RouterId(0)));
 
         let cfg_bad = netcfg(&topo2, &without);
         let sim = Simulator::new(&topo2, &cfg_bad);
         let mut out = sim.run();
-        let res = sim.forward(&mut out, RouterId(2), &Flow::ip(Ipv4Addr::new(9, 9, 9, 9), dst));
+        let res = sim.forward(
+            &mut out,
+            RouterId(2),
+            &Flow::ip(Ipv4Addr::new(9, 9, 9, 9), dst),
+        );
         assert_eq!(res.outcome, ForwardOutcome::NoRoute(RouterId(2)));
     }
 
@@ -381,7 +420,11 @@ mod tests {
         // Only R0 configured; R1/R2 empty.
         cfg.insert(
             RouterId(0),
-            parse_device("R0", "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n").unwrap(),
+            parse_device(
+                "R0",
+                "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n",
+            )
+            .unwrap(),
         );
         let sim = Simulator::new(&topo, &cfg);
         assert!(sim.sessions().is_empty());
@@ -395,7 +438,10 @@ mod tests {
         let topo = gen::line(2);
         let cfg = netcfg(
             &topo,
-            &["bgp 65000\n peer 172.16.0.2 as-number 64999\n", "bgp 65001\n peer 172.16.0.1 as-number 65000\n"],
+            &[
+                "bgp 65000\n peer 172.16.0.2 as-number 64999\n",
+                "bgp 65001\n peer 172.16.0.1 as-number 65000\n",
+            ],
         );
         let sim = Simulator::new(&topo, &cfg);
         let out = sim.run();

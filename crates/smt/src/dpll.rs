@@ -25,7 +25,7 @@ pub fn var_of(l: Lit) -> u32 {
 
 /// Whether a literal is positive.
 pub fn is_pos(l: Lit) -> bool {
-    l % 2 == 0
+    l.is_multiple_of(2)
 }
 
 /// Negates a literal.
@@ -142,7 +142,8 @@ fn search(cnf: &Cnf, assign: &mut Vec<Option<bool>>, stats: &mut DpllStats) -> b
         // Full assignment: verify (propagation guarantees no conflict, but
         // clauses with all-unassigned vars decided here need a final check).
         return cnf.clauses.iter().all(|c| {
-            c.iter().any(|&l| assign[var_of(l) as usize] == Some(is_pos(l)))
+            c.iter()
+                .any(|&l| assign[var_of(l) as usize] == Some(is_pos(l)))
         });
     };
     // Try `false` first: models are minimal-ish (unconstrained set

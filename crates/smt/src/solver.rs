@@ -65,11 +65,16 @@ impl Solver {
             self.cnf.fresh();
         }
         // Exactly-one: at least one …
-        self.cnf.add((0..domain.len()).map(|i| dpll::pos(base + i as u32)).collect());
+        self.cnf.add(
+            (0..domain.len())
+                .map(|i| dpll::pos(base + i as u32))
+                .collect(),
+        );
         // … and pairwise at most one.
         for i in 0..domain.len() {
             for j in (i + 1)..domain.len() {
-                self.cnf.add(vec![dpll::neg(base + i as u32), dpll::neg(base + j as u32)]);
+                self.cnf
+                    .add(vec![dpll::neg(base + i as u32), dpll::neg(base + j as u32)]);
             }
         }
         self.vars.push(VarDef::Int { base, domain });
@@ -318,10 +323,7 @@ mod tests {
         let mut s = Solver::new();
         let b = s.new_bool();
         let v = s.new_int([7, 8]);
-        s.assert(Formula::or([
-            Formula::bool_true(b),
-            Formula::int_eq(v, 7),
-        ]));
+        s.assert(Formula::or([Formula::bool_true(b), Formula::int_eq(v, 7)]));
         s.assert(Formula::not(Formula::bool_true(b)));
         let m = s.solve().unwrap();
         assert!(!m.bools[&b]);

@@ -5,6 +5,9 @@
 //! exactly when brute force finds a model, and (b) return models that the
 //! formula actually evaluates true under.
 
+// Gated: run with `cargo test --features heavy-tests` (vendored proptest shim).
+#![cfg(feature = "heavy-tests")]
+
 use acr_net_types::Prefix;
 use acr_smt::{Atom, Formula, Model, Solver, VarId};
 use proptest::prelude::*;
@@ -42,7 +45,7 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|f| Formula::not(f)),
+            inner.clone().prop_map(Formula::not),
             proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
             proptest::collection::vec(inner, 1..4).prop_map(Formula::or),
         ]

@@ -9,9 +9,11 @@ use acr_net_types::{Prefix, RouterId};
 /// A full mesh of `n` backbone routers, each with one attached /16 carved
 /// from `10.0.0.0/8` (router *i* gets `10.i.0.0/16`, so up to 256 routers).
 pub fn full_mesh(n: usize) -> Topology {
-    assert!(n >= 1 && n <= 256, "full_mesh supports 1..=256 routers");
+    assert!((1..=256).contains(&n), "full_mesh supports 1..=256 routers");
     let mut b = TopologyBuilder::new();
-    let ids: Vec<RouterId> = (0..n).map(|i| b.router(&format!("R{i}"), Role::Backbone)).collect();
+    let ids: Vec<RouterId> = (0..n)
+        .map(|i| b.router(&format!("R{i}"), Role::Backbone))
+        .collect();
     for i in 0..n {
         for j in (i + 1)..n {
             b.link(ids[i], ids[j]);
@@ -25,9 +27,11 @@ pub fn full_mesh(n: usize) -> Topology {
 
 /// A ring of `n` routers with per-router /16 attachments.
 pub fn ring(n: usize) -> Topology {
-    assert!(n >= 3 && n <= 256, "ring supports 3..=256 routers");
+    assert!((3..=256).contains(&n), "ring supports 3..=256 routers");
     let mut b = TopologyBuilder::new();
-    let ids: Vec<RouterId> = (0..n).map(|i| b.router(&format!("R{i}"), Role::Backbone)).collect();
+    let ids: Vec<RouterId> = (0..n)
+        .map(|i| b.router(&format!("R{i}"), Role::Backbone))
+        .collect();
     for i in 0..n {
         b.link(ids[i], ids[(i + 1) % n]);
     }
@@ -39,9 +43,11 @@ pub fn ring(n: usize) -> Topology {
 
 /// A line (path graph) of `n` routers with attachments at both ends.
 pub fn line(n: usize) -> Topology {
-    assert!(n >= 2 && n <= 256, "line supports 2..=256 routers");
+    assert!((2..=256).contains(&n), "line supports 2..=256 routers");
     let mut b = TopologyBuilder::new();
-    let ids: Vec<RouterId> = (0..n).map(|i| b.router(&format!("R{i}"), Role::Backbone)).collect();
+    let ids: Vec<RouterId> = (0..n)
+        .map(|i| b.router(&format!("R{i}"), Role::Backbone))
+        .collect();
     for w in ids.windows(2) {
         b.link(w[0], w[1]);
     }
@@ -52,7 +58,7 @@ pub fn line(n: usize) -> Topology {
 
 /// A star: one hub, `n` edge routers each with an attachment.
 pub fn star(n: usize) -> Topology {
-    assert!(n >= 1 && n <= 255, "star supports 1..=255 spokes");
+    assert!((1..=255).contains(&n), "star supports 1..=255 spokes");
     let mut b = TopologyBuilder::new();
     let hub = b.router("HUB", Role::Backbone);
     for i in 0..n {
@@ -67,12 +73,14 @@ pub fn star(n: usize) -> Topology {
 /// leaf carries one rack prefix `10.l.0.0/16`. This is the DCN shape the
 /// paper's plastic-surgery hypothesis (§6) targets.
 pub fn leaf_spine(spines: usize, leaves: usize) -> Topology {
-    assert!(spines >= 1 && leaves >= 1 && leaves <= 256);
+    assert!(spines >= 1 && (1..=256).contains(&leaves));
     let mut b = TopologyBuilder::new();
-    let spine_ids: Vec<RouterId> =
-        (0..spines).map(|i| b.router(&format!("S{i}"), Role::Spine)).collect();
-    let leaf_ids: Vec<RouterId> =
-        (0..leaves).map(|i| b.router(&format!("L{i}"), Role::Leaf)).collect();
+    let spine_ids: Vec<RouterId> = (0..spines)
+        .map(|i| b.router(&format!("S{i}"), Role::Spine))
+        .collect();
+    let leaf_ids: Vec<RouterId> = (0..leaves)
+        .map(|i| b.router(&format!("L{i}"), Role::Leaf))
+        .collect();
     for l in &leaf_ids {
         for s in &spine_ids {
             b.link(*l, *s);
@@ -94,7 +102,9 @@ pub fn leaf_spine(spines: usize, leaves: usize) -> Topology {
 pub fn wan(n_bb: usize, customers: usize) -> Topology {
     assert!(n_bb >= 2 && n_bb + customers <= 256);
     let mut b = TopologyBuilder::new();
-    let bb: Vec<RouterId> = (0..n_bb).map(|i| b.router(&format!("BB{i}"), Role::Backbone)).collect();
+    let bb: Vec<RouterId> = (0..n_bb)
+        .map(|i| b.router(&format!("BB{i}"), Role::Backbone))
+        .collect();
     for w in bb.windows(2) {
         b.link(w[0], w[1]);
     }

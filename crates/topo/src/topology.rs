@@ -131,7 +131,9 @@ impl Topology {
 
     /// Links incident to `router`.
     pub fn links_of(&self, router: RouterId) -> impl Iterator<Item = &Link> {
-        self.links.iter().filter(move |l| l.endpoint_of(router).is_some())
+        self.links
+            .iter()
+            .filter(move |l| l.endpoint_of(router).is_some())
     }
 
     /// The neighbors of `router` with the connecting link.
@@ -160,7 +162,12 @@ impl Topology {
     pub fn delivery_router(&self, addr: Ipv4Addr) -> Option<RouterId> {
         self.routers
             .iter()
-            .flat_map(|r| r.attached.iter().filter(|p| p.contains(addr)).map(move |p| (p.len(), r.id)))
+            .flat_map(|r| {
+                r.attached
+                    .iter()
+                    .filter(|p| p.contains(addr))
+                    .map(move |p| (p.len(), r.id))
+            })
             .max_by_key(|(len, _)| *len)
             .map(|(_, id)| id)
     }
@@ -227,7 +234,12 @@ impl TopologyBuilder {
         let eb = ep(b, base.offset(2), id);
         self.topo.addr_owner.insert(ea.addr, a);
         self.topo.addr_owner.insert(eb.addr, b);
-        self.topo.links.push(Link { id, a: ea, b: eb, subnet });
+        self.topo.links.push(Link {
+            id,
+            a: ea,
+            b: eb,
+            subnet,
+        });
         id
     }
 

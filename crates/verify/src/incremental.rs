@@ -111,15 +111,19 @@ impl<'a> IncrementalVerifier<'a> {
             reused: universe.len().saturating_sub(fresh.len()),
         };
         for (p, o) in fresh {
-            let closure: BTreeSet<LineId> =
-                self.arena.closure_lines(o.deriv_roots()).into_iter().collect();
+            let closure: BTreeSet<LineId> = self
+                .arena
+                .closure_lines(o.deriv_roots())
+                .into_iter()
+                .collect();
             self.closures.insert(p, closure);
             self.cached.insert(p, o);
         }
 
         let fibs = sim.fibs_for(&self.cached, &mut self.arena);
         let cached = self.cached.clone();
-        self.verifier.evaluate(&sim, &cached, &fibs, &mut self.arena, sim.session_diags())
+        self.verifier
+            .evaluate(&sim, &cached, &fibs, &mut self.arena, sim.session_diags())
     }
 
     /// Verifies a **candidate** configuration (`cfg` = committed base +
@@ -157,7 +161,8 @@ impl<'a> IncrementalVerifier<'a> {
             .collect();
         merged.extend(fresh);
         let fibs = sim.fibs_for(&merged, &mut self.arena);
-        self.verifier.evaluate(&sim, &merged, &fibs, &mut self.arena, sim.session_diags())
+        self.verifier
+            .evaluate(&sim, &merged, &fibs, &mut self.arena, sim.session_diags())
     }
 
     /// Commits a new base configuration (e.g. after an iteration adopted a
@@ -182,8 +187,16 @@ impl<'a> IncrementalVerifier<'a> {
         let mut literals: Vec<Prefix> = Vec::new();
         for edit in &patch.edits {
             let (router, index, stmt) = match edit {
-                Edit::Insert { router, index, stmt } => (*router, *index, Some(stmt)),
-                Edit::Replace { router, index, stmt } => (*router, *index, Some(stmt)),
+                Edit::Insert {
+                    router,
+                    index,
+                    stmt,
+                } => (*router, *index, Some(stmt)),
+                Edit::Replace {
+                    router,
+                    index,
+                    stmt,
+                } => (*router, *index, Some(stmt)),
                 Edit::Delete { router, index } => (*router, *index, None),
             };
             let line = index as u32 + 1;
@@ -201,9 +214,9 @@ impl<'a> IncrementalVerifier<'a> {
 
         let mut out = BTreeSet::new();
         for (p, closure) in &self.closures {
-            let stale = closure.iter().any(|l| {
-                min_line.get(&l.router).is_some_and(|m| l.line >= *m)
-            });
+            let stale = closure
+                .iter()
+                .any(|l| min_line.get(&l.router).is_some_and(|m| l.line >= *m));
             if stale {
                 out.insert(*p);
             }
@@ -283,8 +296,18 @@ mod tests {
             cfg.insert(r.id, parse_device(r.name.clone(), c).unwrap());
         }
         let spec = Spec::new()
-            .with(Property::reach("to-east", RouterId(0), p("10.0.0.0/16"), p("10.4.0.0/16")))
-            .with(Property::reach("to-west", RouterId(4), p("10.4.0.0/16"), p("10.0.0.0/16")));
+            .with(Property::reach(
+                "to-east",
+                RouterId(0),
+                p("10.0.0.0/16"),
+                p("10.4.0.0/16"),
+            ))
+            .with(Property::reach(
+                "to-west",
+                RouterId(4),
+                p("10.4.0.0/16"),
+                p("10.0.0.0/16"),
+            ));
         (topo, cfg, spec)
     }
 
@@ -310,7 +333,10 @@ mod tests {
         let patch = Patch::single(Edit::Insert {
             router: RouterId(4),
             index: cfg.device(RouterId(4)).unwrap().len(),
-            stmt: Stmt::StaticRoute { prefix: p("99.0.0.0/16"), next_hop: NextHop::Null0 },
+            stmt: Stmt::StaticRoute {
+                prefix: p("99.0.0.0/16"),
+                next_hop: NextHop::Null0,
+            },
         });
         let cfg2 = patch.apply_cloned(&cfg).unwrap();
         let v = iv.verify(&cfg2, Some(&patch));

@@ -25,7 +25,7 @@ pub mod verify;
 pub mod violation;
 
 pub use incremental::{IncrementalStats, IncrementalVerifier};
-pub use testgen::{coverage_guided_suite, derive_spec, SuiteStats};
 pub use spec::{Property, PropertyKind, Spec, TestCase};
+pub use testgen::{coverage_guided_suite, derive_spec, SuiteStats};
 pub use verify::{TestRecord, Verification, Verifier};
 pub use violation::Violation;

@@ -133,24 +133,47 @@ mod tests {
     #[test]
     fn test_generation_is_deterministic_and_in_space() {
         let spec = Spec::new()
-            .with(Property::reach("a", RouterId(0), p("10.0.0.0/16"), p("10.1.0.0/16")))
-            .with(Property::isolate("b", RouterId(1), p("10.1.0.0/16"), p("10.2.0.0/16")));
+            .with(Property::reach(
+                "a",
+                RouterId(0),
+                p("10.0.0.0/16"),
+                p("10.1.0.0/16"),
+            ))
+            .with(Property::isolate(
+                "b",
+                RouterId(1),
+                p("10.1.0.0/16"),
+                p("10.2.0.0/16"),
+            ));
         let t1 = spec.generate_tests(3);
         let t2 = spec.generate_tests(3);
         assert_eq!(t1, t2);
         assert_eq!(t1.len(), 6);
         for t in &t1 {
             let prop = &spec.properties[t.property];
-            assert!(prop.hs.contains(&t.flow), "{:?} outside {:?}", t.flow, prop.hs);
+            assert!(
+                prop.hs.contains(&t.flow),
+                "{:?} outside {:?}",
+                t.flow,
+                prop.hs
+            );
             assert_eq!(t.start, prop.start);
         }
         // Ids are dense and ordered.
-        assert_eq!(t1.iter().map(|t| t.id.0).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            t1.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
     }
 
     #[test]
     fn single_sample_per_property() {
-        let spec = Spec::new().with(Property::reach("a", RouterId(0), Prefix::DEFAULT, p("10.0.0.0/8")));
+        let spec = Spec::new().with(Property::reach(
+            "a",
+            RouterId(0),
+            Prefix::DEFAULT,
+            p("10.0.0.0/8"),
+        ));
         assert_eq!(spec.generate_tests(1).len(), 1);
         assert_eq!(spec.len(), 1);
     }

@@ -26,7 +26,6 @@ pub fn derive_spec(topo: &Topology, max_pairs: usize) -> Spec {
     let attachments: Vec<(acr_net_types::RouterId, Prefix)> = topo.attachments().collect();
     let mut spec = Spec::new();
     let mut emitted = 0usize;
-    let mut stride = 0usize;
     let n = attachments.len();
     if n < 2 || max_pairs == 0 {
         return spec;
@@ -48,8 +47,6 @@ pub fn derive_spec(topo: &Topology, max_pairs: usize) -> Spec {
                 break 'outer;
             }
         }
-        stride += 1;
-        let _ = stride;
     }
     spec
 }

@@ -19,8 +19,7 @@ use acr_cfg::NetworkConfig;
 use acr_net_types::{Prefix, RouterId};
 use acr_prov::{CoverageMatrix, TestCoverage, TestId};
 use acr_sim::{
-    forward, DerivArena, DerivId, ForwardOutcome, PrefixOutcome, SessionDiag, SimOutcome,
-    Simulator,
+    forward, DerivArena, DerivId, ForwardOutcome, PrefixOutcome, SessionDiag, SimOutcome, Simulator,
 };
 use acr_topo::Topology;
 use std::collections::BTreeMap;
@@ -87,7 +86,11 @@ impl<'a> Verifier<'a> {
 
     /// `samples` packets per property.
     pub fn with_samples(topo: &'a Topology, spec: &'a Spec, samples: u32) -> Self {
-        Verifier { topo, spec, tests: spec.generate_tests(samples) }
+        Verifier {
+            topo,
+            spec,
+            tests: spec.generate_tests(samples),
+        }
     }
 
     /// The topology under verification.
@@ -158,7 +161,8 @@ impl<'a> Verifier<'a> {
                 // network has no stable behaviour to certify.
                 (false, Some(Violation::Flapping(p)), Vec::new())
             } else {
-                let res = forward::walk(self.topo, sim.models(), fibs, test.start, &test.flow, arena);
+                let res =
+                    forward::walk(self.topo, sim.models(), fibs, test.start, &test.flow, arena);
                 roots.extend(res.derivs.iter().copied());
                 let (passed, violation) = judge(&prop.kind, &res);
                 (passed, violation, res.path)
@@ -181,7 +185,11 @@ impl<'a> Verifier<'a> {
                 for d in session_diags {
                     lines.extend(d.lines.iter().copied());
                 }
-                lines.extend(negative_origin_lines(self.topo, sim.models(), test.flow.dst));
+                lines.extend(negative_origin_lines(
+                    self.topo,
+                    sim.models(),
+                    test.flow.dst,
+                ));
                 lines.sort_unstable();
                 lines.dedup();
             }
@@ -202,7 +210,12 @@ impl<'a> Verifier<'a> {
                 deriv_roots: roots,
             });
         }
-        Verification { records, matrix, flapping, session_diags: session_diags.to_vec() }
+        Verification {
+            records,
+            matrix,
+            flapping,
+            session_diags: session_diags.to_vec(),
+        }
     }
 }
 
@@ -299,8 +312,18 @@ mod tests {
             cfg.insert(r.id, parse_device(r.name.clone(), c).unwrap());
         }
         let spec = Spec::new()
-            .with(Property::reach("r0->r2", RouterId(0), p("10.0.0.0/16"), p("10.2.0.0/16")))
-            .with(Property::reach("r2->r0", RouterId(2), p("10.2.0.0/16"), p("10.0.0.0/16")));
+            .with(Property::reach(
+                "r0->r2",
+                RouterId(0),
+                p("10.0.0.0/16"),
+                p("10.2.0.0/16"),
+            ))
+            .with(Property::reach(
+                "r2->r0",
+                RouterId(2),
+                p("10.2.0.0/16"),
+                p("10.0.0.0/16"),
+            ));
         (topo, cfg, spec)
     }
 
@@ -320,13 +343,20 @@ mod tests {
         // Break R1->R2 by mangling the AS number.
         cfg.insert(
             RouterId(1),
-            parse_device("R1", "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 64999\n").unwrap(),
+            parse_device(
+                "R1",
+                "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 64999\n",
+            )
+            .unwrap(),
         );
         let verifier = Verifier::new(&topo, &spec);
         let (v, _) = verifier.run_full(&cfg);
         assert_eq!(v.failed_count(), 2);
         for rec in v.failures() {
-            assert!(matches!(rec.violation, Some(Violation::Blackhole(_))), "{rec:?}");
+            assert!(
+                matches!(rec.violation, Some(Violation::Blackhole(_))),
+                "{rec:?}"
+            );
         }
         // Failed coverage includes the session-diag lines (the bad peer
         // statement on R1 is line 3).
@@ -388,9 +418,15 @@ mod tests {
         let (v, _) = verifier.run_full(&cfg);
         // Test 0 (R0 -> 10.2/16): coverage includes R2's network line (2).
         let cov = &v.matrix.tests()[0].lines;
-        assert!(cov.contains(&acr_cfg::LineId::new(RouterId(2), 2)), "{cov:?}");
+        assert!(
+            cov.contains(&acr_cfg::LineId::new(RouterId(2), 2)),
+            "{cov:?}"
+        );
         // ... and R1's transit peer lines.
-        assert!(cov.contains(&acr_cfg::LineId::new(RouterId(1), 2)), "{cov:?}");
+        assert!(
+            cov.contains(&acr_cfg::LineId::new(RouterId(1), 2)),
+            "{cov:?}"
+        );
     }
 
     #[test]

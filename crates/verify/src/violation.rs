@@ -58,6 +58,9 @@ mod tests {
             Violation::ForwardingLoop(vec![RouterId(2), RouterId(3), RouterId(2)]).to_string(),
             "forwarding loop: r2 r3 r2"
         );
-        assert_eq!(Violation::Blackhole(RouterId(1)).to_string(), "blackhole at r1");
+        assert_eq!(
+            Violation::Blackhole(RouterId(1)).to_string(),
+            "blackhole at r1"
+        );
     }
 }

@@ -190,7 +190,19 @@ bgp 64999
         .with(Property::reach("PoPB", s, p(DCN_PREFIX), p(POP_B_PREFIX)))
         .with(Property::reach("DCN", b, p(POP_B_PREFIX), p(DCN_PREFIX)));
 
-    Fig2 { topo, broken, intended, spec, a, b, c, s, pop_a, pop_b, dcn }
+    Fig2 {
+        topo,
+        broken,
+        intended,
+        spec,
+        a,
+        b,
+        c,
+        s,
+        pop_a,
+        pop_b,
+        dcn,
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +216,14 @@ mod tests {
         let fig2 = fig2_incident();
         let verifier = Verifier::new(&fig2.topo, &fig2.spec);
         let (v, _) = verifier.run_full(&fig2.intended);
-        assert!(v.all_passed(), "{:?}", v.records.iter().map(|r| (&r.property, &r.violation)).collect::<Vec<_>>());
+        assert!(
+            v.all_passed(),
+            "{:?}",
+            v.records
+                .iter()
+                .map(|r| (&r.property, &r.violation))
+                .collect::<Vec<_>>()
+        );
         assert!(v.flapping.is_empty());
     }
 
@@ -228,10 +247,21 @@ mod tests {
         let fig2 = fig2_incident();
         let verifier = Verifier::new(&fig2.topo, &fig2.spec);
         let (v, _) = verifier.run_full(&fig2.broken);
-        assert_eq!(v.failed_count(), 1, "{:?}", v.records.iter().map(|r| (&r.property, r.passed)).collect::<Vec<_>>());
+        assert_eq!(
+            v.failed_count(),
+            1,
+            "{:?}",
+            v.records
+                .iter()
+                .map(|r| (&r.property, r.passed))
+                .collect::<Vec<_>>()
+        );
         let failed = v.failures().next().unwrap();
         assert_eq!(failed.property, "PoPB");
-        assert!(matches!(failed.violation, Some(acr_verify::Violation::Flapping(_))));
+        assert!(matches!(
+            failed.violation,
+            Some(acr_verify::Violation::Flapping(_))
+        ));
     }
 
     #[test]

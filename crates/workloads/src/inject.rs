@@ -9,10 +9,8 @@
 use crate::netgen::GeneratedNetwork;
 use acr_cfg::ast::{PbrAction, PeerRef, Stmt};
 use acr_cfg::{Edit, NetworkConfig, Patch};
-use acr_net_types::{Asn, RouterId};
+use acr_net_types::{Asn, RouterId, SplitMix64};
 use acr_verify::Verifier;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// The nine misconfiguration classes of Table 1.
@@ -112,8 +110,12 @@ pub fn try_inject(fault: FaultType, net: &GeneratedNetwork, seed: u64) -> Option
     let start = (seed as usize) % n;
     for k in 0..n {
         let router = routers[(start + k) % n];
-        let Some(patch) = build_fault(fault, net, router) else { continue };
-        let Ok(broken) = patch.apply_cloned(&net.cfg) else { continue };
+        let Some(patch) = build_fault(fault, net, router) else {
+            continue;
+        };
+        let Ok(broken) = patch.apply_cloned(&net.cfg) else {
+            continue;
+        };
         let verifier = Verifier::new(&net.topo, &net.spec);
         let (v, _) = verifier.run_full(&broken);
         let violations = v.failed_count();
@@ -126,7 +128,13 @@ pub fn try_inject(fault: FaultType, net: &GeneratedNetwork, seed: u64) -> Option
             violations,
             if violations == 1 { "" } else { "s" }
         );
-        return Some(Incident { fault, patch, broken, violations, description });
+        return Some(Incident {
+            fault,
+            patch,
+            broken,
+            violations,
+            description,
+        });
     }
     None
 }
@@ -134,13 +142,13 @@ pub fn try_inject(fault: FaultType, net: &GeneratedNetwork, seed: u64) -> Option
 /// Samples `count` incidents following the Table-1 distribution.
 /// Fault classes inapplicable to the given network are resampled.
 pub fn sample_incidents(net: &GeneratedNetwork, count: usize, seed: u64) -> Vec<Incident> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let total: f64 = TABLE1.iter().map(|(_, r)| r).sum();
     let mut out = Vec::with_capacity(count);
     let mut attempts = 0usize;
     while out.len() < count && attempts < count * 20 {
         attempts += 1;
-        let mut pick = rng.gen_range(0.0..total);
+        let mut pick = rng.next_f64() * total;
         let mut fault = TABLE1[0].0;
         for (f, ratio) in TABLE1 {
             if pick < ratio {
@@ -149,7 +157,7 @@ pub fn sample_incidents(net: &GeneratedNetwork, count: usize, seed: u64) -> Vec<
             }
             pick -= ratio;
         }
-        if let Some(incident) = try_inject(fault, net, rng.gen()) {
+        if let Some(incident) = try_inject(fault, net, rng.next_u64()) {
             out.push(incident);
         }
     }
@@ -193,9 +201,17 @@ fn build_fault(fault: FaultType, net: &GeneratedNetwork, router: RouterId) -> Op
         FaultType::MissingPbrPermit => {
             // Drop the permit PBR rule and the ACL rules backing it.
             let permit_rule = find(&|s| {
-                matches!(s, Stmt::PbrRule { action: PbrAction::Permit, .. })
+                matches!(
+                    s,
+                    Stmt::PbrRule {
+                        action: PbrAction::Permit,
+                        ..
+                    }
+                )
             })?;
-            let Stmt::PbrRule { acl, .. } = &stmts[permit_rule] else { unreachable!() };
+            let Stmt::PbrRule { acl, .. } = &stmts[permit_rule] else {
+                unreachable!()
+            };
             let acl = *acl;
             // The ACL's rules follow its header.
             let acl_header = find(&|s| matches!(s, Stmt::AclDef(n) if *n == acl))?;
@@ -211,12 +227,16 @@ fn build_fault(fault: FaultType, net: &GeneratedNetwork, router: RouterId) -> Op
         FaultType::ExtraPbrRedirect => {
             // Insert a catch-all redirect at the top of the applied policy,
             // aimed at a deterministic neighbor.
-            let applied = net.cfg.device(router)?.stmts().iter().find_map(|s| match s {
-                Stmt::ApplyTrafficPolicy(name) => Some(name.clone()),
-                _ => None,
-            })?;
-            let policy_header =
-                find(&|s| matches!(s, Stmt::PbrPolicyDef(n) if *n == applied))?;
+            let applied = net
+                .cfg
+                .device(router)?
+                .stmts()
+                .iter()
+                .find_map(|s| match s {
+                    Stmt::ApplyTrafficPolicy(name) => Some(name.clone()),
+                    _ => None,
+                })?;
+            let policy_header = find(&|s| matches!(s, Stmt::PbrPolicyDef(n) if *n == applied))?;
             let broad_acl = find_all(&|s| matches!(s, Stmt::AclDef(_)))
                 .into_iter()
                 .filter_map(|i| match &stmts[i] {
@@ -239,11 +259,19 @@ fn build_fault(fault: FaultType, net: &GeneratedNetwork, router: RouterId) -> Op
             // Delete the group definition and its shared settings; members
             // keep their `peer … group …` lines and lose AS + policy.
             let def = find(&|s| matches!(s, Stmt::GroupDef(_)))?;
-            let Stmt::GroupDef(group) = &stmts[def] else { unreachable!() };
+            let Stmt::GroupDef(group) = &stmts[def] else {
+                unreachable!()
+            };
             let group = group.clone();
             let shared = find_all(&|s| match s {
-                Stmt::PeerAs { peer: PeerRef::Group(g), .. } => *g == group,
-                Stmt::PeerPolicy { peer: PeerRef::Group(g), .. } => *g == group,
+                Stmt::PeerAs {
+                    peer: PeerRef::Group(g),
+                    ..
+                } => *g == group,
+                Stmt::PeerPolicy {
+                    peer: PeerRef::Group(g),
+                    ..
+                } => *g == group,
                 _ => false,
             });
             let mut idxs = vec![def];
@@ -253,19 +281,28 @@ fn build_fault(fault: FaultType, net: &GeneratedNetwork, router: RouterId) -> Op
         FaultType::ExtraPeerGroupItem => {
             // Add a backbone neighbor into the customer group.
             let def = find(&|s| matches!(s, Stmt::GroupDef(_)))?;
-            let Stmt::GroupDef(group) = &stmts[def] else { unreachable!() };
+            let Stmt::GroupDef(group) = &stmts[def] else {
+                unreachable!()
+            };
             let group = group.clone();
             let model = acr_cfg::DeviceModel::from_config(device);
-            let backbone_peer = net.topo.neighbors(router).into_iter().find_map(|(_n, link)| {
-                let addr = link.peer_of(router)?.addr;
-                let configured = model.peers.get(&addr)?;
-                // A directly configured (non-group) peer is backbone-side.
-                configured.group.is_none().then_some(addr)
-            })?;
+            let backbone_peer = net
+                .topo
+                .neighbors(router)
+                .into_iter()
+                .find_map(|(_n, link)| {
+                    let addr = link.peer_of(router)?.addr;
+                    let configured = model.peers.get(&addr)?;
+                    // A directly configured (non-group) peer is backbone-side.
+                    configured.group.is_none().then_some(addr)
+                })?;
             Some(Patch::single(Edit::Insert {
                 router,
                 index: def + 1,
-                stmt: Stmt::PeerGroup { peer: backbone_peer, group },
+                stmt: Stmt::PeerGroup {
+                    peer: backbone_peer,
+                    group,
+                },
             }))
         }
         FaultType::MissingRoutePolicy => {
@@ -358,7 +395,8 @@ mod tests {
     #[test]
     fn pbr_redirect_fault_loops_on_wan() {
         let net = wan48();
-        let redirect = try_inject(FaultType::ExtraPbrRedirect, &net, 0).expect("line backbone loops");
+        let redirect =
+            try_inject(FaultType::ExtraPbrRedirect, &net, 0).expect("line backbone loops");
         assert!(redirect.violations >= 1, "{}", redirect.description);
         assert!(!redirect.fault.is_multi_line());
     }

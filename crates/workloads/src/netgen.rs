@@ -62,12 +62,17 @@ pub fn generate(topo: &Topology) -> GeneratedNetwork {
         } else {
             backbone_config(topo, info.id)
         };
-        let device = parse_device(info.name.clone(), &text)
-            .unwrap_or_else(|e| panic!("generated config for {} must parse: {e}\n{text}", info.name));
+        let device = parse_device(info.name.clone(), &text).unwrap_or_else(|e| {
+            panic!("generated config for {} must parse: {e}\n{text}", info.name)
+        });
         cfg.insert(info.id, device);
     }
     let spec = spec_for(topo);
-    GeneratedNetwork { topo: topo.clone(), cfg, spec }
+    GeneratedNetwork {
+        topo: topo.clone(),
+        cfg,
+        spec,
+    }
 }
 
 /// Customer routers: originate attachments, peer with each neighbor.
@@ -81,7 +86,12 @@ fn customer_config(topo: &Topology, id: RouterId) -> String {
     }
     for (neighbor, link) in topo.neighbors(id) {
         let peer_addr = link.peer_of(id).expect("neighbor implies endpoint").addr;
-        let _ = writeln!(out, " peer {} as-number {}", peer_addr, asn_of(topo, neighbor).0);
+        let _ = writeln!(
+            out,
+            " peer {} as-number {}",
+            peer_addr,
+            asn_of(topo, neighbor).0
+        );
     }
     append_interfaces(topo, id, &mut out);
     out
@@ -113,7 +123,12 @@ fn backbone_config(topo: &Topology, id: RouterId) -> String {
         if is_customer(topo.router(neighbor).role) {
             customers.push((neighbor, peer_addr));
         } else {
-            let _ = writeln!(out, " peer {} as-number {}", peer_addr, asn_of(topo, neighbor).0);
+            let _ = writeln!(
+                out,
+                " peer {} as-number {}",
+                peer_addr,
+                asn_of(topo, neighbor).0
+            );
         }
     }
     customers.sort_by_key(|(n, _)| *n);
@@ -161,10 +176,19 @@ fn backbone_config(topo: &Topology, id: RouterId) -> String {
     // address space, drop the rest.
     if id.0 % 4 == 1 {
         let _ = writeln!(out, "acl 3800");
-        let _ = writeln!(out, " rule 5 permit ip source 0.0.0.0 0 destination 10.0.0.0 8");
-        let _ = writeln!(out, " rule 6 permit ip source 0.0.0.0 0 destination 20.0.0.0 8");
+        let _ = writeln!(
+            out,
+            " rule 5 permit ip source 0.0.0.0 0 destination 10.0.0.0 8"
+        );
+        let _ = writeln!(
+            out,
+            " rule 6 permit ip source 0.0.0.0 0 destination 20.0.0.0 8"
+        );
         let _ = writeln!(out, "acl 3801");
-        let _ = writeln!(out, " rule 5 permit ip source 0.0.0.0 0 destination 0.0.0.0 0");
+        let _ = writeln!(
+            out,
+            " rule 5 permit ip source 0.0.0.0 0 destination 0.0.0.0 0"
+        );
         let _ = writeln!(out, "traffic-policy guard");
         let _ = writeln!(out, " match acl 3800 permit");
         let _ = writeln!(out, " match acl 3801 deny");
@@ -179,7 +203,9 @@ fn backbone_config(topo: &Topology, id: RouterId) -> String {
 /// FIB provenance attribute connected routes).
 fn append_interfaces(topo: &Topology, id: RouterId, out: &mut String) {
     for link in topo.links_of(id) {
-        let ep = link.endpoint_of(id).expect("links_of yields incident links");
+        let ep = link
+            .endpoint_of(id)
+            .expect("links_of yields incident links");
         let _ = writeln!(out, "interface {}", ep.iface);
         let _ = writeln!(out, " ip address {} {}", ep.addr, link.subnet.len());
     }
@@ -202,8 +228,11 @@ fn spec_for(topo: &Topology) -> Spec {
             starts.push(*far);
         }
         // A rotating second start among the other owners.
-        let others: Vec<RouterId> =
-            attachments.iter().map(|(o, _)| *o).filter(|o| o != owner).collect();
+        let others: Vec<RouterId> = attachments
+            .iter()
+            .map(|(o, _)| *o)
+            .filter(|o| o != owner)
+            .collect();
         if !others.is_empty() {
             let second = others[i % others.len()];
             if !starts.contains(&second) {
@@ -246,7 +275,9 @@ mod tests {
         assert!(
             v.all_passed(),
             "{:?}",
-            v.failures().map(|r| (&r.property, &r.violation)).collect::<Vec<_>>()
+            v.failures()
+                .map(|r| (&r.property, &r.violation))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -259,7 +290,9 @@ mod tests {
         assert!(
             v.all_passed(),
             "{:?}",
-            v.failures().map(|r| (&r.property, &r.violation)).collect::<Vec<_>>()
+            v.failures()
+                .map(|r| (&r.property, &r.violation))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -272,7 +305,9 @@ mod tests {
         assert!(
             v.all_passed(),
             "{:?}",
-            v.failures().map(|r| (&r.property, &r.violation)).collect::<Vec<_>>()
+            v.failures()
+                .map(|r| (&r.property, &r.violation))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -283,7 +318,10 @@ mod tests {
         let spine = topo.by_name("S0").unwrap();
         let text = net.cfg.device(spine).unwrap().to_text();
         assert!(text.contains("group Cust external"), "{text}");
-        assert!(text.contains("peer Cust route-policy Override_Cust import"), "{text}");
+        assert!(
+            text.contains("peer Cust route-policy Override_Cust import"),
+            "{text}"
+        );
         assert!(text.contains("apply as-path overwrite"), "{text}");
         // The cust_space list enumerates every leaf prefix.
         assert!(text.contains("ip prefix-list cust_space"), "{text}");

@@ -30,7 +30,11 @@ fn main() {
             info.name,
             info.role,
             neighbors,
-            if attached.is_empty() { String::new() } else { format!(", originates {attached:?}") }
+            if attached.is_empty() {
+                String::new()
+            } else {
+                format!(", originates {attached:?}")
+            }
         );
     }
 
@@ -52,16 +56,29 @@ fn main() {
             "  test {:5} [{}] -> {}",
             rec.property,
             rec.kind,
-            if rec.passed { "pass".to_string() } else { format!("FAIL ({})", rec.violation.as_ref().unwrap()) }
+            if rec.passed {
+                "pass".to_string()
+            } else {
+                format!("FAIL ({})", rec.violation.as_ref().unwrap())
+            }
         );
     }
 
     println!("\n=== Step 1: Localize (Tarantula over the coverage spectrum) ===");
     let ranking = localize(&v.matrix, SbflFormula::Tarantula);
     for (line, score) in ranking.entries().iter().filter(|(l, _)| l.router == fig2.a) {
-        let stmt = fig2.broken.stmt(*line).map(|s| s.to_string()).unwrap_or_default();
+        let stmt = fig2
+            .broken
+            .stmt(*line)
+            .map(|s| s.to_string())
+            .unwrap_or_default();
         if *score > 0.0 {
-            println!("  A line {:2}  susp {:.2}  {}", line.line, score, stmt.trim());
+            println!(
+                "  A line {:2}  susp {:.2}  {}",
+                line.line,
+                score,
+                stmt.trim()
+            );
         }
     }
     println!("  (the paper's 0.67 on A's `peer S route-policy Override_All import`)");

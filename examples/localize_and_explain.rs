@@ -38,7 +38,11 @@ fn main() {
         let ranking = localize(&v.matrix, formula);
         println!("\ntop-3 by {formula}:");
         for (line, score) in ranking.top_k(3) {
-            let stmt = incident.broken.stmt(*line).map(|s| s.to_string()).unwrap_or_default();
+            let stmt = incident
+                .broken
+                .stmt(*line)
+                .map(|s| s.to_string())
+                .unwrap_or_default();
             println!("  {score:.3}  {line}  {}", stmt.trim());
         }
     }
@@ -47,7 +51,11 @@ fn main() {
     let blamed = cel_localize(&v.matrix);
     println!("\nCEL-style correction set ({} lines):", blamed.len());
     for line in blamed.iter().take(5) {
-        let stmt = incident.broken.stmt(*line).map(|s| s.to_string()).unwrap_or_default();
+        let stmt = incident
+            .broken
+            .stmt(*line)
+            .map(|s| s.to_string())
+            .unwrap_or_default();
         println!("  {line}  {}", stmt.trim());
     }
 
@@ -55,7 +63,10 @@ fn main() {
     let prov = Provenance::new(&out.arena);
     if let Some(rec) = v.records.iter().find(|r| r.passed) {
         if let Some(root) = rec.deriv_roots.last() {
-            println!("\nwhy does test `{}` see its route? derivation:", rec.property);
+            println!(
+                "\nwhy does test `{}` see its route? derivation:",
+                rec.property
+            );
             print!("{}", prov.explain(*root));
         }
     }

@@ -23,7 +23,11 @@ fn main() {
     // 2. Verify the intended configuration — everything holds.
     let verifier = Verifier::new(&net.topo, &net.spec);
     let (v, _) = verifier.run_full(&net.cfg);
-    println!("intended config: {}/{} tests pass", v.records.len() - v.failed_count(), v.records.len());
+    println!(
+        "intended config: {}/{} tests pass",
+        v.records.len() - v.failed_count(),
+        v.records.len()
+    );
 
     // 3. Inject a Table-1 incident: a peer group goes missing.
     let incident = try_inject(FaultType::MissingPeerGroup, &net, 0).expect("injectable");
@@ -31,9 +35,13 @@ fn main() {
     let (v, _) = verifier.run_full(&incident.broken);
     for failure in v.failures() {
         println!(
-        "  FAILED {}: {}",
+            "  FAILED {}: {}",
             failure.property,
-            failure.violation.as_ref().map(|x| x.to_string()).unwrap_or_default()
+            failure
+                .violation
+                .as_ref()
+                .map(|x| x.to_string())
+                .unwrap_or_default()
         );
     }
 
@@ -41,7 +49,11 @@ fn main() {
     let ranking = localize(&v.matrix, SbflFormula::Tarantula);
     println!("\ntop suspicious lines (Tarantula):");
     for (line, score) in ranking.top_k(5) {
-        let stmt = incident.broken.stmt(*line).map(|s| s.to_string()).unwrap_or_default();
+        let stmt = incident
+            .broken
+            .stmt(*line)
+            .map(|s| s.to_string())
+            .unwrap_or_default();
         println!("  {score:.2}  {line}  {}", stmt.trim());
     }
 
@@ -58,7 +70,11 @@ fn main() {
             );
             println!("  {patch}");
             let (v, _) = verifier.run_full(repaired);
-            println!("post-repair: {}/{} tests pass", v.records.len() - v.failed_count(), v.records.len());
+            println!(
+                "post-repair: {}/{} tests pass",
+                v.records.len() - v.failed_count(),
+                v.records.len()
+            );
         }
         other => println!("\nno feasible update found: {other:?}"),
     }

@@ -1,0 +1,20 @@
+//! Runs both README library samples verbatim through the public crate
+//! surface.
+
+use acr::prelude::*;
+
+fn main() {
+    let fig2 = acr::workloads::fig2::fig2_incident();
+    let engine = RepairEngine::with_defaults(&fig2.topo, &fig2.spec);
+    let report = engine.repair(&fig2.broken);
+    assert!(report.outcome.is_fixed());
+    println!("fig2 repaired: {} validations", report.validations);
+
+    let net = acr::workloads::generate(&acr::topo::gen::wan(4, 8));
+    let broken = acr::workloads::try_inject(FaultType::MissingRoutePolicy, &net, 1)
+        .expect("injectable")
+        .broken;
+    let report = lint_network(&net.topo, &broken);
+    assert!(!report.is_clean());
+    print!("{}", report.render(&broken));
+}

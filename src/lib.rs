@@ -32,6 +32,7 @@
 pub use acr_baselines as baselines;
 pub use acr_cfg as cfg;
 pub use acr_core as core;
+pub use acr_lint as lint;
 pub use acr_localize as localize;
 pub use acr_net_types as net_types;
 pub use acr_prov as prov;
@@ -45,7 +46,8 @@ pub use acr_workloads as workloads;
 pub mod prelude {
     pub use acr_cfg::{DeviceConfig, Edit, LineId, NetworkConfig, Patch, Stmt};
     pub use acr_core::{RepairConfig, RepairEngine, RepairOutcome, Strategy};
-    pub use acr_localize::{localize, SbflFormula};
+    pub use acr_lint::{lint_network, Diagnostic, LintReport, Rule, Severity};
+    pub use acr_localize::{localize, localize_boosted, SbflFormula};
     pub use acr_net_types::{Asn, Flow, Ipv4Addr, Prefix, RouterId};
     pub use acr_sim::Simulator;
     pub use acr_topo::{Role, Topology, TopologyBuilder};

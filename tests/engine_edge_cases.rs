@@ -22,7 +22,10 @@ fn contradictory_spec_terminates_without_fix() {
     let engine = RepairEngine::new(
         &net.topo,
         &spec,
-        RepairConfig { max_iterations: 30, ..RepairConfig::default() },
+        RepairConfig {
+            max_iterations: 30,
+            ..RepairConfig::default()
+        },
     );
     let report = engine.repair(&net.cfg);
     match report.outcome {
@@ -49,7 +52,11 @@ fn iteration_cap_is_respected() {
             max_iterations: 1,
             // Single mutation per iteration: too little to assemble the
             // multi-edit repair in one round.
-            strategy: Strategy::Genetic { mutations: 1, crossovers: 0, top_k: 3 },
+            strategy: Strategy::Genetic {
+                mutations: 1,
+                crossovers: 0,
+                top_k: 3,
+            },
             ..RepairConfig::default()
         },
     );
@@ -80,13 +87,20 @@ fn multi_sample_suites_agree_on_verdicts() {
             .iter()
             .filter(|r| r.property == rec1.property)
             .all(|r| r.passed == rec1.passed);
-        assert!(all_same, "property {} diverges across samples", rec1.property);
+        assert!(
+            all_same,
+            "property {} diverges across samples",
+            rec1.property
+        );
     }
     // And repair works with the larger suite too.
     let engine = RepairEngine::new(
         &net.topo,
         &net.spec,
-        RepairConfig { samples_per_property: 3, ..RepairConfig::default() },
+        RepairConfig {
+            samples_per_property: 3,
+            ..RepairConfig::default()
+        },
     );
     assert!(engine.repair(&incident.broken).outcome.is_fixed());
 }

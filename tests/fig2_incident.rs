@@ -33,9 +33,15 @@ fn tarantula_scores_a_peer_policy_line_067() {
     // line 5 of A's config.
     let a_line = LineId::new(fig2.a, 5);
     let stmt = fig2.broken.stmt(a_line).unwrap().to_string();
-    assert_eq!(stmt.trim(), "peer 172.16.0.10 route-policy Override_All import");
+    assert_eq!(
+        stmt.trim(),
+        "peer 172.16.0.10 route-policy Override_All import"
+    );
     let score = ranking.score_of(a_line).expect("line must be ranked");
-    assert!((score - 2.0 / 3.0).abs() < 1e-9, "expected 0.67, got {score}");
+    assert!(
+        (score - 2.0 / 3.0).abs() < 1e-9,
+        "expected 0.67, got {score}"
+    );
     // The paper's table scores router A's lines only ("we only show the
     // results for router A. … we can get the highest suspiciousness is
     // 0.67"): the line must be the maximum among A's lines.
@@ -45,7 +51,10 @@ fn tarantula_scores_a_peer_policy_line_067() {
         .filter(|(l, _)| l.router == fig2.a)
         .map(|(_, s)| *s)
         .fold(0.0f64, f64::max);
-    assert!((score - a_max).abs() < 1e-12, "A's max is {a_max}, line scored {score}");
+    assert!(
+        (score - a_max).abs() < 1e-12,
+        "A's max is {a_max}, line scored {score}"
+    );
 }
 
 /// Step 2 (Fix): the prefix-list template on the suspicious line solves
@@ -73,8 +82,14 @@ fn symbolization_solves_the_papers_var() {
     // exactly 10.70/16 and 20.0/16.
     let patched = pl_fix.patch.apply_cloned(&fig2.broken).unwrap();
     let text = patched.device(fig2.a).unwrap().to_text();
-    assert!(text.contains("ip prefix-list default_all index 10 permit 10.70.0.0 16"), "{text}");
-    assert!(text.contains("ip prefix-list default_all index 20 permit 20.0.0.0 16"), "{text}");
+    assert!(
+        text.contains("ip prefix-list default_all index 10 permit 10.70.0.0 16"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ip prefix-list default_all index 20 permit 20.0.0.0 16"),
+        "{text}"
+    );
     assert!(!text.contains("permit 0.0.0.0 0"), "{text}");
 }
 
@@ -122,7 +137,10 @@ fn second_iteration_localizes_c_at_05() {
     // C's peer-policy application line is line 5 of C's config.
     let c_line = LineId::new(fig2.c, 5);
     let stmt = half.stmt(c_line).unwrap().to_string();
-    assert_eq!(stmt.trim(), "peer 172.16.0.14 route-policy Override_All import");
+    assert_eq!(
+        stmt.trim(),
+        "peer 172.16.0.14 route-policy Override_All import"
+    );
     let score = ranking.score_of(c_line).expect("ranked");
     assert!((score - 0.5).abs() < 1e-9, "paper reports 0.5, got {score}");
 
@@ -142,7 +160,13 @@ fn second_iteration_localizes_c_at_05() {
         .expect("prefix-list template must fire on C");
     let repaired = pl_fix.patch.apply_cloned(&half).unwrap();
     let (v2, _) = verifier.run_full(&repaired);
-    assert!(v2.all_passed(), "{:?}", v2.failures().map(|r| (&r.property, &r.violation)).collect::<Vec<_>>());
+    assert!(
+        v2.all_passed(),
+        "{:?}",
+        v2.failures()
+            .map(|r| (&r.property, &r.violation))
+            .collect::<Vec<_>>()
+    );
 }
 
 /// The full engine run, restricted to the paper's repair style
@@ -163,7 +187,11 @@ fn repair_engine_fixes_fig2_end_to_end() {
     let report = engine.repair(&fig2.broken);
     assert_eq!(report.initial_failed, 1);
     let RepairOutcome::Fixed { patch, repaired } = &report.outcome else {
-        panic!("must fix: {:?} after {} iterations", report.outcome, report.iteration_count());
+        panic!(
+            "must fix: {:?} after {} iterations",
+            report.outcome,
+            report.iteration_count()
+        );
     };
     // The repair edits prefix lists on the faulty routers only (A and/or
     // C — in our reproduction C's fix alone is already feasible, because
@@ -172,8 +200,14 @@ fn repair_engine_fixes_fig2_end_to_end() {
     // through step by step in the tests above).
     let mut routers = patch.routers();
     routers.sort();
-    assert!(!routers.is_empty() && routers.iter().all(|r| *r == fig2.a || *r == fig2.c), "patch: {patch}");
-    assert!(routers.contains(&fig2.c), "C's list is the load-bearing fix: {patch}");
+    assert!(
+        !routers.is_empty() && routers.iter().all(|r| *r == fig2.a || *r == fig2.c),
+        "patch: {patch}"
+    );
+    assert!(
+        routers.contains(&fig2.c),
+        "C's list is the load-bearing fix: {patch}"
+    );
     // The repaired network holds every intent, with no flapping.
     let verifier = Verifier::new(&fig2.topo, &fig2.spec);
     let (v, out) = verifier.run_full(repaired);
@@ -189,7 +223,11 @@ fn repair_engine_fixes_fig2_end_to_end() {
         let mut o = sim.run();
         let flow = Flow::ip(Ipv4Addr::new(99, 0, 0, 1), p(dst).host(1));
         let res = sim.forward(&mut o, start, &flow);
-        assert!(res.outcome.is_delivered(), "{dst} from {start}: {}", res.outcome);
+        assert!(
+            res.outcome.is_delivered(),
+            "{dst} from {start}: {}",
+            res.outcome
+        );
     }
 }
 
@@ -201,7 +239,11 @@ fn genetic_strategy_also_fixes_fig2() {
     let engine = RepairEngine::new(
         &fig2.topo,
         &fig2.spec,
-        RepairConfig { strategy: Strategy::default(), seed: 3, ..RepairConfig::default() },
+        RepairConfig {
+            strategy: Strategy::default(),
+            seed: 3,
+            ..RepairConfig::default()
+        },
     );
     let report = engine.repair(&fig2.broken);
     assert!(
@@ -223,7 +265,10 @@ fn unrestricted_engine_finds_some_feasible_update() {
     let engine = RepairEngine::new(
         &fig2.topo,
         &fig2.spec,
-        RepairConfig { strategy: Strategy::brute_force(), ..RepairConfig::default() },
+        RepairConfig {
+            strategy: Strategy::brute_force(),
+            ..RepairConfig::default()
+        },
     );
     let report = engine.repair(&fig2.broken);
     let RepairOutcome::Fixed { repaired, .. } = &report.outcome else {

@@ -33,8 +33,11 @@ fn waypoint_and_avoids_intents_judge_paths() {
 
     let verifier = Verifier::new(&net.topo, &spec);
     let (v, _) = verifier.run_full(&net.cfg);
-    let verdicts: Vec<(String, bool)> =
-        v.records.iter().map(|r| (r.property.clone(), r.passed)).collect();
+    let verdicts: Vec<(String, bool)> = v
+        .records
+        .iter()
+        .map(|r| (r.property.clone(), r.passed))
+        .collect();
     assert_eq!(
         verdicts,
         vec![
@@ -62,7 +65,10 @@ fn derived_spec_catches_injected_faults() {
 
     let verifier = Verifier::new(&net.topo, &auto_spec);
     let (v, _) = verifier.run_full(&net.cfg);
-    assert!(v.all_passed(), "intended config must satisfy the derived spec");
+    assert!(
+        v.all_passed(),
+        "intended config must satisfy the derived spec"
+    );
 
     // An injected incident (observable under the *generated* spec) is
     // also observable under the derived spec here. (This 4x4 WAN has one

@@ -9,6 +9,9 @@
 //!    no converged best route ever carries its holder's own AS in the
 //!    path unless a policy overwrote it.
 
+// Gated: run with `cargo test --features heavy-tests` (vendored proptest shim).
+#![cfg(feature = "heavy-tests")]
+
 use acr::prelude::*;
 use acr::workloads::GeneratedNetwork;
 use acr_sim::PrefixOutcome;
@@ -25,7 +28,10 @@ fn edit_from(net: &GeneratedNetwork, ri: usize, pos: u16, kind: u8) -> Patch {
     let router = routers[ri % routers.len()];
     let len = net.cfg.device(router).unwrap().len();
     match kind % 3 {
-        0 => Patch::single(Edit::Delete { router, index: pos as usize % len }),
+        0 => Patch::single(Edit::Delete {
+            router,
+            index: pos as usize % len,
+        }),
         1 => Patch::single(Edit::Insert {
             router,
             index: len, // append keeps block contexts intact
@@ -88,7 +94,9 @@ fn incremental_equals_full_for_every_single_delete() {
         // still crossing every block kind.
         for index in (0..len).step_by(3) {
             let patch = Patch::single(Edit::Delete { router, index });
-            let Ok(candidate) = patch.apply_cloned(&net.cfg) else { continue };
+            let Ok(candidate) = patch.apply_cloned(&net.cfg) else {
+                continue;
+            };
             let mut iv = IncrementalVerifier::new(&net.topo, &net.spec);
             iv.commit(&net.cfg);
             let v_inc = iv.verify_candidate(&candidate, &patch);
@@ -121,8 +129,16 @@ fn simulation_is_deterministic() {
         let b = &o2.outcomes[p];
         match (a, b) {
             (
-                PrefixOutcome::Converged { best: ba, rounds: ra, .. },
-                PrefixOutcome::Converged { best: bb, rounds: rb, .. },
+                PrefixOutcome::Converged {
+                    best: ba,
+                    rounds: ra,
+                    ..
+                },
+                PrefixOutcome::Converged {
+                    best: bb,
+                    rounds: rb,
+                    ..
+                },
             ) => {
                 assert_eq!(ra, rb, "{p}");
                 let ka: Vec<_> = ba.iter().map(|r| r.as_ref().map(|r| r.key())).collect();
@@ -161,7 +177,10 @@ fn no_self_as_in_converged_paths_without_overwrite() {
         "bgp 65002\n network 10.2.0.0 16\n peer 172.16.0.5 as-number 65001\n",
     ];
     for (r, t) in topo.routers().iter().zip(texts) {
-        cfg.insert(r.id, acr::cfg::parse::parse_device(r.name.clone(), t).unwrap());
+        cfg.insert(
+            r.id,
+            acr::cfg::parse::parse_device(r.name.clone(), t).unwrap(),
+        );
     }
     let sim = Simulator::new(&topo, &cfg);
     let out = sim.run();

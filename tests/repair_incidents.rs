@@ -21,7 +21,10 @@ fn repair_and_check(net: &GeneratedNetwork, fault: FaultType, seed: u64) {
     let engine = RepairEngine::new(
         &net.topo,
         &net.spec,
-        RepairConfig { seed: 11, ..RepairConfig::default() },
+        RepairConfig {
+            seed: 11,
+            ..RepairConfig::default()
+        },
     );
     let report = engine.repair(&inc.broken);
     let RepairOutcome::Fixed { patch, repaired } = &report.outcome else {
@@ -37,8 +40,14 @@ fn repair_and_check(net: &GeneratedNetwork, fault: FaultType, seed: u64) {
     let verifier = Verifier::new(&net.topo, &net.spec);
     let (v, out) = verifier.run_full(repaired);
     assert!(v.all_passed(), "{fault}: repair did not hold up");
-    assert!(out.flapping().is_empty(), "{fault}: repair left instability");
-    assert!(!patch.is_empty(), "{fault}: the incident had violations, so a fix must edit");
+    assert!(
+        out.flapping().is_empty(),
+        "{fault}: repair left instability"
+    );
+    assert!(
+        !patch.is_empty(),
+        "{fault}: the incident had violations, so a fix must edit"
+    );
 }
 
 #[test]
@@ -95,10 +104,7 @@ fn repairs_missing_prefix_list_items() {
 #[test]
 fn universal_operators_repair_omission_faults() {
     let net = wan();
-    for fault in [
-        FaultType::MissingRoutePolicy,
-        FaultType::MissingPeerGroup,
-    ] {
+    for fault in [FaultType::MissingRoutePolicy, FaultType::MissingPeerGroup] {
         let inc = try_inject(fault, &net, 0).unwrap();
         let engine = RepairEngine::new(
             &net.topo,
@@ -146,16 +152,18 @@ fn repair_is_reproducible() {
         let engine = RepairEngine::new(
             &net.topo,
             &net.spec,
-            RepairConfig { seed, ..RepairConfig::default() },
+            RepairConfig {
+                seed,
+                ..RepairConfig::default()
+            },
         );
         engine.repair(&inc.broken)
     };
     let (a, b) = (run(5), run(5));
     match (&a.outcome, &b.outcome) {
-        (
-            RepairOutcome::Fixed { patch: pa, .. },
-            RepairOutcome::Fixed { patch: pb, .. },
-        ) => assert_eq!(pa, pb),
+        (RepairOutcome::Fixed { patch: pa, .. }, RepairOutcome::Fixed { patch: pb, .. }) => {
+            assert_eq!(pa, pb)
+        }
         (x, y) => panic!("{x:?} vs {y:?}"),
     }
     assert_eq!(a.iteration_count(), b.iteration_count());

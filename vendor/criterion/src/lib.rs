@@ -1,0 +1,212 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment cannot fetch crates, so this shim implements just
+//! enough of criterion's API for the workspace's benches to compile and
+//! produce useful numbers: `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with `sample_size` and
+//! `bench_with_input`, and `Bencher::iter`. Instead of statistical
+//! analysis it reports the mean wall-clock time over a bounded number of
+//! timed runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Maximum wall-clock budget spent per benchmark id.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `group/name/parameter`-style id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times a closure; handed to the user's bench body.
+pub struct Bencher {
+    samples: u64,
+    /// (total elapsed, runs) recorded by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            result: None,
+        }
+    }
+
+    /// Runs `f` up to the sample count (bounded by the time budget) and
+    /// records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        let mut runs = 0u64;
+        while runs < self.samples {
+            black_box(f());
+            runs += 1;
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), runs.max(1)));
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.result {
+        Some((total, runs)) => {
+            let mean = total / runs as u32;
+            println!("bench: {name:<50} {mean:>12.2?}  ({runs} runs)");
+        }
+        None => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// Entry point mirroring criterion's driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<u64>,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size.unwrap_or(10));
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size.unwrap_or(10),
+            _c: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark run count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<Inp, I: Into<BenchmarkId>, F: FnMut(&mut Bencher, &Inp)>(
+        &mut self,
+        id: I,
+        input: &Inp,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b);
+        self
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert!(runs >= 2, "warm-up plus at least one timed run, got {runs}");
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        group.finish();
+        assert_eq!(runs, 4 * 7, "warm-up + 3 samples");
+    }
+}

@@ -1,0 +1,640 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crate registry, so the
+//! workspace vendors the small subset of proptest's API its property suites
+//! actually use: strategy combinators (`prop_map`, `prop_oneof!`, tuples,
+//! ranges, `collection::vec`, `option::of`, string patterns,
+//! `prop_recursive`) and the `proptest!` test macro. Differences from the
+//! real crate:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs via
+//!   the normal assertion message; it is not minimized.
+//! - **Fixed determinism.** Each test gets an RNG seeded from its own name,
+//!   so runs are fully reproducible (there is no `PROPTEST_` env handling).
+//! - **Pattern strategies** support the character-class/group/quantifier
+//!   subset of regex syntax the suites use, not full regex.
+
+pub mod rng {
+    /// Deterministic SplitMix64 stream used by all strategies.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Seeds from a test name (FNV-1a) so each test is reproducible.
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::new(h)
+        }
+
+        /// Next raw 64-bit draw (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; 0 when `n == 0`.
+        pub fn index(&mut self, n: usize) -> usize {
+            if n == 0 {
+                return 0;
+            }
+            ((self.next_u64() as u128 * n as u128) >> 64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A value generator. The real crate's `Strategy` also carries a shrink
+    /// tree; this shim only generates.
+    pub trait Strategy {
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind a clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                gen: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+            }
+        }
+
+        /// Builds recursive structures: `self` is the leaf case and
+        /// `recurse` wraps an inner strategy one level deeper. The size
+        /// hints of the real API are accepted and ignored.
+        fn prop_recursive<F, R>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+            R: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                let l = leaf.clone();
+                current = BoxedStrategy {
+                    gen: Rc::new(move |rng: &mut TestRng| {
+                        // Bias toward recursion; the leaf keeps depth finite.
+                        if rng.index(4) == 0 {
+                            l.generate(rng)
+                        } else {
+                            deeper.generate(rng)
+                        }
+                    }),
+                };
+            }
+            current
+        }
+    }
+
+    /// Clonable type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed arms — the engine behind `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for the full value range of `T` (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128).max(1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (*self.start() as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident . $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// String strategies from `&'static str` regex-like patterns.
+    ///
+    /// Supports literals, `[a-zA-Z_]` classes, `(...)` groups, and the
+    /// `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers — the subset the
+    /// suites use.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let units = pattern::parse(self);
+            let mut out = String::new();
+            pattern::emit(&units, rng, &mut out);
+            out
+        }
+    }
+
+    mod pattern {
+        use crate::rng::TestRng;
+
+        pub enum Atom {
+            Lit(char),
+            Class(Vec<(char, char)>),
+            Group(Vec<Unit>),
+        }
+
+        pub struct Unit {
+            pub atom: Atom,
+            pub min: u32,
+            pub max: u32,
+        }
+
+        pub fn parse(pat: &str) -> Vec<Unit> {
+            let mut chars: Vec<char> = pat.chars().collect();
+            chars.reverse(); // pop() from the front
+            let units = parse_seq(&mut chars);
+            assert!(chars.is_empty(), "unbalanced pattern: {pat:?}");
+            units
+        }
+
+        fn parse_seq(rest: &mut Vec<char>) -> Vec<Unit> {
+            let mut units = Vec::new();
+            while let Some(&c) = rest.last() {
+                let atom = match c {
+                    ')' => break,
+                    '(' => {
+                        rest.pop();
+                        let inner = parse_seq(rest);
+                        assert_eq!(rest.pop(), Some(')'), "missing ')'");
+                        Atom::Group(inner)
+                    }
+                    '[' => {
+                        rest.pop();
+                        Atom::Class(parse_class(rest))
+                    }
+                    '\\' => {
+                        rest.pop();
+                        Atom::Lit(rest.pop().expect("dangling escape"))
+                    }
+                    _ => {
+                        rest.pop();
+                        Atom::Lit(c)
+                    }
+                };
+                let (min, max) = parse_quant(rest);
+                units.push(Unit { atom, min, max });
+            }
+            units
+        }
+
+        fn parse_class(rest: &mut Vec<char>) -> Vec<(char, char)> {
+            let mut ranges = Vec::new();
+            loop {
+                let c = rest.pop().expect("unterminated class");
+                if c == ']' {
+                    break;
+                }
+                if rest.last() == Some(&'-') && rest.len() >= 2 && rest[rest.len() - 2] != ']' {
+                    rest.pop(); // '-'
+                    let hi = rest.pop().unwrap();
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            assert!(!ranges.is_empty(), "empty character class");
+            ranges
+        }
+
+        fn parse_quant(rest: &mut Vec<char>) -> (u32, u32) {
+            match rest.last() {
+                Some('?') => {
+                    rest.pop();
+                    (0, 1)
+                }
+                Some('*') => {
+                    rest.pop();
+                    (0, 8)
+                }
+                Some('+') => {
+                    rest.pop();
+                    (1, 8)
+                }
+                Some('{') => {
+                    rest.pop();
+                    let mut digits = String::new();
+                    let mut min = None;
+                    loop {
+                        match rest.pop().expect("unterminated quantifier") {
+                            '}' => break,
+                            ',' => min = Some(digits.split_off(0)),
+                            d => digits.push(d),
+                        }
+                    }
+                    let hi: u32 = digits.parse().expect("bad quantifier");
+                    let lo = match min {
+                        Some(s) => s.parse().expect("bad quantifier"),
+                        None => hi,
+                    };
+                    (lo, hi)
+                }
+                _ => (1, 1),
+            }
+        }
+
+        pub fn emit(units: &[Unit], rng: &mut TestRng, out: &mut String) {
+            for u in units {
+                let span = (u.max - u.min + 1) as usize;
+                let reps = u.min + rng.index(span) as u32;
+                for _ in 0..reps {
+                    match &u.atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let (lo, hi) = ranges[rng.index(ranges.len())];
+                            let width = hi as u32 - lo as u32 + 1;
+                            let c = char::from_u32(lo as u32 + rng.index(width as usize) as u32)
+                                .expect("class range spans invalid chars");
+                            out.push(c);
+                        }
+                        Atom::Group(inner) => emit(inner, rng, out),
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// `vec(element, size_range)` — sizes drawn from `size_range`
+    /// (half-open, matching the real API's `0..8` idiom).
+    pub struct VecStrategy<S> {
+        elem: S,
+        sizes: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.sizes.end.saturating_sub(self.sizes.start).max(1);
+            let len = self.sizes.start + rng.index(span);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// `of(strategy)` — `None` one time in four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.index(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Runs each embedded `#[test] fn name(pat in strategy, ...)` body against
+/// `Config::cases` generated inputs. No shrinking: the first failing case
+/// panics with the assertion's own message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::rng::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _ in 0..config.cases {
+                let mut case = || {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                };
+                case();
+            }
+        }
+    )*};
+}
+
+/// `assert!` under another name (the real macro threads a result type).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under another name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn patterns_match_their_shape() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let name = Strategy::generate(&"[A-Za-z][A-Za-z0-9_]{0,10}", &mut rng);
+            assert!(!name.is_empty() && name.len() <= 11, "{name:?}");
+            assert!(name.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+
+            let remark = Strategy::generate(&"[a-z]{1,8}( [a-z]{1,8}){0,3}", &mut rng);
+            assert!(
+                !remark.starts_with(' ') && !remark.ends_with(' '),
+                "{remark:?}"
+            );
+            assert!(!remark.contains("  "), "{remark:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_unions_stay_in_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let w = Strategy::generate(&(0u8..=32), &mut rng);
+            assert!(w <= 32);
+            let pick = prop_oneof![Just(1u8), Just(2), Just(3)];
+            assert!((1..=3).contains(&Strategy::generate(&pick, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            assert!(depth(&Strategy::generate(&strat, &mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, assume, tuples, vec.
+        #[test]
+        fn macro_smoke(x in 0u32..10, pair in (0u8..4, 0u8..4), xs in crate::collection::vec(0i64..5, 0..6)) {
+            prop_assume!(x != 9);
+            prop_assert!(x < 9);
+            prop_assert_eq!(pair.0 as u32 + x, x + pair.0 as u32);
+            prop_assert!(xs.len() < 6);
+        }
+    }
+}
