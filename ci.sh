@@ -23,6 +23,9 @@ cargo build --release
 echo "==> cargo test (default features)"
 cargo test -q
 
+echo "==> cargo test (forced sequential validate, ACR_THREADS=1)"
+ACR_THREADS=1 cargo test -q
+
 echo "==> cargo test (heavy-tests)"
 cargo test -q --workspace --features heavy-tests
 

@@ -14,7 +14,7 @@ use acr_cfg::{Edit, NetworkConfig, Patch, PlAction, Stmt};
 use acr_core::space::aed_free_variables;
 use acr_net_types::Prefix;
 use acr_topo::Topology;
-use acr_verify::{Spec, Verifier};
+use acr_verify::{SimCache, Spec, Verifier};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -50,10 +50,27 @@ pub struct AedReport {
 
 /// Runs the baseline with a validation budget.
 pub fn aed_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig, budget: usize) -> AedReport {
+    aed_repair_cached(topo, spec, cfg, budget, None)
+}
+
+/// Runs the baseline, serving repeat verifications from `cache` when one
+/// is provided. The enumeration order, accepted repair, and validation
+/// count are identical to the uncached run; only the wall time changes.
+pub fn aed_repair_cached(
+    topo: &Topology,
+    spec: &Spec,
+    cfg: &NetworkConfig,
+    budget: usize,
+    cache: Option<&SimCache>,
+) -> AedReport {
     let start = Instant::now();
     let free_vars = aed_free_variables(cfg);
     let verifier = Verifier::new(topo, spec);
-    let (v0, _) = verifier.run_full(cfg);
+    let run = |c: &NetworkConfig| match cache {
+        Some(cache) => verifier.run_full_cached(c, cache),
+        None => verifier.run_full(c),
+    };
+    let (v0, _) = run(cfg);
     if v0.all_passed() {
         return AedReport {
             outcome: AedOutcome::Fixed {
@@ -132,7 +149,7 @@ pub fn aed_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig, budget: usi
             return None;
         };
         *validations += 1;
-        let (v, _) = verifier.run_full(&candidate);
+        let (v, _) = run(&candidate);
         if v.all_passed() {
             Some(AedReport {
                 outcome: AedOutcome::Fixed { patch },

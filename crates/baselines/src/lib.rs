@@ -22,5 +22,5 @@
 pub mod aed;
 pub mod metaprov;
 
-pub use aed::{aed_repair, AedOutcome, AedReport};
-pub use metaprov::{metaprov_repair, MetaProvReport};
+pub use aed::{aed_repair, aed_repair_cached, AedOutcome, AedReport};
+pub use metaprov::{metaprov_repair, metaprov_repair_cached, MetaProvReport};

@@ -12,7 +12,7 @@ use acr_cfg::{Edit, NetworkConfig, Patch, PlAction, Stmt};
 use acr_net_types::Prefix;
 use acr_prov::{Provenance, TestId};
 use acr_topo::Topology;
-use acr_verify::{Spec, Verifier};
+use acr_verify::{SimCache, Spec, Verifier};
 use std::collections::BTreeSet;
 
 /// Result of a MetaProv-style repair attempt.
@@ -36,8 +36,24 @@ pub struct MetaProvReport {
 
 /// Runs the baseline.
 pub fn metaprov_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig) -> MetaProvReport {
+    metaprov_repair_cached(topo, spec, cfg, None)
+}
+
+/// Runs the baseline, serving repeat verifications from `cache` when one
+/// is provided. Candidate enumeration, acceptance, and the report are
+/// identical to the uncached run; only the wall time changes.
+pub fn metaprov_repair_cached(
+    topo: &Topology,
+    spec: &Spec,
+    cfg: &NetworkConfig,
+    cache: Option<&SimCache>,
+) -> MetaProvReport {
     let verifier = Verifier::new(topo, spec);
-    let (v0, out0) = verifier.run_full(cfg);
+    let run = |c: &NetworkConfig| match cache {
+        Some(cache) => verifier.run_full_cached(c, cache),
+        None => verifier.run_full(c),
+    };
+    let (v0, out0) = run(cfg);
     let originally_failing: BTreeSet<TestId> = v0.failures().map(|r| r.id).collect();
     if originally_failing.is_empty() {
         return MetaProvReport {
@@ -79,7 +95,7 @@ pub fn metaprov_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig) -> Met
             let Ok(patched) = candidate.apply_cloned(cfg) else {
                 continue;
             };
-            let (v1, _) = verifier.run_full(&patched);
+            let (v1, _) = run(&patched);
             let target_fixed = v1
                 .records
                 .iter()

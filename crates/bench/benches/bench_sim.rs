@@ -5,6 +5,7 @@
 
 use acr_bench::scaled_network;
 use acr_sim::Simulator;
+use acr_verify::Verifier;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_full_simulation(c: &mut Criterion) {
@@ -42,10 +43,41 @@ fn bench_single_prefix(c: &mut Criterion) {
     });
 }
 
+fn bench_run_full(c: &mut Criterion) {
+    let net = scaled_network(8);
+    let verifier = Verifier::new(&net.topo, &net.spec);
+
+    // Regression guard: `run_full` must hand back the *same* arena the
+    // verification's derivation roots were interned into (it used to
+    // clone the whole simulation outcome just to re-own the arena, and a
+    // reintroduced clone would leave roots dangling or double the cost).
+    let (v, out) = verifier.run_full(&net.cfg);
+    let max_id = out.arena.len();
+    for rec in &v.records {
+        for root in &rec.deriv_roots {
+            assert!(
+                (root.0 as usize) < max_id,
+                "deriv root {root:?} does not resolve in the returned arena"
+            );
+        }
+    }
+    assert!(
+        !out.arena
+            .closure_lines(v.records.iter().flat_map(|r| r.deriv_roots.iter().copied()))
+            .is_empty(),
+        "derivations of a verified network must touch at least one config line"
+    );
+
+    c.bench_function("run_full_24_routers", |b| {
+        b.iter(|| std::hint::black_box(verifier.run_full(&net.cfg)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_full_simulation,
     bench_model_compilation,
-    bench_single_prefix
+    bench_single_prefix,
+    bench_run_full
 );
 criterion_main!(benches);

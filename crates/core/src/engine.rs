@@ -18,13 +18,16 @@ use crate::ctx::RepairCtx;
 use crate::strategy::{crossover, Strategy};
 use crate::templates::{candidates_for_line, CandidateFix, TemplateKind};
 use crate::universal::universal_candidates;
+use crate::validate::{resolve_threads, validate_batch, CandidateOutcome, LintBase, LintMemo};
 use acr_cfg::{DeviceModel, LineId, NetworkConfig, Patch};
 use acr_lint::{lint_with_models, Diagnostic};
 use acr_localize::{localize, localize_boosted, SbflFormula};
 use acr_net_types::{RouterId, SplitMix64};
+use acr_sim::ShardedCache;
 use acr_topo::Topology;
-use acr_verify::{IncrementalVerifier, Spec, Verification};
+use acr_verify::{IncrementalVerifier, SimCache, Spec, Verification};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The paper's iteration cap.
@@ -66,6 +69,26 @@ pub struct RepairConfig {
     /// lint error (relative to the broken baseline) are rejected before
     /// they reach the simulator.
     pub lint: bool,
+    /// Worker threads for the validate stage. `0` = available
+    /// parallelism; `1` = the exact legacy sequential path. Results are
+    /// byte-identical at every setting; the `ACR_THREADS` environment
+    /// variable sets the default.
+    pub threads: usize,
+    /// The simulation memo-cache. Candidates whose rendered config was
+    /// validated before (against the same base, topology and test
+    /// suite) are served from memo and counted in
+    /// [`RepairReport::validations_cached`]. Share one `Arc` across
+    /// engines and baselines to pool their work; `None` disables
+    /// memoization entirely.
+    pub cache: Option<Arc<SimCache>>,
+}
+
+/// The `threads` default: the `ACR_THREADS` env var, else `0` (= auto).
+fn default_threads() -> usize {
+    std::env::var("ACR_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 impl Default for RepairConfig {
@@ -80,6 +103,8 @@ impl Default for RepairConfig {
             allowed_templates: None,
             operators: OperatorSet::Curated,
             lint: true,
+            threads: default_threads(),
+            cache: Some(Arc::new(SimCache::default())),
         }
     }
 }
@@ -101,6 +126,12 @@ pub struct IterationStats {
     pub reused_prefixes: usize,
     /// Candidates rejected by the static lint gate before simulation.
     pub lint_rejected: usize,
+    /// Candidates actually simulated this iteration.
+    pub validated: usize,
+    /// Candidates served from the simulation memo-cache.
+    pub cached: usize,
+    /// Candidates whose patch failed to apply or re-parse.
+    pub invalid: usize,
 }
 
 /// How a repair run ended.
@@ -130,13 +161,34 @@ impl RepairOutcome {
     }
 }
 
+/// Wall-clock split across the repair loop's stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Initial commit of the broken configuration (base verification
+    /// plus the lint baseline).
+    pub commit: Duration,
+    /// Localize + fix: candidate generation, summed over iterations.
+    pub generate: Duration,
+    /// Candidate validation (lint gate, memo-cache, simulation),
+    /// summed over iterations.
+    pub validate: Duration,
+    /// Selection and population bookkeeping, summed over iterations.
+    pub select: Duration,
+}
+
 /// The full report of one repair run.
 #[derive(Debug, Clone)]
 pub struct RepairReport {
     pub outcome: RepairOutcome,
     pub iterations: Vec<IterationStats>,
     pub initial_failed: usize,
+    /// Candidate validations that actually ran a simulation.
     pub validations: usize,
+    /// Candidate validations served from the simulation memo-cache
+    /// (identical verdicts, no simulation).
+    pub validations_cached: usize,
+    /// Per-stage wall-clock breakdown.
+    pub stage: StageTimes,
     pub wall: Duration,
 }
 
@@ -203,16 +255,34 @@ impl<'a> RepairEngine<'a> {
                 .enumerate()
                 .map(|(i, r)| (r.id, i))
                 .collect();
-            let keys = report.keys();
-            (models, idx, keys, report.diagnostics)
+            LintBase {
+                models,
+                idx,
+                keys: report.keys(),
+                diags: report.diagnostics,
+            }
         });
         let base_diags = lint_base
             .as_ref()
-            .map(|(_, _, _, d)| d.clone())
+            .map(|b| b.diags.clone())
             .unwrap_or_default();
+
+        // Validate-stage plumbing: the memo-cache keys every candidate
+        // under (verifier context, committed base, candidate config),
+        // the lint memo is per-run (its verdicts depend on the base),
+        // and `threads` sizes the scoped worker pool.
+        let ctx_base = (iv.verifier().context_fingerprint(), original.fingerprint());
+        let cache = self.config.cache.as_deref();
+        let lint_memo: LintMemo = ShardedCache::with_capacity(4096);
+        let threads = resolve_threads(self.config.threads);
 
         let mut iterations = Vec::new();
         let mut validations = 0usize;
+        let mut validations_cached = 0usize;
+        let mut stage = StageTimes {
+            commit: start.elapsed(),
+            ..StageTimes::default()
+        };
 
         if initial_failed == 0 {
             return RepairReport {
@@ -223,6 +293,8 @@ impl<'a> RepairEngine<'a> {
                 iterations,
                 initial_failed,
                 validations,
+                validations_cached,
+                stage,
                 wall: start.elapsed(),
             };
         }
@@ -240,12 +312,14 @@ impl<'a> RepairEngine<'a> {
 
         for iteration in 1..=self.config.max_iterations {
             // ---- localize + fix: generate candidate full patches -------
+            let t = Instant::now();
             let proposals = self.generate(&population, &iv, &mut rng);
             let fresh: Vec<Patch> = proposals
                 .into_iter()
                 .filter(|p| seen.insert(p.clone()))
                 .collect();
             let generated = fresh.len();
+            stage.generate += t.elapsed();
             if generated == 0 {
                 let best = best_of(&population);
                 return RepairReport {
@@ -256,60 +330,75 @@ impl<'a> RepairEngine<'a> {
                     iterations,
                     initial_failed,
                     validations,
+                    validations_cached,
+                    stage,
                     wall: start.elapsed(),
                 };
             }
 
-            // ---- validate ------------------------------------------------
+            // ---- validate: lint gate + memo-cache + worker pool --------
+            let t = Instant::now();
+            let batch = validate_batch(
+                fresh,
+                original,
+                &mut iv,
+                self.topo,
+                lint_base.as_ref(),
+                &lint_memo,
+                cache,
+                ctx_base,
+                threads,
+            );
             let mut kept: Vec<Variant> = Vec::new();
-            let mut recomputed = 0;
-            let mut reused = 0;
-            let mut lint_rejected = 0;
-            for patch in fresh {
-                let Ok(candidate_cfg) = patch.apply_cloned(original) else {
-                    continue;
-                };
-                if !reparses(&candidate_cfg, &patch) {
-                    continue;
-                }
-                // Static gate: a candidate that introduces a fresh lint
-                // error edits something semantically inert or dangling —
-                // it cannot improve fitness, so skip the simulation.
-                let mut diags = Vec::new();
-                if let Some((base_models, idx, base_keys, _)) = &lint_base {
-                    let mut models = base_models.clone();
-                    for r in patch.routers() {
-                        if let (Some(&i), Some(dc)) = (idx.get(&r), candidate_cfg.device(r)) {
-                            models[i] = DeviceModel::from_config(dc);
+            let (mut recomputed, mut reused) = (0, 0);
+            let (mut lint_rejected, mut validated, mut cached_count, mut invalid) = (0, 0, 0, 0);
+            for vc in batch {
+                match vc.outcome {
+                    CandidateOutcome::Invalid => invalid += 1,
+                    CandidateOutcome::LintRejected => lint_rejected += 1,
+                    CandidateOutcome::Validated {
+                        verification,
+                        stats,
+                        diags,
+                        arena,
+                        cached,
+                    } => {
+                        if cached {
+                            cached_count += 1;
+                        } else {
+                            validated += 1;
                         }
+                        recomputed += stats.recomputed;
+                        reused += stats.reused;
+                        let fitness = verification.failed_count();
+                        // §5: discard candidates whose fitness exceeds
+                        // the previous iteration's fitness.
+                        if fitness > prev_fitness {
+                            continue;
+                        }
+                        // Worker- or cache-computed verdicts carry their
+                        // own pruned arena; re-intern the closures into
+                        // the persistent one (index order, so the arena
+                        // grows deterministically).
+                        let verification = match &arena {
+                            Some(src) => iv.absorb_verification(&verification, src),
+                            None => verification,
+                        };
+                        kept.push(Variant {
+                            cfg: vc.cfg.expect("validated candidates carry a config"),
+                            patch: vc.patch,
+                            verification,
+                            fitness,
+                            diags,
+                        });
                     }
-                    let report = lint_with_models(self.topo, &candidate_cfg, &models);
-                    let fresh_error = report.errors().any(|d| !base_keys.contains(&d.key()));
-                    if fresh_error {
-                        lint_rejected += 1;
-                        continue;
-                    }
-                    diags = report.diagnostics;
                 }
-                let verification = iv.verify_candidate(&candidate_cfg, &patch);
-                validations += 1;
-                recomputed += iv.last_stats().recomputed;
-                reused += iv.last_stats().reused;
-                let fitness = verification.failed_count();
-                // §5: discard candidates whose fitness exceeds the
-                // previous iteration's fitness.
-                if fitness > prev_fitness {
-                    continue;
-                }
-                kept.push(Variant {
-                    cfg: candidate_cfg,
-                    patch,
-                    verification,
-                    fitness,
-                    diags,
-                });
             }
+            validations += validated;
+            validations_cached += cached_count;
+            stage.validate += t.elapsed();
 
+            let t = Instant::now();
             let kept_count = kept.len();
             let iter_fitness = kept.iter().map(|v| v.fitness).max().unwrap_or(prev_fitness);
             let done = kept.iter().any(|v| v.fitness == 0);
@@ -331,8 +420,12 @@ impl<'a> RepairEngine<'a> {
                 recomputed_prefixes: recomputed,
                 reused_prefixes: reused,
                 lint_rejected,
+                validated,
+                cached: cached_count,
+                invalid,
             });
             prev_fitness = iter_fitness;
+            stage.select += t.elapsed();
 
             if done {
                 let winner = population
@@ -348,6 +441,8 @@ impl<'a> RepairEngine<'a> {
                     iterations,
                     initial_failed,
                     validations,
+                    validations_cached,
+                    stage,
                     wall: start.elapsed(),
                 };
             }
@@ -362,6 +457,8 @@ impl<'a> RepairEngine<'a> {
             iterations,
             initial_failed,
             validations,
+            validations_cached,
+            stage,
             wall: start.elapsed(),
         }
     }
@@ -543,14 +640,6 @@ pub fn models_of(topo: &Topology, cfg: &NetworkConfig) -> Vec<DeviceModel> {
             },
         })
         .collect()
-}
-
-/// Safety net: a candidate's touched devices must print to parseable text.
-fn reparses(cfg: &NetworkConfig, patch: &Patch) -> bool {
-    patch.routers().into_iter().all(|r| match cfg.device(r) {
-        Some(d) => acr_cfg::parse::parse_device(d.name(), &d.to_text()).is_ok(),
-        None => false,
-    })
 }
 
 /// Uniform pick from a slice.

@@ -37,10 +37,13 @@ pub mod strategy;
 pub mod symbolize;
 pub mod templates;
 pub mod universal;
+mod validate;
 
+pub use acr_verify::SimCache;
 pub use ctx::RepairCtx;
 pub use engine::{
     IterationStats, OperatorSet, RepairConfig, RepairEngine, RepairOutcome, RepairReport,
+    StageTimes,
 };
 pub use strategy::Strategy;
 pub use templates::{templates_for, CandidateFix, TemplateKind};

@@ -30,7 +30,7 @@ use std::hash::{Hash, Hasher};
 pub const MAX_ROUNDS_BASE: usize = 64;
 
 /// Result of simulating one prefix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PrefixOutcome {
     /// Fixed point reached after `rounds` rounds; per-router best route
     /// (indexed by `RouterId::index()`).

@@ -63,6 +63,16 @@ pub struct DerivArena {
     index: HashMap<u64, Vec<DerivId>>,
 }
 
+// The index is derived from `nodes`, so equality is node-list equality.
+// Two arenas are equal only when they interned the same content in the
+// same order — exactly what a deterministic simulation reproduces.
+impl PartialEq for DerivArena {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+    }
+}
+impl Eq for DerivArena {}
+
 impl DerivArena {
     /// Creates an empty arena.
     pub fn new() -> Self {
@@ -163,6 +173,58 @@ impl DerivArena {
         false
     }
 
+    /// Re-interns the transitive closures of `roots` (ids valid in
+    /// `src`) into this arena, returning the remapped roots.
+    ///
+    /// Ids are arena-local, so derivations computed in one arena (a
+    /// worker's private copy, a cache entry) cannot be referenced from
+    /// another directly; `absorb` rebuilds the closure bottom-up via
+    /// [`DerivArena::intern`], so shared content dedups against what is
+    /// already present and absorbing is idempotent. `memo` carries the
+    /// src→dst id mapping across calls against the same `src` (pass a
+    /// fresh map per source arena).
+    pub fn absorb(
+        &mut self,
+        src: &DerivArena,
+        roots: &[DerivId],
+        memo: &mut HashMap<DerivId, DerivId>,
+    ) -> Vec<DerivId> {
+        roots
+            .iter()
+            .map(|&r| self.absorb_one(src, r, memo))
+            .collect()
+    }
+
+    fn absorb_one(
+        &mut self,
+        src: &DerivArena,
+        root: DerivId,
+        memo: &mut HashMap<DerivId, DerivId>,
+    ) -> DerivId {
+        // Iterative post-order: a node is re-interned only after all of
+        // its parents have been, since intern needs their new ids.
+        let mut stack = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if memo.contains_key(&id) {
+                continue;
+            }
+            let n = src.node(id);
+            if expanded {
+                let parents = n.parents.iter().map(|p| memo[p]).collect();
+                let new_id = self.intern(n.kind, n.lines.clone(), parents);
+                memo.insert(id, new_id);
+            } else {
+                stack.push((id, true));
+                for &p in &n.parents {
+                    if !memo.contains_key(&p) {
+                        stack.push((p, false));
+                    }
+                }
+            }
+        }
+        memo[&root]
+    }
+
     /// Iterates all nodes with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (DerivId, &DerivNode)> {
         self.nodes
@@ -218,6 +280,33 @@ mod tests {
         let m = a.intern(DerivKind::Import, vec![], vec![e1, e2]);
         let lines = a.closure_lines([m]);
         assert_eq!(lines, vec![l(0, 1), l(0, 2), l(0, 3)]);
+    }
+
+    #[test]
+    fn absorb_remaps_closures_and_dedups() {
+        let mut src = DerivArena::new();
+        let o = src.intern(DerivKind::OriginNetwork, vec![l(1, 3)], vec![]);
+        let e = src.intern(DerivKind::Export, vec![l(1, 5)], vec![o]);
+        let m = src.intern(DerivKind::Import, vec![l(0, 6)], vec![e]);
+
+        let mut dst = DerivArena::new();
+        // Pre-populate dst so ids diverge from src.
+        dst.intern(DerivKind::Pbr, vec![l(7, 7)], vec![]);
+        let mut memo = HashMap::new();
+        let roots = dst.absorb(&src, &[m, o], &mut memo);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(
+            dst.closure_lines([roots[0]]),
+            src.closure_lines([m]),
+            "closure content survives the remap"
+        );
+        assert_eq!(dst.closure_lines([roots[1]]), src.closure_lines([o]));
+        assert_eq!(dst.len(), 4, "three absorbed + one pre-existing");
+
+        // Absorbing again is a no-op on content.
+        let again = dst.absorb(&src, &[m], &mut HashMap::new());
+        assert_eq!(again[0], roots[0]);
+        assert_eq!(dst.len(), 4);
     }
 
     #[test]

@@ -50,6 +50,23 @@ pub struct Fib {
     trie: PrefixTrie<FibEntry>,
 }
 
+// Semantic equality: same (prefix, entry) set, regardless of trie node
+// layout (removals leave tombstones, so structural equality would be
+// order-sensitive).
+impl PartialEq for Fib {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut a: Vec<_> = self.iter().collect();
+        let mut b: Vec<_> = other.iter().collect();
+        a.sort_by_key(|(p, _)| *p);
+        b.sort_by_key(|(p, _)| *p);
+        a == b
+    }
+}
+impl Eq for Fib {}
+
 impl Fib {
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Prefix, &FibEntry)> {

@@ -22,6 +22,7 @@
 //! incremental verification in `acr-verify` exact.
 
 pub mod bgp;
+pub mod cache;
 pub mod deriv;
 pub mod fib;
 pub mod forward;
@@ -31,6 +32,7 @@ pub mod session;
 pub mod sim;
 
 pub use bgp::{PrefixOutcome, MAX_ROUNDS_BASE};
+pub use cache::{CacheStats, ShardedCache};
 pub use deriv::{DerivArena, DerivId, DerivKind, DerivNode};
 pub use fib::{Fib, FibAction, FibEntry};
 pub use forward::{ForwardOutcome, ForwardResult};

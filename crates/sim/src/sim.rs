@@ -238,6 +238,7 @@ impl<'a> Simulator<'a> {
 }
 
 /// The result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimOutcome {
     /// Per-prefix control-plane outcome.
     pub outcomes: BTreeMap<Prefix, PrefixOutcome>,

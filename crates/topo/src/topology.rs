@@ -31,7 +31,7 @@ impl fmt::Display for Role {
 }
 
 /// Static information about one router.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RouterInfo {
     pub id: RouterId,
     pub name: String,
@@ -48,7 +48,7 @@ pub struct RouterInfo {
 pub struct LinkId(pub u32);
 
 /// One side of a point-to-point link.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     pub router: RouterId,
     pub iface: String,
@@ -56,7 +56,7 @@ pub struct Endpoint {
 }
 
 /// A point-to-point link with its /30 subnet.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Link {
     pub id: LinkId,
     pub a: Endpoint,
@@ -117,6 +117,19 @@ impl Topology {
     /// All links.
     pub fn links(&self) -> &[Link] {
         &self.links
+    }
+
+    /// A stable identity hash over routers (ids, names, roles,
+    /// addressing, attachments) and links. Together with a config
+    /// fingerprint it keys the simulation memo-cache in `acr-verify`:
+    /// two verifications may share a cache entry only when they agree on
+    /// both the rendered configuration and this topology fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.routers.hash(&mut h);
+        self.links.hash(&mut h);
+        h.finish()
     }
 
     /// Router info by id.

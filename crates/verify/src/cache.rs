@@ -1,0 +1,151 @@
+//! The simulation memo-cache shared across the repair pipeline.
+//!
+//! Candidate generation revisits configurations constantly — crossover
+//! recombines population members into patches it already tried, baseline
+//! searches re-walk neighbourhoods, and an A/B experiment verifies the
+//! same network twice. Every such revisit pays a full or incremental
+//! control-plane simulation today. [`SimCache`] memoizes verification
+//! results behind a *stable config fingerprint*: the hash of the
+//! canonical rendered configuration ([`NetworkConfig::fingerprint`])
+//! together with the verifier's context fingerprint (topology identity +
+//! generated test suite). Two lookups agree on a key exactly when the
+//! simulator would be handed bit-identical inputs, so a hit can return
+//! the memoized verdict verbatim.
+//!
+//! Two tables live behind one facade:
+//!
+//! - **candidates** — keyed `(context, base, candidate)`: the result of
+//!   `verify_candidate` against a committed base. The entry carries a
+//!   *pruned* private arena holding exactly the derivation closures of
+//!   the verification's roots, so consumers can absorb provenance into
+//!   their own arena (ids are arena-local and never portable).
+//! - **full** — keyed `(context, config)`: whole `run_full` results, for
+//!   the baselines and standalone verifications.
+//!
+//! Determinism: reads (`peek_*`) never mutate LRU recency — see
+//! [`acr_sim::ShardedCache`]. Writers must call `insert_*`/`touch_*`
+//! from one coordinating thread in a deterministic order; the repair
+//! engine does so in candidate-index order.
+
+use crate::verify::Verification;
+use acr_sim::{CacheStats, DerivArena, ShardedCache, SimOutcome};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key of a memoized candidate validation:
+/// `(verifier context, committed base config, candidate config)`.
+pub type CandidateKey = (u64, u64, u64);
+
+/// Key of a memoized full verification: `(verifier context, config)`.
+pub type FullKey = (u64, u64);
+
+/// A memoized candidate validation.
+#[derive(Debug, Clone)]
+pub struct CandidateEntry {
+    /// The verdict; `deriv_roots` resolve in [`CandidateEntry::arena`].
+    pub verification: Verification,
+    /// Pruned arena holding exactly the closures of the verification's
+    /// derivation roots.
+    pub arena: DerivArena,
+    /// Size of the candidate's prefix universe. A hit reports
+    /// `recomputed: 0, reused: universe` — nothing was simulated and
+    /// every per-prefix outcome was served from memo.
+    pub universe: usize,
+}
+
+/// Builds a pruned [`CandidateEntry`] from a verification whose roots
+/// live in `src`.
+pub fn make_entry(v: &Verification, src: &DerivArena, universe: usize) -> CandidateEntry {
+    let mut arena = DerivArena::new();
+    let verification = rebase_verification(v, src, &mut arena);
+    CandidateEntry {
+        verification,
+        arena,
+        universe,
+    }
+}
+
+/// Rebases `v` onto `dst`: every record's derivation closure is
+/// re-interned from `src`, and the returned clone's roots resolve in
+/// `dst`. Content-addressed interning makes this observationally
+/// lossless — closures, coverage and verdicts are unchanged.
+pub fn rebase_verification(
+    v: &Verification,
+    src: &DerivArena,
+    dst: &mut DerivArena,
+) -> Verification {
+    let mut out = v.clone();
+    let mut memo = HashMap::new();
+    for rec in &mut out.records {
+        rec.deriv_roots = dst.absorb(src, &rec.deriv_roots, &mut memo);
+    }
+    out
+}
+
+/// The shared simulation memo-cache. Cheap to clone the handle via
+/// `Arc<SimCache>`; see the module docs for keying and the
+/// determinism contract.
+#[derive(Debug)]
+pub struct SimCache {
+    candidates: ShardedCache<CandidateKey, Arc<CandidateEntry>>,
+    full: ShardedCache<FullKey, Arc<(Verification, SimOutcome)>>,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        SimCache::new(SimCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl SimCache {
+    /// Default bound on entries per table.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A cache bounded to `capacity` entries per table.
+    pub fn new(capacity: usize) -> Self {
+        SimCache {
+            candidates: ShardedCache::with_capacity(capacity),
+            full: ShardedCache::with_capacity(capacity),
+        }
+    }
+
+    /// Looks up a candidate validation without touching LRU recency.
+    pub fn peek_candidate(&self, key: CandidateKey) -> Option<Arc<CandidateEntry>> {
+        self.candidates.peek(&key)
+    }
+
+    /// Promotes a candidate entry (coordinator only, deterministic order).
+    pub fn touch_candidate(&self, key: CandidateKey) {
+        self.candidates.touch(&key)
+    }
+
+    /// Inserts a candidate entry (coordinator only, deterministic order).
+    pub fn insert_candidate(&self, key: CandidateKey, entry: CandidateEntry) {
+        self.candidates.insert(key, Arc::new(entry))
+    }
+
+    /// Looks up a full verification without touching LRU recency.
+    pub fn peek_full(&self, key: FullKey) -> Option<Arc<(Verification, SimOutcome)>> {
+        self.full.peek(&key)
+    }
+
+    /// Inserts a full verification result.
+    pub fn insert_full(&self, key: FullKey, value: (Verification, SimOutcome)) {
+        self.full.insert(key, Arc::new(value))
+    }
+
+    /// Counters aggregated over both tables.
+    pub fn stats(&self) -> CacheStats {
+        self.candidates.stats().merged(&self.full.stats())
+    }
+
+    /// Live entries across both tables.
+    pub fn len(&self) -> usize {
+        self.candidates.len() + self.full.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

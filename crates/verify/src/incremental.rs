@@ -89,7 +89,7 @@ impl<'a> IncrementalVerifier<'a> {
 
         let affected: BTreeSet<Prefix> = match patch {
             Some(patch) if !self.cached.is_empty() && !patch_resets_sessions(patch, cfg) => {
-                let mut set = self.affected_by(patch, cfg, &universe);
+                let mut set = affected_by(&self.closures, patch, cfg, &universe);
                 // Prefixes new to the universe must be simulated.
                 for p in &universe {
                     if !self.cached.contains_key(p) {
@@ -132,13 +132,80 @@ impl<'a> IncrementalVerifier<'a> {
     /// persistent arena still grows (content-addressed, so cached ids stay
     /// valid), but per-prefix results of the base remain authoritative.
     pub fn verify_candidate(&mut self, cfg: &NetworkConfig, patch: &Patch) -> Verification {
+        let validator = CandidateValidator {
+            verifier: &self.verifier,
+            cached: &self.cached,
+            closures: &self.closures,
+        };
+        let (verification, stats) = validator.verify_candidate(cfg, patch, &mut self.arena);
+        self.last_stats = stats;
+        verification
+    }
+
+    /// A read-only view for validating candidates against the committed
+    /// base. Because it borrows the verifier's state immutably, any
+    /// number of worker threads can share one validator; each supplies
+    /// its own arena (seed it with a clone of
+    /// [`IncrementalVerifier::arena`] so cached derivation ids resolve).
+    pub fn validator(&self) -> CandidateValidator<'_, 'a> {
+        CandidateValidator {
+            verifier: &self.verifier,
+            cached: &self.cached,
+            closures: &self.closures,
+        }
+    }
+
+    /// Re-interns `v`'s derivation closures from `src` (a worker's
+    /// private arena or a cache entry's pruned arena) into the
+    /// persistent arena, returning a clone whose roots resolve here.
+    pub fn absorb_verification(&mut self, v: &Verification, src: &DerivArena) -> Verification {
+        crate::cache::rebase_verification(v, src, &mut self.arena)
+    }
+
+    /// Commits a new base configuration (e.g. after an iteration adopted a
+    /// candidate): fully re-verifies and caches it.
+    pub fn commit(&mut self, cfg: &NetworkConfig) -> Verification {
+        self.cached.clear();
+        self.closures.clear();
+        self.verify(cfg, None)
+    }
+}
+
+/// A shareable, read-only candidate validator: the immutable half of an
+/// [`IncrementalVerifier`]. It never mutates the per-prefix memo, so a
+/// candidate's verdict is a pure function of (committed base state,
+/// candidate config, patch) — which is what lets the repair engine fan a
+/// batch of candidates out over threads without any result depending on
+/// scheduling.
+pub struct CandidateValidator<'v, 'a> {
+    verifier: &'v Verifier<'a>,
+    cached: &'v BTreeMap<Prefix, PrefixOutcome>,
+    closures: &'v BTreeMap<Prefix, BTreeSet<LineId>>,
+}
+
+impl<'v, 'a> CandidateValidator<'v, 'a> {
+    /// The underlying (stateless) verifier.
+    pub fn verifier(&self) -> &'v Verifier<'a> {
+        self.verifier
+    }
+
+    /// Verifies a candidate configuration against the committed base;
+    /// see [`IncrementalVerifier::verify_candidate`]. Derivation roots of
+    /// the returned records resolve in `arena`, which must contain the
+    /// committed base's derivations (clone of the persistent arena).
+    pub fn verify_candidate(
+        &self,
+        cfg: &NetworkConfig,
+        patch: &Patch,
+        arena: &mut DerivArena,
+    ) -> (Verification, IncrementalStats) {
         let sim = Simulator::new(self.verifier.topo(), cfg);
         let universe = sim.universe();
         let affected: BTreeSet<Prefix> =
             if self.cached.is_empty() || patch_resets_sessions(patch, cfg) {
                 universe.clone()
             } else {
-                let mut set = self.affected_by(patch, cfg, &universe);
+                let mut set = affected_by(self.closures, patch, cfg, &universe);
                 for p in &universe {
                     if !self.cached.contains_key(p) {
                         set.insert(*p);
@@ -146,8 +213,8 @@ impl<'a> IncrementalVerifier<'a> {
                 }
                 set
             };
-        let fresh = sim.run_prefixes_into(&affected, &mut self.arena);
-        self.last_stats = IncrementalStats {
+        let fresh = sim.run_prefixes_into(&affected, arena);
+        let stats = IncrementalStats {
             recomputed: fresh.len(),
             reused: universe.len().saturating_sub(fresh.len()),
         };
@@ -160,76 +227,71 @@ impl<'a> IncrementalVerifier<'a> {
             .map(|(p, o)| (*p, o.clone()))
             .collect();
         merged.extend(fresh);
-        let fibs = sim.fibs_for(&merged, &mut self.arena);
-        self.verifier
-            .evaluate(&sim, &merged, &fibs, &mut self.arena, sim.session_diags())
+        let fibs = sim.fibs_for(&merged, arena);
+        let verification = self
+            .verifier
+            .evaluate(&sim, &merged, &fibs, arena, sim.session_diags());
+        (verification, stats)
     }
+}
 
-    /// Commits a new base configuration (e.g. after an iteration adopted a
-    /// candidate): fully re-verifies and caches it.
-    pub fn commit(&mut self, cfg: &NetworkConfig) -> Verification {
-        self.cached.clear();
-        self.closures.clear();
-        self.verify(cfg, None)
-    }
-
-    /// The prefixes a patch can affect, given the *new* configuration.
-    fn affected_by(
-        &self,
-        patch: &Patch,
-        cfg: &NetworkConfig,
-        universe: &BTreeSet<Prefix>,
-    ) -> BTreeSet<Prefix> {
-        // Lowest edited statement index per device: every line at or after
-        // it may have shifted, so any cached closure touching that region
-        // is stale.
-        let mut min_line: BTreeMap<RouterId, u32> = BTreeMap::new();
-        let mut literals: Vec<Prefix> = Vec::new();
-        for edit in &patch.edits {
-            let (router, index, stmt) = match edit {
-                Edit::Insert {
-                    router,
-                    index,
-                    stmt,
-                } => (*router, *index, Some(stmt)),
-                Edit::Replace {
-                    router,
-                    index,
-                    stmt,
-                } => (*router, *index, Some(stmt)),
-                Edit::Delete { router, index } => (*router, *index, None),
-            };
-            let line = index as u32 + 1;
-            min_line
-                .entry(router)
-                .and_modify(|m| *m = (*m).min(line))
-                .or_insert(line);
-            if let Some(stmt) = stmt {
-                literals.extend(prefix_literals(stmt));
-            }
-            // A delete's statement is gone from `cfg`, but whatever it
-            // mentioned is covered by the closure-region rule.
-            let _ = cfg;
+/// The prefixes a patch can affect, given the cached per-prefix closures
+/// and the *new* configuration.
+fn affected_by(
+    closures: &BTreeMap<Prefix, BTreeSet<LineId>>,
+    patch: &Patch,
+    cfg: &NetworkConfig,
+    universe: &BTreeSet<Prefix>,
+) -> BTreeSet<Prefix> {
+    // Lowest edited statement index per device: every line at or after
+    // it may have shifted, so any cached closure touching that region
+    // is stale.
+    let mut min_line: BTreeMap<RouterId, u32> = BTreeMap::new();
+    let mut literals: Vec<Prefix> = Vec::new();
+    for edit in &patch.edits {
+        let (router, index, stmt) = match edit {
+            Edit::Insert {
+                router,
+                index,
+                stmt,
+            } => (*router, *index, Some(stmt)),
+            Edit::Replace {
+                router,
+                index,
+                stmt,
+            } => (*router, *index, Some(stmt)),
+            Edit::Delete { router, index } => (*router, *index, None),
+        };
+        let line = index as u32 + 1;
+        min_line
+            .entry(router)
+            .and_modify(|m| *m = (*m).min(line))
+            .or_insert(line);
+        if let Some(stmt) = stmt {
+            literals.extend(prefix_literals(stmt));
         }
+        // A delete's statement is gone from `cfg`, but whatever it
+        // mentioned is covered by the closure-region rule.
+        let _ = cfg;
+    }
 
-        let mut out = BTreeSet::new();
-        for (p, closure) in &self.closures {
-            let stale = closure
-                .iter()
-                .any(|l| min_line.get(&l.router).is_some_and(|m| l.line >= *m));
-            if stale {
+    let mut out = BTreeSet::new();
+    for (p, closure) in closures {
+        let stale = closure
+            .iter()
+            .any(|l| min_line.get(&l.router).is_some_and(|m| l.line >= *m));
+        if stale {
+            out.insert(*p);
+        }
+    }
+    for lit in &literals {
+        for p in universe {
+            if p.overlaps(*lit) {
                 out.insert(*p);
             }
         }
-        for lit in &literals {
-            for p in universe {
-                if p.overlaps(*lit) {
-                    out.insert(*p);
-                }
-            }
-        }
-        out
     }
+    out
 }
 
 /// Whether a patch touches session-shaping statements in the *new* config

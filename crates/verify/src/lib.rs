@@ -18,13 +18,15 @@
 //!   a specification (the paper's §6 open question): topology-derived
 //!   reachability specs plus coverage-guided sample growth.
 
+pub mod cache;
 pub mod incremental;
 pub mod spec;
 pub mod testgen;
 pub mod verify;
 pub mod violation;
 
-pub use incremental::{IncrementalStats, IncrementalVerifier};
+pub use cache::{make_entry, rebase_verification, CandidateEntry, CandidateKey, FullKey, SimCache};
+pub use incremental::{CandidateValidator, IncrementalStats, IncrementalVerifier};
 pub use spec::{Property, PropertyKind, Spec, TestCase};
 pub use testgen::{coverage_guided_suite, derive_spec, SuiteStats};
 pub use verify::{TestRecord, Verification, Verifier};

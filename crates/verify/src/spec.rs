@@ -5,7 +5,7 @@ use acr_prov::TestId;
 use std::fmt;
 
 /// What a property asserts about its header space.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PropertyKind {
     /// Packets must be delivered to the destination network (and,
     /// implicitly, must not loop, blackhole, or ride a flapping prefix).
@@ -34,7 +34,7 @@ impl fmt::Display for PropertyKind {
 
 /// One operator intent: a named assertion over a header space, evaluated
 /// by injecting sampled packets at `start`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Property {
     pub name: String,
     pub hs: HeaderSpace,
@@ -66,7 +66,7 @@ impl Property {
 }
 
 /// An operator specification: the list of intents the network must hold.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Spec {
     pub properties: Vec<Property>,
 }
@@ -113,7 +113,7 @@ impl Spec {
 }
 
 /// One concrete test: a sampled packet evaluated against its property.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TestCase {
     pub id: TestId,
     /// Index into [`Spec::properties`].

@@ -25,7 +25,7 @@ use acr_topo::Topology;
 use std::collections::BTreeMap;
 
 /// One test's verification record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestRecord {
     pub id: TestId,
     pub property: String,
@@ -42,7 +42,7 @@ pub struct TestRecord {
 }
 
 /// The result of verifying one configuration against a spec.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Verification {
     pub records: Vec<TestRecord>,
     pub matrix: CoverageMatrix,
@@ -108,17 +108,59 @@ impl<'a> Verifier<'a> {
         &self.tests
     }
 
+    /// A stable identity hash of this verifier's evaluation context:
+    /// the topology plus the generated test suite (which pins the spec's
+    /// properties and sampling). Two verifiers with equal context
+    /// fingerprints produce identical verdicts for identical rendered
+    /// configurations — the premise the simulation memo-cache
+    /// ([`crate::SimCache`]) rests on.
+    pub fn context_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.topo.fingerprint().hash(&mut h);
+        self.spec.properties.hash(&mut h);
+        self.tests.hash(&mut h);
+        h.finish()
+    }
+
     /// Full verification: simulate everything, evaluate every test.
     pub fn run_full(&self, cfg: &NetworkConfig) -> (Verification, SimOutcome) {
         let sim = Simulator::new(self.topo, cfg);
-        let mut outcome = sim.run();
-        let verification = self.evaluate(
-            &sim,
-            &outcome.outcomes.clone(),
-            &outcome.fibs.clone(),
-            &mut outcome.arena,
-            &outcome.session_diags.clone(),
-        );
+        // Destructure instead of cloning: `evaluate` needs the outcome
+        // maps by shared reference alongside the arena by mutable
+        // reference, which field-level borrows provide for free.
+        let SimOutcome {
+            outcomes,
+            fibs,
+            mut arena,
+            session_diags,
+        } = sim.run();
+        let verification = self.evaluate(&sim, &outcomes, &fibs, &mut arena, &session_diags);
+        (
+            verification,
+            SimOutcome {
+                outcomes,
+                fibs,
+                arena,
+                session_diags,
+            },
+        )
+    }
+
+    /// [`Verifier::run_full`] through the memo-cache: an exact fingerprint
+    /// hit returns a clone of the first computation (bit-identical, since
+    /// the simulator is deterministic) without simulating anything.
+    pub fn run_full_cached(
+        &self,
+        cfg: &NetworkConfig,
+        cache: &crate::SimCache,
+    ) -> (Verification, SimOutcome) {
+        let key = (self.context_fingerprint(), cfg.fingerprint());
+        if let Some(hit) = cache.peek_full(key) {
+            return (hit.0.clone(), hit.1.clone());
+        }
+        let (verification, outcome) = self.run_full(cfg);
+        cache.insert_full(key, (verification.clone(), outcome.clone()));
         (verification, outcome)
     }
 

@@ -1,7 +1,8 @@
-//! Runs both README library samples verbatim through the public crate
+//! Runs the README library samples verbatim through the public crate
 //! surface.
 
 use acr::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let fig2 = acr::workloads::fig2::fig2_incident();
@@ -9,6 +10,21 @@ fn main() {
     let report = engine.repair(&fig2.broken);
     assert!(report.outcome.is_fixed());
     println!("fig2 repaired: {} validations", report.validations);
+
+    // The parallel-validation sample: threads/cache knobs on RepairConfig.
+    let cache = Arc::new(acr::core::SimCache::default());
+    let config = RepairConfig {
+        threads: 4,                 // 0 = available parallelism, 1 = sequential
+        cache: Some(cache.clone()), // share one Arc across engines & baselines
+        ..RepairConfig::default()
+    };
+    let engine = acr::core::RepairEngine::new(&fig2.topo, &fig2.spec, config);
+    let report = engine.repair(&fig2.broken);
+    assert!(report.outcome.is_fixed());
+    println!(
+        "fig2 (threads=4, cached): {} simulated, {} from memo",
+        report.validations, report.validations_cached
+    );
 
     let net = acr::workloads::generate(&acr::topo::gen::wan(4, 8));
     let broken = acr::workloads::try_inject(FaultType::MissingRoutePolicy, &net, 1)
