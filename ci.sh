@@ -26,6 +26,12 @@ cargo test -q
 echo "==> cargo test (forced sequential validate, ACR_THREADS=1)"
 ACR_THREADS=1 cargo test -q
 
+echo "==> cargo test (delta construction off, ACR_DELTA=0)"
+ACR_DELTA=0 cargo test -q --test determinism_differential --test repair_incidents
+
+echo "==> exp_delta --smoke (delta/full equivalence regression guard)"
+cargo run --release -q -p acr-bench --bin exp_delta -- --smoke
+
 echo "==> cargo test (heavy-tests)"
 cargo test -q --workspace --features heavy-tests
 

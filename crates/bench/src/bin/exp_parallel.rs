@@ -22,7 +22,7 @@
 //! ```
 
 use acr_baselines::{aed_repair_cached, metaprov_repair_cached};
-use acr_bench::{corpus, rule, standard_network};
+use acr_bench::{corpus, json, rule, standard_network};
 use acr_core::{OperatorSet, RepairConfig, RepairEngine, RepairReport, SimCache};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -89,6 +89,7 @@ fn main() {
     println!("{header}");
     rule(header.len());
     let mut baseline_wall = Duration::ZERO;
+    let mut sweep_rows: Vec<String> = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         for cache_on in [false, true] {
             let cache = cache_on.then(|| Arc::new(SimCache::default()));
@@ -107,10 +108,35 @@ fn main() {
                 hit_rate(cell.cached, cell.validations),
                 format!("{}/{}", cell.fixed, incidents.len()),
             );
+            sweep_rows.push(
+                json::Obj::new()
+                    .int("threads", threads)
+                    .bool("cache", cache_on)
+                    .num("wall_s", cell.wall.as_secs_f64())
+                    .num(
+                        "speedup",
+                        baseline_wall.as_secs_f64() / cell.wall.as_secs_f64().max(1e-9),
+                    )
+                    .int("simulated", cell.validations)
+                    .int("cached", cell.cached)
+                    .int("fixed", cell.fixed)
+                    .build(),
+            );
         }
     }
     rule(header.len());
     println!("speedup is against the legacy threads=1, cache-off path\n");
+    let doc = json::Obj::new()
+        .str("bench", "exp_parallel")
+        .int("incidents", incidents.len())
+        .int(
+            "host_parallelism",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        )
+        .raw("sweep", &json::array(sweep_rows))
+        .build();
+    std::fs::write("BENCH_parallel.json", doc + "\n").expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json\n");
 
     // ---- Part 2: per-incident hit-rate, cold and warm -----------------
     // One shared cache, two corpus walks. The cold walk hits on

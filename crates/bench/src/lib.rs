@@ -66,6 +66,79 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Hand-rolled JSON emission for the machine-readable `BENCH_*.json`
+/// artifacts (the hermetic workspace has no serde). Only what the bench
+/// binaries need: objects of string/number/bool/raw fields and arrays.
+pub mod json {
+    /// Escapes a string for use inside a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// An object under construction.
+    #[derive(Default)]
+    pub struct Obj {
+        fields: Vec<String>,
+    }
+
+    impl Obj {
+        pub fn new() -> Self {
+            Obj::default()
+        }
+
+        pub fn str(mut self, k: &str, v: &str) -> Self {
+            self.fields
+                .push(format!("\"{}\":\"{}\"", escape(k), escape(v)));
+            self
+        }
+
+        pub fn num(mut self, k: &str, v: f64) -> Self {
+            // JSON has no NaN/Inf; encode them as null.
+            let v = if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            };
+            self.fields.push(format!("\"{}\":{v}", escape(k)));
+            self
+        }
+
+        pub fn int(self, k: &str, v: usize) -> Self {
+            self.raw(k, &v.to_string())
+        }
+
+        pub fn bool(self, k: &str, v: bool) -> Self {
+            self.raw(k, if v { "true" } else { "false" })
+        }
+
+        /// A pre-rendered JSON value (nested object or array).
+        pub fn raw(mut self, k: &str, v: &str) -> Self {
+            self.fields.push(format!("\"{}\":{v}", escape(k)));
+            self
+        }
+
+        pub fn build(self) -> String {
+            format!("{{{}}}", self.fields.join(","))
+        }
+    }
+
+    /// Renders pre-rendered values as a JSON array.
+    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+        format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

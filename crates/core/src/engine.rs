@@ -81,6 +81,13 @@ pub struct RepairConfig {
     /// engines and baselines to pool their work; `None` disables
     /// memoization entirely.
     pub cache: Option<Arc<SimCache>>,
+    /// Delta-compile candidate simulators against the committed base
+    /// (recompiling only patched devices, re-establishing sessions only
+    /// where they can change). Construction-only: invalidation analysis
+    /// and therefore reports are byte-identical with this on or off. The
+    /// `ACR_DELTA` environment variable sets the default (on unless
+    /// `0`/`false`/`off`).
+    pub delta: bool,
 }
 
 /// The `threads` default: the `ACR_THREADS` env var, else `0` (= auto).
@@ -89,6 +96,14 @@ fn default_threads() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
+}
+
+/// The `delta` default: on, unless `ACR_DELTA` says `0`/`false`/`off`.
+fn default_delta() -> bool {
+    !matches!(
+        std::env::var("ACR_DELTA").ok().as_deref(),
+        Some("0") | Some("false") | Some("off")
+    )
 }
 
 impl Default for RepairConfig {
@@ -105,6 +120,7 @@ impl Default for RepairConfig {
             lint: true,
             threads: default_threads(),
             cache: Some(Arc::new(SimCache::default())),
+            delta: default_delta(),
         }
     }
 }
@@ -174,6 +190,13 @@ pub struct StageTimes {
     pub validate: Duration,
     /// Selection and population bookkeeping, summed over iterations.
     pub select: Duration,
+    /// Within validation: device-model compilation (and origin-index
+    /// maintenance), summed over every simulator build.
+    pub sim_compile: Duration,
+    /// Within validation: BGP session establishment.
+    pub sim_establish: Duration,
+    /// Within validation: per-prefix simulation and FIB assembly.
+    pub sim_simulate: Duration,
 }
 
 /// The full report of one repair run.
@@ -239,6 +262,7 @@ impl<'a> RepairEngine<'a> {
             self.spec,
             self.config.samples_per_property,
         );
+        iv.set_delta(self.config.delta);
         let base_verification = iv.commit(original);
         let initial_failed = base_verification.failed_count();
 
@@ -370,6 +394,9 @@ impl<'a> RepairEngine<'a> {
                         }
                         recomputed += stats.recomputed;
                         reused += stats.reused;
+                        stage.sim_compile += stats.compile;
+                        stage.sim_establish += stats.establish;
+                        stage.sim_simulate += stats.simulate;
                         let fitness = verification.failed_count();
                         // §5: discard candidates whose fitness exceeds
                         // the previous iteration's fitness.

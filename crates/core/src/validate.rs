@@ -303,6 +303,7 @@ pub(crate) fn validate_batch(
                     stats: IncrementalStats {
                         recomputed: 0,
                         reused: entry.universe,
+                        ..IncrementalStats::default()
                     },
                     diags,
                     arena: Some(entry.arena.clone()),

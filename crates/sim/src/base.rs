@@ -1,0 +1,515 @@
+//! Delta-compiled simulation state.
+//!
+//! A [`CompiledBase`] owns everything `Simulator` construction used to
+//! recompute from scratch for every candidate patch: the per-device
+//! semantic models, the established sessions (kept per-router so a patch
+//! re-runs establishment only where it can matter), and the
+//! [`OriginIndex`]. Candidate validation builds a simulator from the base
+//! plus a [`Patch`] via [`crate::Simulator::from_base_with_patch`]:
+//!
+//! - **models** — only devices the patch touches are recompiled; every
+//!   other router shares the base's `Arc<DeviceModel>`.
+//! - **sessions** — a router's establishment part depends only on its own
+//!   `peers`/AS value, its topological neighbors' `peers`/AS values, and
+//!   the static topology (see [`establish_router`]). So establishment
+//!   reruns only for touched routers whose peer stanza or AS value
+//!   actually changed, plus their neighbors (who re-pair against the
+//!   patched half); everything else reuses the base parts. Concatenating
+//!   parts in router order reproduces a full [`establish`] byte for byte.
+//! - **originations** — touched routers swap their per-router slice in
+//!   the index; the prefixes whose origination set changed are reported
+//!   for invalidation.
+//!
+//! The delta analysis also classifies the patch for the incremental
+//! verifier ([`SessionDelta`]): only *structural* session changes (a
+//! session or diagnostic appearing, disappearing, or changing policy
+//! bindings) force a full per-prefix reset; pure line renumbering is
+//! already covered by the verifier's closure-region rule.
+
+use crate::origin::{router_origins, OriginIndex};
+use crate::session::{establish_router, Session, SessionDiag};
+use acr_cfg::model::DeviceModel;
+use acr_cfg::{Edit, NetworkConfig, Patch};
+use acr_net_types::{Prefix, RouterId};
+use acr_topo::Topology;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One router's session-establishment output (see [`establish_router`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionPart {
+    pub sessions: Vec<Session>,
+    pub diags: Vec<SessionDiag>,
+}
+
+/// Construction cost accounting for one simulator build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimBuild {
+    /// Wall-clock spent compiling device models (plus origination-index
+    /// maintenance).
+    pub compile: Duration,
+    /// Wall-clock spent establishing BGP sessions.
+    pub establish: Duration,
+    /// Devices actually compiled (delta path: patched devices only).
+    pub compiled_devices: usize,
+    /// Routers whose establishment part was recomputed.
+    pub established_routers: usize,
+    /// Whether this build reused a [`CompiledBase`].
+    pub delta: bool,
+}
+
+/// How a patch changed the session layer, for cache invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionDelta {
+    /// Sessions and diagnostics are byte-identical to the base.
+    Unchanged,
+    /// Only line attributions moved (an edit shifted statements on a
+    /// touched router). All moved lines are at-or-after the edit point,
+    /// so the verifier's closure-region rule already invalidates every
+    /// prefix that could observe them.
+    LinesOnly,
+    /// A session or diagnostic appeared, disappeared, or changed its
+    /// endpoints/policy bindings — routes may flow along new paths with
+    /// no trace in any cached closure, so everything must be re-simulated.
+    Structural,
+}
+
+/// What a delta build learned about the patch — the input to fine-grained
+/// cache invalidation in `acr-verify`.
+#[derive(Debug, Clone)]
+pub struct DeltaInfo {
+    pub session_delta: SessionDelta,
+    /// Prefixes whose origination set changed on a touched router
+    /// (origins added, dropped, or re-attributed).
+    pub changed_origin_prefixes: BTreeSet<Prefix>,
+    /// Prefix literals of the *base* models of routers with `Delete`
+    /// edits. A delete's statement is gone from the candidate config, so
+    /// the literals it may have mentioned are recovered conservatively
+    /// from the pre-patch model.
+    pub delete_literals: Vec<Prefix>,
+    /// Construction cost of the delta build.
+    pub build: SimBuild,
+}
+
+/// Compiled, shareable simulation state for one (topology, configuration)
+/// pair: the committed base the repair loop validates candidates against.
+#[derive(Debug, Clone)]
+pub struct CompiledBase<'a> {
+    topo: &'a Topology,
+    cfg_fingerprint: u64,
+    models: Vec<Arc<DeviceModel>>,
+    parts: Vec<Arc<SessionPart>>,
+    sessions: Arc<Vec<Session>>,
+    session_diags: Arc<Vec<SessionDiag>>,
+    origin: Arc<OriginIndex>,
+    build: SimBuild,
+}
+
+impl<'a> CompiledBase<'a> {
+    /// Compiles `cfg` from scratch.
+    pub fn new(topo: &'a Topology, cfg: &NetworkConfig) -> Self {
+        let t = Instant::now();
+        let models: Vec<Arc<DeviceModel>> = topo
+            .routers()
+            .iter()
+            .map(|r| Arc::new(compile_device(cfg, r.id, &r.name)))
+            .collect();
+        let origin = Arc::new(OriginIndex::build(topo, &models));
+        let compile = t.elapsed();
+        let t = Instant::now();
+        let parts: Vec<Arc<SessionPart>> = topo
+            .routers()
+            .iter()
+            .map(|r| {
+                let (sessions, diags) = establish_router(topo, &models, r.id);
+                Arc::new(SessionPart { sessions, diags })
+            })
+            .collect();
+        let (sessions, session_diags) = concat_parts(&parts);
+        let n = models.len();
+        CompiledBase {
+            topo,
+            cfg_fingerprint: cfg.fingerprint(),
+            models,
+            parts,
+            sessions: Arc::new(sessions),
+            session_diags: Arc::new(session_diags),
+            origin,
+            build: SimBuild {
+                compile,
+                establish: t.elapsed(),
+                compiled_devices: n,
+                established_routers: n,
+                delta: false,
+            },
+        }
+    }
+
+    /// Construction cost of this base.
+    pub fn build_stats(&self) -> SimBuild {
+        self.build
+    }
+
+    /// The topology this base is compiled against.
+    pub fn topo(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// Fingerprint of the configuration this base was compiled from —
+    /// the base half of every delta key.
+    pub fn cfg_fingerprint(&self) -> u64 {
+        self.cfg_fingerprint
+    }
+
+    /// The compiled models, indexed by `RouterId::index()`.
+    pub fn models(&self) -> &[Arc<DeviceModel>] {
+        &self.models
+    }
+
+    /// Established sessions of the base configuration.
+    pub fn sessions(&self) -> &Arc<Vec<Session>> {
+        &self.sessions
+    }
+
+    /// Session diagnostics of the base configuration.
+    pub fn session_diags(&self) -> &Arc<Vec<SessionDiag>> {
+        &self.session_diags
+    }
+
+    /// The origination index of the base configuration.
+    pub fn origin(&self) -> &Arc<OriginIndex> {
+        &self.origin
+    }
+
+    /// Classifies `patch` (which turns this base's configuration into
+    /// `cfg`) without keeping the rebuilt state — the invalidation
+    /// analysis alone. Identical to the [`DeltaInfo`] a delta build
+    /// returns, which is what keeps verdicts byte-identical whether
+    /// delta construction is on or off.
+    pub fn analyze(&self, cfg: &NetworkConfig, patch: &Patch) -> DeltaInfo {
+        self.delta(cfg, patch).info
+    }
+
+    /// Advances the base to `cfg` (= this base's configuration plus
+    /// `patch`) — the commit path. Untouched devices and session parts
+    /// are shared with `self`.
+    pub fn advance(&self, cfg: &NetworkConfig, patch: &Patch) -> (CompiledBase<'a>, DeltaInfo) {
+        let d = self.delta(cfg, patch);
+        (
+            CompiledBase {
+                topo: self.topo,
+                cfg_fingerprint: cfg.fingerprint(),
+                models: d.models,
+                parts: d.parts,
+                sessions: d.sessions,
+                session_diags: d.session_diags,
+                origin: d.origin,
+                build: d.info.build,
+            },
+            d.info,
+        )
+    }
+
+    /// The shared delta computation: recompile touched devices, re-run
+    /// establishment where it can matter, splice the origination index.
+    pub(crate) fn delta(&self, cfg: &NetworkConfig, patch: &Patch) -> Delta {
+        let t = Instant::now();
+        let touched = patch.routers();
+        let mut models = self.models.clone();
+        let mut origin_repl: BTreeMap<RouterId, BTreeMap<Prefix, Origination>> = BTreeMap::new();
+        let mut session_changed: BTreeSet<RouterId> = BTreeSet::new();
+        let mut changed_origin_prefixes: BTreeSet<Prefix> = BTreeSet::new();
+        let mut delete_literals: Vec<Prefix> = Vec::new();
+        let deleted_on: BTreeSet<RouterId> = patch
+            .edits
+            .iter()
+            .filter_map(|e| match e {
+                Edit::Delete { router, .. } => Some(*router),
+                _ => None,
+            })
+            .collect();
+        for r in &touched {
+            let old = &self.models[r.index()];
+            let new = compile_device(cfg, *r, &old.name);
+            if old.peers != new.peers || as_value(old) != as_value(&new) {
+                session_changed.insert(*r);
+            }
+            let old_part = router_origins(self.topo, *r, old);
+            let new_part = router_origins(self.topo, *r, &new);
+            if old_part != new_part {
+                for p in old_part.keys().chain(new_part.keys()) {
+                    if old_part.get(p) != new_part.get(p) {
+                        changed_origin_prefixes.insert(*p);
+                    }
+                }
+                origin_repl.insert(*r, new_part);
+            }
+            if deleted_on.contains(r) {
+                delete_literals.extend(model_literals(old));
+            }
+            models[r.index()] = Arc::new(new);
+        }
+        let origin = if origin_repl.is_empty() {
+            self.origin.clone()
+        } else {
+            Arc::new(self.origin.with_replaced(&origin_repl))
+        };
+        let compile = t.elapsed();
+
+        let t = Instant::now();
+        let mut established_routers = 0usize;
+        let (parts, sessions, session_diags, session_delta) = if session_changed.is_empty() {
+            (
+                self.parts.clone(),
+                self.sessions.clone(),
+                self.session_diags.clone(),
+                SessionDelta::Unchanged,
+            )
+        } else {
+            // Re-establish the changed routers and their neighbors (whose
+            // parts read the changed `peers` maps / AS values).
+            let mut affected = session_changed.clone();
+            for r in &session_changed {
+                for (n, _) in self.topo.neighbors(*r) {
+                    affected.insert(n);
+                }
+            }
+            established_routers = affected.len();
+            let mut parts = self.parts.clone();
+            let mut any_diff = false;
+            for r in &affected {
+                let (sessions, diags) = establish_router(self.topo, &models, *r);
+                let part = SessionPart { sessions, diags };
+                if *self.parts[r.index()] != part {
+                    any_diff = true;
+                    parts[r.index()] = Arc::new(part);
+                }
+            }
+            if !any_diff {
+                (
+                    self.parts.clone(),
+                    self.sessions.clone(),
+                    self.session_diags.clone(),
+                    SessionDelta::Unchanged,
+                )
+            } else {
+                let (sessions, diags) = concat_parts(&parts);
+                let structural =
+                    !same_structure(&sessions, &diags, &self.sessions, &self.session_diags);
+                (
+                    parts,
+                    Arc::new(sessions),
+                    Arc::new(diags),
+                    if structural {
+                        SessionDelta::Structural
+                    } else {
+                        SessionDelta::LinesOnly
+                    },
+                )
+            }
+        };
+        let establish = t.elapsed();
+
+        Delta {
+            models,
+            parts,
+            sessions,
+            session_diags,
+            origin,
+            info: DeltaInfo {
+                session_delta,
+                changed_origin_prefixes,
+                delete_literals,
+                build: SimBuild {
+                    compile,
+                    establish,
+                    compiled_devices: touched.len(),
+                    established_routers,
+                    delta: true,
+                },
+            },
+        }
+    }
+}
+
+/// The output of one delta computation (crate-internal plumbing between
+/// [`CompiledBase`] and `Simulator`).
+pub(crate) struct Delta {
+    pub models: Vec<Arc<DeviceModel>>,
+    pub parts: Vec<Arc<SessionPart>>,
+    pub sessions: Arc<Vec<Session>>,
+    pub session_diags: Arc<Vec<SessionDiag>>,
+    pub origin: Arc<OriginIndex>,
+    pub info: DeltaInfo,
+}
+
+use crate::bgp::Origination;
+
+/// Compiles one device's model (empty model for unconfigured routers —
+/// same fallback as `Simulator::new` always used).
+pub(crate) fn compile_device(cfg: &NetworkConfig, id: RouterId, name: &str) -> DeviceModel {
+    match cfg.device(id) {
+        Some(dc) => DeviceModel::from_config(dc),
+        None => DeviceModel {
+            name: name.to_string(),
+            ..DeviceModel::default()
+        },
+    }
+}
+
+fn as_value(m: &DeviceModel) -> Option<acr_net_types::Asn> {
+    m.asn.map(|(a, _)| a)
+}
+
+/// Every prefix literal a model's statements mention (networks, statics,
+/// prefix-list entries, ACL endpoints) — the delete-invalidation net.
+fn model_literals(m: &DeviceModel) -> Vec<Prefix> {
+    let mut out: Vec<Prefix> = Vec::new();
+    out.extend(m.networks.iter().map(|(p, _)| *p));
+    out.extend(m.static_routes.iter().map(|s| s.prefix));
+    for entries in m.prefix_lists.values() {
+        out.extend(entries.iter().map(|e| e.prefix));
+    }
+    for entries in m.acls.values() {
+        for e in entries {
+            out.push(e.rule.src);
+            out.push(e.rule.dst);
+        }
+    }
+    out
+}
+
+fn concat_parts(parts: &[Arc<SessionPart>]) -> (Vec<Session>, Vec<SessionDiag>) {
+    let mut sessions = Vec::new();
+    let mut diags = Vec::new();
+    for p in parts {
+        sessions.extend(p.sessions.iter().cloned());
+        diags.extend(p.diags.iter().cloned());
+    }
+    (sessions, diags)
+}
+
+/// Structure equality: identical sessions/diagnostics up to line
+/// attribution. Line-only differences are what the closure-region rule
+/// already invalidates; anything else (endpoints, policy names, failure
+/// modes) changes where routes can flow and forces a full reset.
+fn same_structure(
+    a_sessions: &[Session],
+    a_diags: &[SessionDiag],
+    b_sessions: &[Session],
+    b_diags: &[SessionDiag],
+) -> bool {
+    let skey = |s: &Session| {
+        (
+            s.a,
+            s.b,
+            s.a_addr,
+            s.b_addr,
+            s.a_import.as_ref().map(|(n, _)| n.clone()),
+            s.a_export.as_ref().map(|(n, _)| n.clone()),
+            s.b_import.as_ref().map(|(n, _)| n.clone()),
+            s.b_export.as_ref().map(|(n, _)| n.clone()),
+        )
+    };
+    let dkey = |d: &SessionDiag| (d.router, d.peer_addr, d.failure.clone());
+    a_sessions.len() == b_sessions.len()
+        && a_diags.len() == b_diags.len()
+        && a_sessions
+            .iter()
+            .zip(b_sessions)
+            .all(|(a, b)| skey(a) == skey(b))
+        && a_diags.iter().zip(b_diags).all(|(a, b)| dkey(a) == dkey(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use acr_cfg::parse::parse_device;
+    use acr_cfg::Stmt;
+    use acr_net_types::Asn;
+    use acr_topo::gen;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn line3() -> (Topology, NetworkConfig) {
+        let topo = gen::line(3);
+        let cfgs = [
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n",
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n",
+            "bgp 65002\n network 10.2.0.0 16\n peer 172.16.0.5 as-number 65001\n",
+        ];
+        let mut cfg = NetworkConfig::new();
+        for (r, c) in topo.routers().iter().zip(cfgs) {
+            cfg.insert(r.id, parse_device(r.name.clone(), c).unwrap());
+        }
+        (topo, cfg)
+    }
+
+    #[test]
+    fn non_session_patch_shares_sessions_with_base() {
+        let (topo, cfg) = line3();
+        let base = CompiledBase::new(&topo, &cfg);
+        let patch = Patch::single(Edit::Insert {
+            router: RouterId(0),
+            index: cfg.device(RouterId(0)).unwrap().len(),
+            stmt: Stmt::Network(p("10.7.0.0/16")),
+        });
+        let cfg2 = patch.apply_cloned(&cfg).unwrap();
+        let d = base.delta(&cfg2, &patch);
+        assert_eq!(d.info.session_delta, SessionDelta::Unchanged);
+        assert!(Arc::ptr_eq(&d.sessions, &base.sessions));
+        assert_eq!(
+            d.info.changed_origin_prefixes,
+            [p("10.7.0.0/16")].into_iter().collect()
+        );
+        // Untouched models are shared, the touched one is rebuilt.
+        assert!(Arc::ptr_eq(&d.models[1], &base.models[1]));
+        assert!(!Arc::ptr_eq(&d.models[0], &base.models[0]));
+    }
+
+    #[test]
+    fn session_breaking_patch_is_structural() {
+        let (topo, cfg) = line3();
+        let base = CompiledBase::new(&topo, &cfg);
+        let patch = Patch::single(Edit::Replace {
+            router: RouterId(1),
+            index: 2,
+            stmt: Stmt::PeerAs {
+                peer: acr_cfg::PeerRef::Ip(acr_net_types::Ipv4Addr::new(172, 16, 0, 6)),
+                asn: Asn(64999),
+            },
+        });
+        let cfg2 = patch.apply_cloned(&cfg).unwrap();
+        let d = base.delta(&cfg2, &patch);
+        assert_eq!(d.info.session_delta, SessionDelta::Structural);
+        // The delta state still matches a fresh compile exactly.
+        let fresh = Simulator::new(&topo, &cfg2);
+        assert_eq!(&d.sessions[..], fresh.sessions());
+        assert_eq!(&d.session_diags[..], fresh.session_diags());
+    }
+
+    #[test]
+    fn advance_equals_fresh_base() {
+        let (topo, cfg) = line3();
+        let base = CompiledBase::new(&topo, &cfg);
+        let patch = Patch::single(Edit::Insert {
+            router: RouterId(2),
+            index: 1,
+            stmt: Stmt::Network(p("10.9.0.0/16")),
+        });
+        let cfg2 = patch.apply_cloned(&cfg).unwrap();
+        let (advanced, _) = base.advance(&cfg2, &patch);
+        let fresh = CompiledBase::new(&topo, &cfg2);
+        assert_eq!(advanced.cfg_fingerprint(), fresh.cfg_fingerprint());
+        assert_eq!(advanced.models().len(), fresh.models().len());
+        for (a, b) in advanced.models().iter().zip(fresh.models()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(&advanced.sessions[..], &fresh.sessions[..]);
+        assert_eq!(advanced.origin.universe(), fresh.origin.universe());
+    }
+}

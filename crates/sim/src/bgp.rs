@@ -92,7 +92,7 @@ impl PrefixOutcome {
 }
 
 /// Local origination sources for one router and one prefix.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Origination {
     /// (derivation kind, lines) pairs — one per origination reason.
     pub sources: Vec<(DerivKind, Vec<LineId>)>,

@@ -11,6 +11,7 @@ use acr_cfg::model::DeviceModel;
 use acr_cfg::{LineId, PbrAction};
 use acr_net_types::{Flow, RouterId};
 use acr_topo::Topology;
+use std::borrow::Borrow;
 use std::fmt;
 
 /// Hard cap on walk length; longer paths are reported as loops.
@@ -74,9 +75,9 @@ pub struct ForwardResult {
 /// `fibs` and `models` are indexed by `RouterId::index()`. PBR lookups
 /// intern their derivations into `arena` on the fly (they depend on the
 /// concrete flow, so they cannot be precomputed with the FIB).
-pub fn walk(
+pub fn walk<M: Borrow<DeviceModel>>(
     topo: &Topology,
-    models: &[DeviceModel],
+    models: &[M],
     fibs: &[Fib],
     start: RouterId,
     flow: &Flow,
@@ -95,7 +96,7 @@ pub fn walk(
             };
         }
         path.push(current);
-        let model = &models[current.index()];
+        let model = models[current.index()].borrow();
 
         // Delivery check: the destination is attached here (or is one of
         // our own interface addresses).

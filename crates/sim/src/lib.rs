@@ -21,21 +21,25 @@
 //! couples routes of different prefixes; it is what makes the DNA-style
 //! incremental verification in `acr-verify` exact.
 
+pub mod base;
 pub mod bgp;
 pub mod cache;
 pub mod deriv;
 pub mod fib;
 pub mod forward;
+pub mod origin;
 pub mod policy;
 pub mod route;
 pub mod session;
 pub mod sim;
 
+pub use base::{CompiledBase, DeltaInfo, SessionDelta, SessionPart, SimBuild};
 pub use bgp::{PrefixOutcome, MAX_ROUNDS_BASE};
 pub use cache::{CacheStats, ShardedCache};
 pub use deriv::{DerivArena, DerivId, DerivKind, DerivNode};
 pub use fib::{Fib, FibAction, FibEntry};
 pub use forward::{ForwardOutcome, ForwardResult};
+pub use origin::OriginIndex;
 pub use route::{Route, RouteKey};
 pub use session::{Session, SessionDiag, SessionFailure};
 pub use sim::{SimOutcome, Simulator};

@@ -12,6 +12,7 @@ use acr_cfg::model::DeviceModel;
 use acr_cfg::LineId;
 use acr_net_types::{Asn, Ipv4Addr, RouterId};
 use acr_topo::Topology;
+use std::borrow::Borrow;
 use std::fmt;
 
 /// An established BGP session between two adjacent routers.
@@ -140,11 +141,42 @@ pub struct SessionDiag {
 ///
 /// `models` is indexed by `RouterId::index()`. Returns the established
 /// sessions plus diagnostics for every configured-but-down peer.
-pub fn establish(topo: &Topology, models: &[DeviceModel]) -> (Vec<Session>, Vec<SessionDiag>) {
+///
+/// Equivalent to concatenating [`establish_router`] over all routers in
+/// id order — which is exactly what the delta-compiled path does, so
+/// per-router recomputation is byte-identical to a full re-establish.
+pub fn establish<M: Borrow<DeviceModel>>(
+    topo: &Topology,
+    models: &[M],
+) -> (Vec<Session>, Vec<SessionDiag>) {
     let mut sessions = Vec::new();
     let mut diags = Vec::new();
     for r in topo.routers() {
-        let model = &models[r.id.index()];
+        let (s, d) = establish_router(topo, models, r.id);
+        sessions.extend(s);
+        diags.extend(d);
+    }
+    (sessions, diags)
+}
+
+/// One router's contribution to session establishment: the sessions it
+/// owns (those where it is the lower-id side) and the diagnostics for its
+/// own configured-but-down peers.
+///
+/// The output depends only on `router`'s model (`peers`, AS value), the
+/// `peers` maps and AS values of its topological neighbors, and the
+/// static topology — so a patch that leaves those untouched on `router`
+/// and on every neighbor cannot change this part.
+pub fn establish_router<M: Borrow<DeviceModel>>(
+    topo: &Topology,
+    models: &[M],
+    router: RouterId,
+) -> (Vec<Session>, Vec<SessionDiag>) {
+    let mut sessions = Vec::new();
+    let mut diags = Vec::new();
+    {
+        let r = topo.router(router);
+        let model = models[router.index()].borrow();
         for (peer_addr, peer_cfg) in &model.peers {
             let lines: Vec<LineId> = peer_cfg
                 .lines
@@ -185,7 +217,7 @@ pub fn establish(topo: &Topology, models: &[DeviceModel]) -> (Vec<Session>, Vec<
                 });
                 continue;
             };
-            let remote_model = &models[remote.index()];
+            let remote_model = models[remote.index()].borrow();
             let actual_as = remote_model.asn.map(|(a, _)| a);
             if actual_as != Some(expected_as) {
                 diags.push(SessionDiag {

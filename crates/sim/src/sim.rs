@@ -1,24 +1,34 @@
 //! The top-level simulator: configs + topology → routes, FIBs, forwarding.
 
-use crate::bgp::{run_prefix, Origination, PrefixOutcome, RouterCtx};
-use crate::deriv::{DerivArena, DerivId, DerivKind};
+use crate::base::{compile_device, CompiledBase, DeltaInfo, SimBuild};
+use crate::bgp::{run_prefix, PrefixOutcome, RouterCtx};
+use crate::deriv::{DerivArena, DerivId};
 use crate::fib::{base_fib, Fib, FibAction, FibEntry, FibSource};
 use crate::forward::{walk, ForwardResult};
+use crate::origin::OriginIndex;
 use crate::session::{establish, Session, SessionDiag};
 use acr_cfg::model::DeviceModel;
-use acr_cfg::{LineId, NetworkConfig, Proto};
+use acr_cfg::{NetworkConfig, Patch};
 use acr_net_types::{Flow, Prefix, RouterId};
 use acr_topo::Topology;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// A compiled simulation context: semantic models and established sessions
-/// for one (topology, configuration) pair. Cheap to query, rebuilt after
-/// every candidate patch.
+/// A compiled simulation context: semantic models, established sessions
+/// and the origination index for one (topology, configuration) pair.
+/// Cheap to query. Built from scratch ([`Simulator::new`]) or — the
+/// repair loop's hot path — as a delta against a [`CompiledBase`]
+/// ([`Simulator::from_base_with_patch`]), where only the devices a patch
+/// touches are recompiled and everything else is shared by `Arc`.
 pub struct Simulator<'a> {
     topo: &'a Topology,
-    models: Vec<DeviceModel>,
-    sessions: Vec<Session>,
-    session_diags: Vec<SessionDiag>,
+    models: Vec<Arc<DeviceModel>>,
+    sessions: Arc<Vec<Session>>,
+    session_diags: Arc<Vec<SessionDiag>>,
+    origin: Arc<OriginIndex>,
+    build: SimBuild,
+    delta: Option<DeltaInfo>,
 }
 
 impl<'a> Simulator<'a> {
@@ -26,28 +36,77 @@ impl<'a> Simulator<'a> {
     /// absent from the configuration get an empty model (they forward
     /// nothing and peer with nobody).
     pub fn new(topo: &'a Topology, cfg: &NetworkConfig) -> Self {
-        let models: Vec<DeviceModel> = topo
+        let t = Instant::now();
+        let models: Vec<Arc<DeviceModel>> = topo
             .routers()
             .iter()
-            .map(|r| match cfg.device(r.id) {
-                Some(dc) => DeviceModel::from_config(dc),
-                None => DeviceModel {
-                    name: r.name.clone(),
-                    ..DeviceModel::default()
-                },
-            })
+            .map(|r| Arc::new(compile_device(cfg, r.id, &r.name)))
             .collect();
+        let origin = Arc::new(OriginIndex::build(topo, &models));
+        let compile = t.elapsed();
+        let t = Instant::now();
         let (sessions, session_diags) = establish(topo, &models);
+        let n = models.len();
         Simulator {
             topo,
             models,
-            sessions,
-            session_diags,
+            sessions: Arc::new(sessions),
+            session_diags: Arc::new(session_diags),
+            origin,
+            build: SimBuild {
+                compile,
+                establish: t.elapsed(),
+                compiled_devices: n,
+                established_routers: n,
+                delta: false,
+            },
+            delta: None,
+        }
+    }
+
+    /// A simulator over the base configuration itself: every structure is
+    /// shared with `base`, nothing is recompiled.
+    pub fn from_base(base: &CompiledBase<'a>) -> Self {
+        Simulator {
+            topo: base.topo(),
+            models: base.models().to_vec(),
+            sessions: base.sessions().clone(),
+            session_diags: base.session_diags().clone(),
+            origin: base.origin().clone(),
+            build: SimBuild {
+                delta: true,
+                ..SimBuild::default()
+            },
+            delta: None,
+        }
+    }
+
+    /// The delta constructor: `cfg` must equal `base`'s configuration
+    /// with `patch` applied. Only devices the patch touches are
+    /// recompiled; session establishment re-runs only for routers whose
+    /// peer stanzas or AS values changed (plus their neighbors). The
+    /// result is field-for-field identical to `Simulator::new(topo, cfg)`
+    /// — see [`crate::base`] for the argument and the proptest suite for
+    /// the evidence.
+    pub fn from_base_with_patch(
+        base: &CompiledBase<'a>,
+        cfg: &NetworkConfig,
+        patch: &Patch,
+    ) -> Self {
+        let d = base.delta(cfg, patch);
+        Simulator {
+            topo: base.topo(),
+            models: d.models,
+            sessions: d.sessions,
+            session_diags: d.session_diags,
+            origin: d.origin,
+            build: d.info.build,
+            delta: Some(d.info),
         }
     }
 
     /// The semantic models, indexed by `RouterId::index()`.
-    pub fn models(&self) -> &[DeviceModel] {
+    pub fn models(&self) -> &[Arc<DeviceModel>] {
         &self.models
     }
 
@@ -66,77 +125,21 @@ impl<'a> Simulator<'a> {
         self.topo
     }
 
-    /// Per-router origination sources for `prefix`.
-    fn originations_for(&self, prefix: Prefix) -> Vec<Origination> {
-        self.models
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                let router = RouterId(i as u32);
-                let mut o = Origination::default();
-                if m.asn.is_none() {
-                    return o; // no BGP process, no originations
-                }
-                let bgp_line = m.asn.map(|(_, l)| l);
-                for (p, line) in &m.networks {
-                    if *p == prefix {
-                        let mut lines = vec![LineId::new(router, *line)];
-                        lines.extend(bgp_line.map(|l| LineId::new(router, l)));
-                        o.sources.push((DerivKind::OriginNetwork, lines));
-                    }
-                }
-                for (proto, redist_line) in &m.redistribute {
-                    match proto {
-                        Proto::Static => {
-                            for sr in &m.static_routes {
-                                if sr.prefix == prefix {
-                                    o.sources.push((
-                                        DerivKind::OriginStatic,
-                                        vec![
-                                            LineId::new(router, *redist_line),
-                                            LineId::new(router, sr.line),
-                                        ],
-                                    ));
-                                }
-                            }
-                        }
-                        Proto::Connected => {
-                            if self.topo.router(router).attached.contains(&prefix) {
-                                o.sources.push((
-                                    DerivKind::OriginConnected,
-                                    vec![LineId::new(router, *redist_line)],
-                                ));
-                            }
-                        }
-                    }
-                }
-                o
-            })
-            .collect()
+    /// Construction cost accounting for this simulator.
+    pub fn build_stats(&self) -> SimBuild {
+        self.build
+    }
+
+    /// What the delta build learned about the patch (`None` for full
+    /// builds and patchless base shares).
+    pub fn delta_info(&self) -> Option<&DeltaInfo> {
+        self.delta.as_ref()
     }
 
     /// All prefixes any router originates into BGP — the per-prefix
-    /// simulation universe.
+    /// simulation universe (precomputed in the origination index).
     pub fn universe(&self) -> BTreeSet<Prefix> {
-        let mut out = BTreeSet::new();
-        for (i, m) in self.models.iter().enumerate() {
-            if m.asn.is_none() {
-                continue;
-            }
-            let router = RouterId(i as u32);
-            for (p, _) in &m.networks {
-                out.insert(*p);
-            }
-            for (proto, _) in &m.redistribute {
-                match proto {
-                    Proto::Static => out.extend(m.static_routes.iter().map(|s| s.prefix)),
-                    Proto::Connected => {
-                        out.extend(self.topo.router(router).attached.iter().copied())
-                    }
-                }
-            }
-        }
-        out
+        self.origin.universe()
     }
 
     /// Runs every prefix in the universe.
@@ -173,13 +176,13 @@ impl<'a> Simulator<'a> {
             .iter()
             .map(|r| RouterCtx {
                 id: r.id,
-                model: &self.models[r.id.index()],
+                model: self.models[r.id.index()].as_ref(),
                 asn: self.models[r.id.index()].asn.map(|(a, _)| a),
             })
             .collect();
         let mut outcomes = BTreeMap::new();
         for prefix in prefixes {
-            let orig = self.originations_for(*prefix);
+            let orig = self.origin.dense(*prefix, self.models.len());
             let outcome = run_prefix(*prefix, &routers, &self.sessions, &orig, arena);
             outcomes.insert(*prefix, outcome);
         }
@@ -197,7 +200,7 @@ impl<'a> Simulator<'a> {
             .topo
             .routers()
             .iter()
-            .map(|r| base_fib(self.topo, r.id, &self.models[r.id.index()], arena))
+            .map(|r| base_fib(self.topo, r.id, self.models[r.id.index()].as_ref(), arena))
             .collect();
         for (prefix, outcome) in outcomes {
             if let PrefixOutcome::Converged { best, .. } = outcome {
@@ -246,8 +249,10 @@ pub struct SimOutcome {
     pub fibs: Vec<Fib>,
     /// Provenance arena for every derivation in this run.
     pub arena: DerivArena,
-    /// Session diagnostics (configured peers that are down).
-    pub session_diags: Vec<SessionDiag>,
+    /// Session diagnostics (configured peers that are down). Shared with
+    /// the simulator (and, on the delta path, with the compiled base)
+    /// rather than deep-cloned per run.
+    pub session_diags: Arc<Vec<SessionDiag>>,
 }
 
 impl SimOutcome {
@@ -274,6 +279,7 @@ mod tests {
     use super::*;
     use crate::forward::ForwardOutcome;
     use acr_cfg::parse::parse_device;
+    use acr_cfg::LineId;
     use acr_net_types::Ipv4Addr;
     use acr_topo::{gen, Role, TopologyBuilder};
 

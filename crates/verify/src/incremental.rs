@@ -16,16 +16,27 @@
 //! 3. only affected prefixes are re-simulated; FIB assembly and packet
 //!    walks (cheap) run on the merged state.
 //!
-//! Session-shaping edits (`bgp`, `peer`, `group`) conservatively
-//! invalidate everything — sessions are global infrastructure.
+//! Simulation state is held in a [`CompiledBase`] (`acr-sim`): candidate
+//! simulators are delta-built from it, recompiling only patched devices
+//! and re-establishing sessions only where establishment can change. The
+//! base's delta analysis ([`acr_sim::DeltaInfo`]) also drives session
+//! invalidation: instead of resetting the per-prefix cache on *every*
+//! `bgp`/`peer`/`group`-shaped edit, only **structural** session changes
+//! (a session or diagnostic appearing, disappearing, or changing its
+//! endpoints or policy bindings) force a full reset; edits that merely
+//! renumber lines are caught by the closure-region rule. Crucially, the
+//! analysis runs whether or not delta *construction* is enabled, so
+//! recompute/reuse decisions — and therefore repair reports — are
+//! byte-identical with the optimisation on or off.
 
 use crate::spec::Spec;
 use crate::verify::{Verification, Verifier};
 use acr_cfg::{Edit, LineId, NetworkConfig, Patch, Stmt};
 use acr_net_types::{Prefix, RouterId};
-use acr_sim::{DerivArena, PrefixOutcome, Simulator};
+use acr_sim::{CompiledBase, DeltaInfo, DerivArena, PrefixOutcome, SessionDelta, Simulator};
 use acr_topo::Topology;
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 /// Statistics of one incremental verification call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +45,17 @@ pub struct IncrementalStats {
     pub recomputed: usize,
     /// Prefixes served from cache.
     pub reused: usize,
+    /// Devices compiled to build this call's simulator (delta path:
+    /// patched devices only).
+    pub compiled_devices: usize,
+    /// Routers whose session establishment was recomputed.
+    pub established_routers: usize,
+    /// Wall-clock compiling device models (and origin-index maintenance).
+    pub compile: Duration,
+    /// Wall-clock establishing BGP sessions.
+    pub establish: Duration,
+    /// Wall-clock simulating affected prefixes and assembling FIBs.
+    pub simulate: Duration,
 }
 
 /// A verifier that caches per-prefix results between calls.
@@ -43,6 +65,12 @@ pub struct IncrementalVerifier<'a> {
     cached: BTreeMap<Prefix, PrefixOutcome>,
     /// Closure lines per cached prefix, for invalidation tests.
     closures: BTreeMap<Prefix, BTreeSet<LineId>>,
+    /// Compiled state of the most recently verified configuration — the
+    /// base candidates are delta-built against.
+    base: Option<CompiledBase<'a>>,
+    /// Whether candidate simulators reuse the base (construction only;
+    /// invalidation analysis is identical either way).
+    delta: bool,
     last_stats: IncrementalStats,
 }
 
@@ -60,6 +88,8 @@ impl<'a> IncrementalVerifier<'a> {
             arena: DerivArena::new(),
             cached: BTreeMap::new(),
             closures: BTreeMap::new(),
+            base: None,
+            delta: true,
             last_stats: IncrementalStats::default(),
         }
     }
@@ -67,6 +97,19 @@ impl<'a> IncrementalVerifier<'a> {
     /// The underlying (stateless) verifier.
     pub fn verifier(&self) -> &Verifier<'a> {
         &self.verifier
+    }
+
+    /// Enables or disables delta construction of candidate simulators.
+    /// Off, every candidate compiles from scratch; the invalidation
+    /// analysis (and thus every verdict and statistic except wall-clock)
+    /// is unaffected.
+    pub fn set_delta(&mut self, delta: bool) {
+        self.delta = delta;
+    }
+
+    /// The compiled base of the most recently verified configuration.
+    pub fn base(&self) -> Option<&CompiledBase<'a>> {
+        self.base.as_ref()
     }
 
     /// Stats of the most recent call.
@@ -84,19 +127,34 @@ impl<'a> IncrementalVerifier<'a> {
     /// previously verified configuration, only affected prefixes are
     /// re-simulated; with `None` (or on the first call) everything runs.
     pub fn verify(&mut self, cfg: &NetworkConfig, patch: Option<&Patch>) -> Verification {
-        let sim = Simulator::new(self.verifier.topo(), cfg);
+        // Establish the compiled base. With a previous base and a patch
+        // relating the two configurations, advance it (sharing untouched
+        // state); otherwise compile from scratch. The delta analysis runs
+        // either way so invalidation is toggle-independent.
+        let (base, info) = match (self.base.take(), patch) {
+            (Some(prev), Some(p)) if !self.cached.is_empty() => {
+                if self.delta {
+                    let (base, info) = prev.advance(cfg, p);
+                    (base, Some(info))
+                } else {
+                    let info = prev.analyze(cfg, p);
+                    (CompiledBase::new(self.verifier.topo(), cfg), Some(info))
+                }
+            }
+            _ => (CompiledBase::new(self.verifier.topo(), cfg), None),
+        };
+        let build = match &info {
+            Some(i) if self.delta => i.build,
+            _ => base.build_stats(),
+        };
+        let sim = Simulator::from_base(&base);
         let universe = sim.universe();
 
-        let affected: BTreeSet<Prefix> = match patch {
-            Some(patch) if !self.cached.is_empty() && !patch_resets_sessions(patch, cfg) => {
-                let mut set = affected_by(&self.closures, patch, cfg, &universe);
-                // Prefixes new to the universe must be simulated.
-                for p in &universe {
-                    if !self.cached.contains_key(p) {
-                        set.insert(*p);
-                    }
-                }
-                set
+        let affected: BTreeSet<Prefix> = match (&info, patch) {
+            (Some(i), Some(p))
+                if !self.cached.is_empty() && i.session_delta != SessionDelta::Structural =>
+            {
+                narrowed_affected(&self.closures, &self.cached, p, cfg, &universe, i)
             }
             _ => universe.clone(),
         };
@@ -105,22 +163,34 @@ impl<'a> IncrementalVerifier<'a> {
         self.cached.retain(|p, _| universe.contains(p));
         self.closures.retain(|p, _| universe.contains(p));
 
+        let t = Instant::now();
         let fresh = sim.run_prefixes_into(&affected, &mut self.arena);
         self.last_stats = IncrementalStats {
             recomputed: fresh.len(),
             reused: universe.len().saturating_sub(fresh.len()),
+            compiled_devices: build.compiled_devices,
+            established_routers: build.established_routers,
+            compile: build.compile,
+            establish: build.establish,
+            simulate: Duration::ZERO,
         };
         for (p, o) in fresh {
-            let closure: BTreeSet<LineId> = self
-                .arena
-                .closure_lines(o.deriv_roots())
+            // Closures include rejection roots: a prefix whose route was
+            // *denied* by a statement depends on that statement too, and
+            // must be invalidated when it is edited or deleted.
+            let roots: Vec<_> = o
+                .deriv_roots()
                 .into_iter()
+                .chain(o.rejection_roots().iter().copied())
                 .collect();
+            let closure: BTreeSet<LineId> = self.arena.closure_lines(roots).into_iter().collect();
             self.closures.insert(p, closure);
             self.cached.insert(p, o);
         }
 
         let fibs = sim.fibs_for(&self.cached, &mut self.arena);
+        self.last_stats.simulate = t.elapsed();
+        self.base = Some(base);
         let cached = self.cached.clone();
         self.verifier
             .evaluate(&sim, &cached, &fibs, &mut self.arena, sim.session_diags())
@@ -136,6 +206,8 @@ impl<'a> IncrementalVerifier<'a> {
             verifier: &self.verifier,
             cached: &self.cached,
             closures: &self.closures,
+            base: self.base.as_ref(),
+            delta: self.delta,
         };
         let (verification, stats) = validator.verify_candidate(cfg, patch, &mut self.arena);
         self.last_stats = stats;
@@ -152,6 +224,8 @@ impl<'a> IncrementalVerifier<'a> {
             verifier: &self.verifier,
             cached: &self.cached,
             closures: &self.closures,
+            base: self.base.as_ref(),
+            delta: self.delta,
         }
     }
 
@@ -181,6 +255,8 @@ pub struct CandidateValidator<'v, 'a> {
     verifier: &'v Verifier<'a>,
     cached: &'v BTreeMap<Prefix, PrefixOutcome>,
     closures: &'v BTreeMap<Prefix, BTreeSet<LineId>>,
+    base: Option<&'v CompiledBase<'a>>,
+    delta: bool,
 }
 
 impl<'v, 'a> CandidateValidator<'v, 'a> {
@@ -199,24 +275,55 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
         patch: &Patch,
         arena: &mut DerivArena,
     ) -> (Verification, IncrementalStats) {
-        let sim = Simulator::new(self.verifier.topo(), cfg);
+        // Build the candidate simulator: delta-compiled from the shared
+        // base when enabled, from scratch otherwise. The delta *analysis*
+        // runs in both modes so the affected-prefix set (and with it every
+        // verdict and count) is identical.
+        let (sim, info) = match self.base {
+            Some(base) if self.delta => {
+                let sim = Simulator::from_base_with_patch(base, cfg, patch);
+                let info = sim.delta_info().cloned();
+                (sim, info)
+            }
+            Some(base) => {
+                let info = base.analyze(cfg, patch);
+                (Simulator::new(self.verifier.topo(), cfg), Some(info))
+            }
+            None => (Simulator::new(self.verifier.topo(), cfg), None),
+        };
+        let build = sim.build_stats();
         let universe = sim.universe();
-        let affected: BTreeSet<Prefix> =
-            if self.cached.is_empty() || patch_resets_sessions(patch, cfg) {
-                universe.clone()
-            } else {
-                let mut set = affected_by(self.closures, patch, cfg, &universe);
-                for p in &universe {
-                    if !self.cached.contains_key(p) {
-                        set.insert(*p);
-                    }
-                }
-                set
+        let full_reset = self.cached.is_empty()
+            || match &info {
+                Some(i) => i.session_delta == SessionDelta::Structural,
+                // No compiled base to analyze against: fall back to the
+                // conservative statement-kind test.
+                None => patch_resets_sessions(patch, cfg),
             };
+        let affected: BTreeSet<Prefix> = if full_reset {
+            universe.clone()
+        } else {
+            let mut set = affected_by(self.closures, patch, cfg, &universe);
+            for p in &universe {
+                if !self.cached.contains_key(p) {
+                    set.insert(*p);
+                }
+            }
+            if let Some(i) = &info {
+                extend_with_delta_info(&mut set, &universe, i);
+            }
+            set
+        };
+        let t = Instant::now();
         let fresh = sim.run_prefixes_into(&affected, arena);
-        let stats = IncrementalStats {
+        let mut stats = IncrementalStats {
             recomputed: fresh.len(),
             reused: universe.len().saturating_sub(fresh.len()),
+            compiled_devices: build.compiled_devices,
+            established_routers: build.established_routers,
+            compile: build.compile,
+            establish: build.establish,
+            simulate: Duration::ZERO,
         };
         // Merge: fresh results override the cache; prefixes outside the
         // candidate's universe are dropped.
@@ -228,11 +335,51 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
             .collect();
         merged.extend(fresh);
         let fibs = sim.fibs_for(&merged, arena);
+        stats.simulate = t.elapsed();
         let verification = self
             .verifier
             .evaluate(&sim, &merged, &fibs, arena, sim.session_diags());
         (verification, stats)
     }
+}
+
+/// Folds a delta analysis into an affected-prefix set: prefixes whose
+/// origination changed, plus universe prefixes overlapping literals that a
+/// `Delete` edit may have removed.
+fn extend_with_delta_info(set: &mut BTreeSet<Prefix>, universe: &BTreeSet<Prefix>, i: &DeltaInfo) {
+    for p in &i.changed_origin_prefixes {
+        if universe.contains(p) {
+            set.insert(*p);
+        }
+    }
+    for lit in &i.delete_literals {
+        for p in universe {
+            if p.overlaps(*lit) {
+                set.insert(*p);
+            }
+        }
+    }
+}
+
+/// The narrowed affected set for [`IncrementalVerifier::verify`]: region
+/// rule + literal overlap + universe newcomers + delta-analysis findings.
+fn narrowed_affected(
+    closures: &BTreeMap<Prefix, BTreeSet<LineId>>,
+    cached: &BTreeMap<Prefix, PrefixOutcome>,
+    patch: &Patch,
+    cfg: &NetworkConfig,
+    universe: &BTreeSet<Prefix>,
+    info: &DeltaInfo,
+) -> BTreeSet<Prefix> {
+    let mut set = affected_by(closures, patch, cfg, universe);
+    // Prefixes new to the universe must be simulated.
+    for p in universe {
+        if !cached.contains_key(p) {
+            set.insert(*p);
+        }
+    }
+    extend_with_delta_info(&mut set, universe, info);
+    set
 }
 
 /// The prefixes a patch can affect, given the cached per-prefix closures

@@ -19,9 +19,11 @@ use acr_cfg::NetworkConfig;
 use acr_net_types::{Prefix, RouterId};
 use acr_prov::{CoverageMatrix, TestCoverage, TestId};
 use acr_sim::{
-    forward, DerivArena, DerivId, ForwardOutcome, PrefixOutcome, SessionDiag, SimOutcome, Simulator,
+    forward, CompiledBase, DerivArena, DerivId, ForwardOutcome, PrefixOutcome, SessionDiag,
+    SimOutcome, Simulator,
 };
 use acr_topo::Topology;
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
 /// One test's verification record.
@@ -126,6 +128,18 @@ impl<'a> Verifier<'a> {
     /// Full verification: simulate everything, evaluate every test.
     pub fn run_full(&self, cfg: &NetworkConfig) -> (Verification, SimOutcome) {
         let sim = Simulator::new(self.topo, cfg);
+        self.run_with(&sim)
+    }
+
+    /// [`Verifier::run_full`] over a precompiled base: nothing is
+    /// recompiled or re-established, only the per-prefix simulation runs.
+    pub fn run_full_from(&self, base: &CompiledBase<'_>) -> (Verification, SimOutcome) {
+        let sim = Simulator::from_base(base);
+        self.run_with(&sim)
+    }
+
+    /// Shared tail of the full-verification entry points.
+    fn run_with(&self, sim: &Simulator<'_>) -> (Verification, SimOutcome) {
         // Destructure instead of cloning: `evaluate` needs the outcome
         // maps by shared reference alongside the arena by mutable
         // reference, which field-level borrows provide for free.
@@ -135,7 +149,7 @@ impl<'a> Verifier<'a> {
             mut arena,
             session_diags,
         } = sim.run();
-        let verification = self.evaluate(&sim, &outcomes, &fibs, &mut arena, &session_diags);
+        let verification = self.evaluate(sim, &outcomes, &fibs, &mut arena, &session_diags[..]);
         (
             verification,
             SimOutcome {
@@ -264,15 +278,15 @@ impl<'a> Verifier<'a> {
 /// Candidate origination lines for an unreachable destination: the BGP
 /// process, matching static routes, matching `network` statements and the
 /// redistribution statements on the router that owns the destination.
-fn negative_origin_lines(
+fn negative_origin_lines<M: Borrow<acr_cfg::DeviceModel>>(
     topo: &Topology,
-    models: &[acr_cfg::DeviceModel],
+    models: &[M],
     dst: acr_net_types::Ipv4Addr,
 ) -> Vec<acr_cfg::LineId> {
     let Some(owner) = topo.delivery_router(dst) else {
         return Vec::new();
     };
-    let m = &models[owner.index()];
+    let m = models[owner.index()].borrow();
     let mut lines = Vec::new();
     if let Some((_, l)) = m.asn {
         lines.push(acr_cfg::LineId::new(owner, l));

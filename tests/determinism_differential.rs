@@ -134,6 +134,43 @@ fn thread_count_never_changes_a_repair() {
     }
 }
 
+/// The delta-compilation toggle is construction-only: the invalidation
+/// analysis runs identically whether candidate simulators are built from
+/// scratch or delta-compiled against the committed base, so repairs with
+/// delta on and off must be byte-identical in every observable field, at
+/// every worker-pool size.
+#[test]
+fn delta_compilation_never_changes_a_repair() {
+    let net = wan();
+    let incidents = sample_incidents(&net, 6, 77);
+    for (i, incident) in incidents.iter().enumerate() {
+        for threads in [1usize, 4, 8] {
+            let run = |delta: bool| {
+                let engine = RepairEngine::new(
+                    &net.topo,
+                    &net.spec,
+                    RepairConfig {
+                        seed: 11,
+                        threads,
+                        cache: Some(Arc::new(SimCache::default())),
+                        delta,
+                        ..RepairConfig::default()
+                    },
+                );
+                engine.repair(&incident.broken)
+            };
+            assert_reports_identical(
+                &run(true),
+                &run(false),
+                &format!(
+                    "incident {i} ({}), threads {threads}, delta on vs off",
+                    incident.fault
+                ),
+            );
+        }
+    }
+}
+
 /// `threads=1` with the cache disabled is the exact legacy sequential
 /// path; with a (cold, private) cache it must still produce the same
 /// outcome and simulate-or-memoize the same total number of candidates.

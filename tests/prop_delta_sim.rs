@@ -1,0 +1,124 @@
+//! Delta-compiled simulation ≡ fresh compilation, property-tested.
+//!
+//! The delta path (`Simulator::from_base_with_patch`) recompiles only the
+//! devices a patch touches and re-establishes sessions only where
+//! establishment can change. Its contract is **field-for-field equality**
+//! with `Simulator::new` on the patched configuration — including the
+//! derivation arena, whose content-addressed node list is equal exactly
+//! when both builds intern the same derivations in the same order.
+//!
+//! The property is exercised over random Table-1 fault injections (all
+//! nine fault classes supply the base configurations) crossed with random
+//! follow-up patches that deliberately include session-shaping edits
+//! (peer AS rewrites, `network` originations, deletes at arbitrary
+//! positions) — the delta classifier's hardest cases.
+
+// Gated: run with `cargo test --features heavy-tests` (vendored proptest shim).
+#![cfg(feature = "heavy-tests")]
+
+use acr::prelude::*;
+use acr::workloads::{try_inject, GeneratedNetwork, TABLE1};
+use acr_sim::CompiledBase;
+use proptest::prelude::{any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+
+fn wan() -> GeneratedNetwork {
+    generate(&acr::topo::gen::wan(3, 4))
+}
+
+/// Materializes one edit against `cfg` from raw fuzz inputs. Beyond the
+/// benign inserts the incremental-verification proptests use, this
+/// includes the session-shaping shapes (peer AS rewrites) and deletes at
+/// arbitrary positions that drive the delta classifier's Structural path.
+fn edit_from(cfg: &NetworkConfig, ri: usize, pos: u16, kind: u8) -> Edit {
+    let routers = cfg.routers();
+    let router = routers[ri % routers.len()];
+    let len = cfg.device(router).unwrap().len();
+    match kind % 5 {
+        0 => Edit::Delete {
+            router,
+            index: pos as usize % len,
+        },
+        1 => Edit::Insert {
+            router,
+            index: len,
+            stmt: Stmt::StaticRoute {
+                prefix: Prefix::from_octets(10, (pos % 200) as u8, 0, 0, 16),
+                next_hop: acr::cfg::NextHop::Null0,
+            },
+        },
+        2 => Edit::Replace {
+            router,
+            index: pos as usize % len,
+            stmt: Stmt::PeerAs {
+                peer: acr::cfg::PeerRef::Ip(acr::net_types::Ipv4Addr::new(
+                    172,
+                    16,
+                    0,
+                    (pos % 20) as u8 + 1,
+                )),
+                asn: Asn(65000 + u32::from(pos % 7)),
+            },
+        },
+        3 => Edit::Insert {
+            router,
+            index: len,
+            stmt: Stmt::Network(Prefix::from_octets(10, (pos % 200) as u8, 0, 0, 16)),
+        },
+        _ => Edit::Replace {
+            router,
+            index: pos as usize % len,
+            stmt: Stmt::Remark("mutated".into()),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `from_base_with_patch` produces a `SimOutcome` field-for-field
+    /// equal to a fresh `Simulator::new` on the patched configuration —
+    /// arena included — for random injected bases × random patches.
+    #[test]
+    fn delta_build_equals_fresh_build(
+        fi in any::<usize>(),
+        seed in 0u64..64,
+        ri in any::<usize>(),
+        pos in any::<u16>(),
+        kind in any::<u8>(),
+        ri2 in any::<usize>(),
+        pos2 in any::<u16>(),
+        kind2 in any::<u8>(),
+        two_edits in any::<bool>(),
+    ) {
+        let net = wan();
+        // Base: a Table-1 incident (any of the nine fault classes), so the
+        // delta path is tested from the configurations repair actually
+        // starts from — not just healthy ones.
+        let incident = try_inject(TABLE1[fi % TABLE1.len()].0, &net, seed);
+        prop_assume!(incident.is_some());
+        let base_cfg = incident.unwrap().broken;
+
+        let mut patch = Patch::single(edit_from(&base_cfg, ri, pos, kind));
+        if two_edits {
+            // Indices are relative to the document-at-that-moment; build
+            // the second edit against the intermediate config.
+            let Ok(mid) = patch.apply_cloned(&base_cfg) else {
+                prop_assume!(false);
+                unreachable!()
+            };
+            patch.push(edit_from(&mid, ri2, pos2, kind2));
+        }
+        prop_assume!(patch.apply_cloned(&base_cfg).is_ok());
+        let patched = patch.apply_cloned(&base_cfg).unwrap();
+
+        let base = CompiledBase::new(&net.topo, &base_cfg);
+        let fresh = Simulator::new(&net.topo, &patched);
+        let delta = Simulator::from_base_with_patch(&base, &patched, &patch);
+
+        prop_assert_eq!(fresh.universe(), delta.universe());
+        prop_assert_eq!(fresh.sessions(), delta.sessions());
+        prop_assert_eq!(fresh.session_diags(), delta.session_diags());
+        prop_assert_eq!(fresh.run(), delta.run());
+        prop_assert!(delta.build_stats().delta);
+    }
+}
