@@ -32,6 +32,24 @@ ACR_DELTA=0 cargo test -q --test determinism_differential --test repair_incident
 echo "==> exp_delta --smoke (delta/full equivalence regression guard)"
 cargo run --release -q -p acr-bench --bin exp_delta -- --smoke
 
+echo "==> exp_obs --smoke (journal/trace schema + determinism guard)"
+obs_on=$(cargo run --release -q -p acr-bench --bin exp_obs -- --smoke | tee /dev/stderr | grep '^report_digest=')
+
+echo "==> exp_obs --smoke --disabled (obs fully off; digests must agree)"
+obs_off=$(ACR_OBS=0 cargo run --release -q -p acr-bench --bin exp_obs -- --smoke --disabled | tee /dev/stderr | grep '^report_digest=')
+if [ "$obs_on" != "$obs_off" ]; then
+    echo "FAIL: instrumented and disabled passes computed different repairs ($obs_on vs $obs_off)" >&2
+    exit 1
+fi
+
+echo "==> trace_repair example (ACR_TRACE/ACR_JOURNAL env path)"
+obs_tmp=$(mktemp -d)
+ACR_TRACE="$obs_tmp/trace.json" ACR_JOURNAL="$obs_tmp/journal.jsonl" \
+    cargo run --release -q --example trace_repair >/dev/null
+grep -q '"traceEvents"' "$obs_tmp/trace.json"
+grep -q '"schema":"acr-journal/v1"' "$obs_tmp/journal.jsonl"
+rm -rf "$obs_tmp"
+
 echo "==> cargo test (heavy-tests)"
 cargo test -q --workspace --features heavy-tests
 

@@ -13,10 +13,15 @@
 use acr_cfg::{Edit, NetworkConfig, Patch, PlAction, Stmt};
 use acr_core::space::aed_free_variables;
 use acr_net_types::Prefix;
+use acr_obs::metrics::Counter;
+use acr_obs::{journal, json, span};
 use acr_topo::Topology;
 use acr_verify::{SimCache, Spec, Verifier};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
+
+static RUNS: Counter = Counter::new("baseline.aed.runs");
+static VALIDATIONS: Counter = Counter::new("baseline.aed.validations");
 
 /// How an AED run ended.
 #[derive(Debug, Clone)]
@@ -57,6 +62,38 @@ pub fn aed_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig, budget: usi
 /// is provided. The enumeration order, accepted repair, and validation
 /// count are identical to the uncached run; only the wall time changes.
 pub fn aed_repair_cached(
+    topo: &Topology,
+    spec: &Spec,
+    cfg: &NetworkConfig,
+    budget: usize,
+    cache: Option<&SimCache>,
+) -> AedReport {
+    let _s = span!("baseline.aed", "baseline");
+    let report = aed_inner(topo, spec, cfg, budget, cache);
+    RUNS.inc();
+    VALIDATIONS.add(report.validations as u64);
+    if acr_obs::enabled(acr_obs::JOURNAL) {
+        let (outcome, patch) = match &report.outcome {
+            AedOutcome::Fixed { patch } => ("fixed", patch.to_string()),
+            AedOutcome::BudgetExhausted => ("budget_exhausted", String::new()),
+            AedOutcome::SpaceExhausted => ("space_exhausted", String::new()),
+        };
+        journal::emit(
+            &json::Obj::new()
+                .str("event", "baseline_run")
+                .u64("ts_us", journal::now_us())
+                .str("baseline", "aed")
+                .str("outcome", outcome)
+                .str("patch", &patch)
+                .int("validations", report.validations)
+                .int("free_vars", report.free_vars)
+                .build(),
+        );
+    }
+    report
+}
+
+fn aed_inner(
     topo: &Topology,
     spec: &Spec,
     cfg: &NetworkConfig,

@@ -10,10 +10,15 @@
 
 use acr_cfg::{Edit, NetworkConfig, Patch, PlAction, Stmt};
 use acr_net_types::Prefix;
+use acr_obs::metrics::Counter;
+use acr_obs::{journal, json, span};
 use acr_prov::{Provenance, TestId};
 use acr_topo::Topology;
 use acr_verify::{SimCache, Spec, Verifier};
 use std::collections::BTreeSet;
+
+static RUNS: Counter = Counter::new("baseline.metaprov.runs");
+static CANDIDATES: Counter = Counter::new("baseline.metaprov.candidates");
 
 /// Result of a MetaProv-style repair attempt.
 #[derive(Debug, Clone)]
@@ -43,6 +48,41 @@ pub fn metaprov_repair(topo: &Topology, spec: &Spec, cfg: &NetworkConfig) -> Met
 /// is provided. Candidate enumeration, acceptance, and the report are
 /// identical to the uncached run; only the wall time changes.
 pub fn metaprov_repair_cached(
+    topo: &Topology,
+    spec: &Spec,
+    cfg: &NetworkConfig,
+    cache: Option<&SimCache>,
+) -> MetaProvReport {
+    let _s = span!("baseline.metaprov", "baseline");
+    let report = metaprov_inner(topo, spec, cfg, cache);
+    RUNS.inc();
+    CANDIDATES.add(report.candidates_tried as u64);
+    if acr_obs::enabled(acr_obs::JOURNAL) {
+        journal::emit(
+            &json::Obj::new()
+                .str("event", "baseline_run")
+                .u64("ts_us", journal::now_us())
+                .str("baseline", "metaprov")
+                .bool("fixed_target", report.fixed_target)
+                .str(
+                    "patch",
+                    &report
+                        .patch
+                        .as_ref()
+                        .map(|p| p.to_string())
+                        .unwrap_or_default(),
+                )
+                .int("regressions", report.regressions)
+                .int("residual_failures", report.residual_failures)
+                .int("search_space", report.search_space)
+                .int("candidates_tried", report.candidates_tried)
+                .build(),
+        );
+    }
+    report
+}
+
+fn metaprov_inner(
     topo: &Topology,
     spec: &Spec,
     cfg: &NetworkConfig,

@@ -23,7 +23,7 @@
 //! cargo run --release -p acr-bench --bin exp_delta [-- --smoke]
 //! ```
 
-use acr_bench::{corpus, fmt_duration, json, rule, scaled_network, standard_network};
+use acr_bench::{corpus, fmt_duration, json, rule, scaled_network, standard_network, write_bench};
 use acr_core::{RepairConfig, RepairEngine, RepairReport};
 use acr_sim::{CompiledBase, Simulator};
 use acr_workloads::{GeneratedNetwork, Incident};
@@ -231,14 +231,12 @@ fn main() {
         .num("simulate_on_s", s_on.as_secs_f64())
         .num("simulate_off_s", s_off.as_secs_f64())
         .build();
-    let doc = json::Obj::new()
-        .str("bench", "exp_delta")
-        .bool("smoke", smoke)
-        .raw("construction", &construction)
-        .raw("repair_ab", &repair)
-        .build();
-    std::fs::write("BENCH_delta.json", doc + "\n").expect("write BENCH_delta.json");
-    println!("\nwrote BENCH_delta.json");
+    let path = write_bench("delta", |env| {
+        env.bool("smoke", smoke)
+            .raw("construction", &construction)
+            .raw("repair_ab", &repair)
+    });
+    println!("\nwrote {path}");
 
     if !smoke {
         let scaled = rows.iter().find(|r| r.routers > 12);

@@ -22,7 +22,7 @@
 //! ```
 
 use acr_baselines::{aed_repair_cached, metaprov_repair_cached};
-use acr_bench::{corpus, json, rule, standard_network};
+use acr_bench::{corpus, json, rule, standard_network, write_bench};
 use acr_core::{OperatorSet, RepairConfig, RepairEngine, RepairReport, SimCache};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -126,17 +126,11 @@ fn main() {
     }
     rule(header.len());
     println!("speedup is against the legacy threads=1, cache-off path\n");
-    let doc = json::Obj::new()
-        .str("bench", "exp_parallel")
-        .int("incidents", incidents.len())
-        .int(
-            "host_parallelism",
-            std::thread::available_parallelism().map_or(1, |n| n.get()),
-        )
-        .raw("sweep", &json::array(sweep_rows))
-        .build();
-    std::fs::write("BENCH_parallel.json", doc + "\n").expect("write BENCH_parallel.json");
-    println!("wrote BENCH_parallel.json\n");
+    let path = write_bench("parallel", |env| {
+        env.int("incidents", incidents.len())
+            .raw("sweep", &json::array(sweep_rows))
+    });
+    println!("wrote {path}\n");
 
     // ---- Part 2: per-incident hit-rate, cold and warm -----------------
     // One shared cache, two corpus walks. The cold walk hits on

@@ -66,77 +66,49 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
-/// Hand-rolled JSON emission for the machine-readable `BENCH_*.json`
-/// artifacts (the hermetic workspace has no serde). Only what the bench
-/// binaries need: objects of string/number/bool/raw fields and arrays.
-pub mod json {
-    /// Escapes a string for use inside a JSON string literal.
-    pub fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
+/// The workspace's single hand-rolled JSON implementation (emitter +
+/// validating parser), re-exported from `acr-obs` for the
+/// `BENCH_*.json` artifacts.
+pub use acr_obs::json;
 
-    /// An object under construction.
-    #[derive(Default)]
-    pub struct Obj {
-        fields: Vec<String>,
-    }
+/// Schema tag every `BENCH_*.json` artifact carries.
+pub const BENCH_SCHEMA: &str = "acr-bench/v1";
 
-    impl Obj {
-        pub fn new() -> Self {
-            Obj::default()
-        }
+/// Renders an environment override as a JSON string, or `null` when the
+/// variable is unset.
+fn env_override(var: &str) -> String {
+    std::env::var(var).map_or("null".into(), |v| format!("\"{}\"", json::escape(&v)))
+}
 
-        pub fn str(mut self, k: &str, v: &str) -> Self {
-            self.fields
-                .push(format!("\"{}\":\"{}\"", escape(k), escape(v)));
-            self
-        }
+/// Wraps a bench binary's payload in the shared artifact envelope and
+/// writes it to `BENCH_<name>.json` in the working directory.
+///
+/// The envelope stamps the schema tag, the bench name, the host's
+/// available parallelism, and the `ACR_THREADS` / `ACR_DELTA`
+/// environment overrides in effect, so artifacts from different bench
+/// binaries (and different runs) are comparable without knowing which
+/// binary emitted them. `payload` extends the envelope object with the
+/// bench-specific fields.
+pub fn write_bench(name: &str, payload: impl FnOnce(json::Obj) -> json::Obj) -> String {
+    let doc = payload(bench_envelope(name)).build();
+    json::parse(&doc)
+        .unwrap_or_else(|e| panic!("BENCH_{name}.json payload is not valid JSON: {e}"));
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, doc + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+    path
+}
 
-        pub fn num(mut self, k: &str, v: f64) -> Self {
-            // JSON has no NaN/Inf; encode them as null.
-            let v = if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".into()
-            };
-            self.fields.push(format!("\"{}\":{v}", escape(k)));
-            self
-        }
-
-        pub fn int(self, k: &str, v: usize) -> Self {
-            self.raw(k, &v.to_string())
-        }
-
-        pub fn bool(self, k: &str, v: bool) -> Self {
-            self.raw(k, if v { "true" } else { "false" })
-        }
-
-        /// A pre-rendered JSON value (nested object or array).
-        pub fn raw(mut self, k: &str, v: &str) -> Self {
-            self.fields.push(format!("\"{}\":{v}", escape(k)));
-            self
-        }
-
-        pub fn build(self) -> String {
-            format!("{{{}}}", self.fields.join(","))
-        }
-    }
-
-    /// Renders pre-rendered values as a JSON array.
-    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
-        format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
-    }
+/// The shared envelope fields alone — see [`write_bench`].
+pub fn bench_envelope(name: &str) -> json::Obj {
+    json::Obj::new()
+        .str("schema", BENCH_SCHEMA)
+        .str("bench", name)
+        .int(
+            "host_parallelism",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        )
+        .raw("env_threads", &env_override("ACR_THREADS"))
+        .raw("env_delta", &env_override("ACR_DELTA"))
 }
 
 #[cfg(test)]
@@ -157,6 +129,18 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(50)), "50us");
         assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn bench_envelope_carries_shared_schema() {
+        let doc = bench_envelope("unit").int("extra", 7).build();
+        let v = json::parse(&doc).expect("envelope is valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(BENCH_SCHEMA));
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("unit"));
+        assert!(v.get("host_parallelism").unwrap().as_num().unwrap() >= 1.0);
+        assert!(v.get("env_threads").is_some());
+        assert!(v.get("env_delta").is_some());
+        assert_eq!(v.get("extra").unwrap().as_num(), Some(7.0));
     }
 
     #[test]

@@ -23,12 +23,23 @@ use acr_cfg::{DeviceModel, LineId, NetworkConfig, Patch};
 use acr_lint::{lint_with_models, Diagnostic};
 use acr_localize::{localize, localize_boosted, SbflFormula};
 use acr_net_types::{RouterId, SplitMix64};
+use acr_obs::metrics::Counter;
+use acr_obs::{journal, json, Stages};
 use acr_sim::ShardedCache;
 use acr_topo::Topology;
 use acr_verify::{IncrementalVerifier, SimCache, Spec, Verification};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+static RUNS: Counter = Counter::new("engine.runs");
+static ITERATIONS: Counter = Counter::new("engine.iterations");
+static CAND_GENERATED: Counter = Counter::new("engine.candidates.generated");
+static CAND_LINT_REJECTED: Counter = Counter::new("engine.candidates.lint_rejected");
+static CAND_VALIDATED: Counter = Counter::new("engine.candidates.validated");
+static CAND_CACHED: Counter = Counter::new("engine.candidates.cached");
+static CAND_INVALID: Counter = Counter::new("engine.candidates.invalid");
+static CAND_KEPT: Counter = Counter::new("engine.candidates.kept");
 
 /// The paper's iteration cap.
 pub const DEFAULT_MAX_ITERATIONS: usize = 500;
@@ -255,7 +266,9 @@ impl<'a> RepairEngine<'a> {
     /// Runs localize–fix–validate on `original` until one of the paper's
     /// three termination conditions fires.
     pub fn repair(&self, original: &NetworkConfig) -> RepairReport {
-        let start = Instant::now();
+        let stages = Stages::new();
+        RUNS.inc();
+        let commit_guard = stages.time("engine.commit", "engine");
         let mut rng = SplitMix64::new(self.config.seed);
         let mut iv = IncrementalVerifier::with_samples(
             self.topo,
@@ -299,18 +312,17 @@ impl<'a> RepairEngine<'a> {
         let cache = self.config.cache.as_deref();
         let lint_memo: LintMemo = ShardedCache::with_capacity(4096);
         let threads = resolve_threads(self.config.threads);
+        drop(commit_guard);
 
         let mut iterations = Vec::new();
         let mut validations = 0usize;
         let mut validations_cached = 0usize;
-        let mut stage = StageTimes {
-            commit: start.elapsed(),
-            ..StageTimes::default()
-        };
+
+        self.journal_run_start(original, initial_failed, threads);
 
         if initial_failed == 0 {
-            return RepairReport {
-                outcome: RepairOutcome::Fixed {
+            return finish(
+                RepairOutcome::Fixed {
                     patch: Patch::new(),
                     repaired: original.clone(),
                 },
@@ -318,9 +330,8 @@ impl<'a> RepairEngine<'a> {
                 initial_failed,
                 validations,
                 validations_cached,
-                stage,
-                wall: start.elapsed(),
-            };
+                &stages,
+            );
         }
 
         let mut population: Vec<Variant> = vec![Variant {
@@ -335,19 +346,30 @@ impl<'a> RepairEngine<'a> {
         seen.insert(Patch::new());
 
         for iteration in 1..=self.config.max_iterations {
+            ITERATIONS.inc();
+            // Ranked suspects for the journal: a pure re-localization of
+            // the current best variant (no RNG draw), computed only when
+            // the journal is on — reports are identical either way.
+            let suspects = if acr_obs::enabled(acr_obs::JOURNAL) {
+                self.suspects_of(best_of(&population))
+            } else {
+                String::new()
+            };
+
             // ---- localize + fix: generate candidate full patches -------
-            let t = Instant::now();
-            let proposals = self.generate(&population, &iv, &mut rng);
-            let fresh: Vec<Patch> = proposals
-                .into_iter()
-                .filter(|p| seen.insert(p.clone()))
-                .collect();
+            let fresh: Vec<Patch> = {
+                let _g = stages.time("engine.generate", "engine");
+                self.generate(&population, &iv, &mut rng)
+                    .into_iter()
+                    .filter(|p| seen.insert(p.clone()))
+                    .collect()
+            };
             let generated = fresh.len();
-            stage.generate += t.elapsed();
+            CAND_GENERATED.add(generated as u64);
             if generated == 0 {
                 let best = best_of(&population);
-                return RepairReport {
-                    outcome: RepairOutcome::NoCandidates {
+                return finish(
+                    RepairOutcome::NoCandidates {
                         best_patch: best.patch.clone(),
                         best_fitness: best.fitness,
                     },
@@ -355,13 +377,12 @@ impl<'a> RepairEngine<'a> {
                     initial_failed,
                     validations,
                     validations_cached,
-                    stage,
-                    wall: start.elapsed(),
-                };
+                    &stages,
+                );
             }
 
             // ---- validate: lint gate + memo-cache + worker pool --------
-            let t = Instant::now();
+            let validate_guard = stages.time("engine.validate", "engine");
             let batch = validate_batch(
                 fresh,
                 original,
@@ -376,10 +397,26 @@ impl<'a> RepairEngine<'a> {
             let mut kept: Vec<Variant> = Vec::new();
             let (mut recomputed, mut reused) = (0, 0);
             let (mut lint_rejected, mut validated, mut cached_count, mut invalid) = (0, 0, 0, 0);
+            // Journal rows for this iteration's candidates, in batch
+            // (candidate-index) order.
+            let mut cand_rows: Vec<String> = Vec::new();
+            let journal_on = acr_obs::enabled(acr_obs::JOURNAL);
             for vc in batch {
+                let mut row =
+                    journal_on.then(|| json::Obj::new().str("patch", &vc.patch.to_string()));
                 match vc.outcome {
-                    CandidateOutcome::Invalid => invalid += 1,
-                    CandidateOutcome::LintRejected => lint_rejected += 1,
+                    CandidateOutcome::Invalid => {
+                        invalid += 1;
+                        if let Some(r) = row.take() {
+                            cand_rows.push(r.str("outcome", "invalid").build());
+                        }
+                    }
+                    CandidateOutcome::LintRejected => {
+                        lint_rejected += 1;
+                        if let Some(r) = row.take() {
+                            cand_rows.push(r.str("outcome", "lint_rejected").build());
+                        }
+                    }
                     CandidateOutcome::Validated {
                         verification,
                         stats,
@@ -394,13 +431,22 @@ impl<'a> RepairEngine<'a> {
                         }
                         recomputed += stats.recomputed;
                         reused += stats.reused;
-                        stage.sim_compile += stats.compile;
-                        stage.sim_establish += stats.establish;
-                        stage.sim_simulate += stats.simulate;
+                        stages.add("sim.compile", stats.compile);
+                        stages.add("sim.establish", stats.establish);
+                        stages.add("sim.simulate", stats.simulate);
                         let fitness = verification.failed_count();
                         // §5: discard candidates whose fitness exceeds
                         // the previous iteration's fitness.
-                        if fitness > prev_fitness {
+                        let discard = fitness > prev_fitness;
+                        if let Some(r) = row.take() {
+                            cand_rows.push(
+                                r.str("outcome", if discard { "discarded" } else { "kept" })
+                                    .int("fitness", fitness)
+                                    .bool("cached", cached)
+                                    .build(),
+                            );
+                        }
+                        if discard {
                             continue;
                         }
                         // Worker- or cache-computed verdicts carry their
@@ -423,10 +469,15 @@ impl<'a> RepairEngine<'a> {
             }
             validations += validated;
             validations_cached += cached_count;
-            stage.validate += t.elapsed();
+            CAND_LINT_REJECTED.add(lint_rejected as u64);
+            CAND_VALIDATED.add(validated as u64);
+            CAND_CACHED.add(cached_count as u64);
+            CAND_INVALID.add(invalid as u64);
+            drop(validate_guard);
 
-            let t = Instant::now();
+            let select_guard = stages.time("engine.select", "engine");
             let kept_count = kept.len();
+            CAND_KEPT.add(kept_count as u64);
             let iter_fitness = kept.iter().map(|v| v.fitness).max().unwrap_or(prev_fitness);
             let done = kept.iter().any(|v| v.fitness == 0);
 
@@ -438,7 +489,7 @@ impl<'a> RepairEngine<'a> {
                 .map(|v| v.fitness)
                 .unwrap_or(prev_fitness);
 
-            iterations.push(IterationStats {
+            let stats = IterationStats {
                 iteration,
                 fitness: iter_fitness,
                 best_fitness,
@@ -450,9 +501,13 @@ impl<'a> RepairEngine<'a> {
                 validated,
                 cached: cached_count,
                 invalid,
-            });
+            };
+            if journal_on {
+                journal_iteration(&stats, &suspects, &cand_rows);
+            }
+            iterations.push(stats);
             prev_fitness = iter_fitness;
-            stage.select += t.elapsed();
+            drop(select_guard);
 
             if done {
                 let winner = population
@@ -460,8 +515,8 @@ impl<'a> RepairEngine<'a> {
                     .filter(|v| v.fitness == 0)
                     .min_by_key(|v| v.patch.len())
                     .expect("done implies a zero-fitness variant");
-                return RepairReport {
-                    outcome: RepairOutcome::Fixed {
+                return finish(
+                    RepairOutcome::Fixed {
                         patch: winner.patch.clone(),
                         repaired: winner.cfg.clone(),
                     },
@@ -469,15 +524,14 @@ impl<'a> RepairEngine<'a> {
                     initial_failed,
                     validations,
                     validations_cached,
-                    stage,
-                    wall: start.elapsed(),
-                };
+                    &stages,
+                );
             }
         }
 
         let best = best_of(&population);
-        RepairReport {
-            outcome: RepairOutcome::IterationLimit {
+        finish(
+            RepairOutcome::IterationLimit {
                 best_patch: best.patch.clone(),
                 best_fitness: best.fitness,
             },
@@ -485,9 +539,61 @@ impl<'a> RepairEngine<'a> {
             initial_failed,
             validations,
             validations_cached,
-            stage,
-            wall: start.elapsed(),
+            &stages,
+        )
+    }
+
+    /// The journal's `run_start` record: network shape, initial failures
+    /// and the full engine configuration (the one record run parameters
+    /// appear in, so cross-configuration journal diffs scrub one line).
+    fn journal_run_start(&self, original: &NetworkConfig, initial_failed: usize, threads: usize) {
+        if !acr_obs::enabled(acr_obs::JOURNAL) {
+            return;
         }
+        let cfg = json::Obj::new()
+            .str("strategy", &format!("{:?}", self.config.strategy))
+            .str("formula", &format!("{:?}", self.config.formula))
+            .u64("seed", self.config.seed)
+            .int("max_iterations", self.config.max_iterations)
+            .int("max_population", self.config.max_population)
+            .u64(
+                "samples_per_property",
+                self.config.samples_per_property as u64,
+            )
+            .str("operators", &format!("{:?}", self.config.operators))
+            .bool("lint", self.config.lint)
+            .int("threads", threads)
+            .bool("cache", self.config.cache.is_some())
+            .bool("delta", self.config.delta)
+            .build();
+        journal::emit(
+            &json::Obj::new()
+                .str("event", "run_start")
+                .str("schema", journal::SCHEMA)
+                .u64("ts_us", journal::now_us())
+                .int("routers", self.topo.routers().len())
+                .int("devices", original.len())
+                .int("initial_failed", initial_failed)
+                .raw("config", &cfg)
+                .build(),
+        );
+    }
+
+    /// Top-ranked suspicious lines of a variant, rendered as a JSON array
+    /// for the journal. Pure: same localization the fix stage uses, no RNG.
+    fn suspects_of(&self, variant: &Variant) -> String {
+        let boosts = boost_map(&variant.diags);
+        let ranking = if boosts.is_empty() {
+            localize(&variant.verification.matrix, self.config.formula)
+        } else {
+            localize_boosted(&variant.verification.matrix, self.config.formula, &boosts)
+        };
+        json::array(ranking.entries().iter().take(8).map(|(line, score)| {
+            json::Obj::new()
+                .str("line", &line.to_string())
+                .num("score", *score)
+                .build()
+        }))
     }
 
     /// Generates candidate *full* patches (relative to the original
@@ -645,6 +751,90 @@ fn boost_map(diags: &[Diagnostic]) -> BTreeMap<LineId, f64> {
         }
     }
     boosts
+}
+
+/// The single place a [`RepairReport`] is assembled: every return path
+/// of the repair loop funnels here, so the [`StageTimes`] derivation from
+/// the run's [`Stages`] accumulator exists exactly once. Also emits the
+/// journal's `run_end` record and flushes every obs sink.
+fn finish(
+    outcome: RepairOutcome,
+    iterations: Vec<IterationStats>,
+    initial_failed: usize,
+    validations: usize,
+    validations_cached: usize,
+    stages: &Stages,
+) -> RepairReport {
+    let stage = StageTimes {
+        commit: stages.get("engine.commit"),
+        generate: stages.get("engine.generate"),
+        validate: stages.get("engine.validate"),
+        select: stages.get("engine.select"),
+        sim_compile: stages.get("sim.compile"),
+        sim_establish: stages.get("sim.establish"),
+        sim_simulate: stages.get("sim.simulate"),
+    };
+    if acr_obs::enabled(acr_obs::JOURNAL) {
+        let (kind, patch, fitness) = match &outcome {
+            RepairOutcome::Fixed { patch, .. } => ("fixed", patch.to_string(), 0),
+            RepairOutcome::NoCandidates {
+                best_patch,
+                best_fitness,
+            } => ("no_candidates", best_patch.to_string(), *best_fitness),
+            RepairOutcome::IterationLimit {
+                best_patch,
+                best_fitness,
+            } => ("iteration_limit", best_patch.to_string(), *best_fitness),
+        };
+        journal::emit(
+            &json::Obj::new()
+                .str("event", "run_end")
+                .u64("ts_us", journal::now_us())
+                .str("outcome", kind)
+                .str("patch", &patch)
+                .int("fitness", fitness)
+                .int("iterations", iterations.len())
+                .int("initial_failed", initial_failed)
+                .int("validations", validations)
+                .int("validations_cached", validations_cached)
+                .build(),
+        );
+    }
+    acr_obs::flush();
+    RepairReport {
+        outcome,
+        iterations,
+        initial_failed,
+        validations,
+        validations_cached,
+        stage,
+        wall: stages.wall(),
+    }
+}
+
+/// The journal's per-iteration record: the iteration counters, the ranked
+/// suspects that seeded generation, and every candidate's verdict in
+/// batch order.
+fn journal_iteration(stats: &IterationStats, suspects: &str, cand_rows: &[String]) {
+    journal::emit(
+        &json::Obj::new()
+            .str("event", "iteration")
+            .u64("ts_us", journal::now_us())
+            .int("iteration", stats.iteration)
+            .int("fitness", stats.fitness)
+            .int("best_fitness", stats.best_fitness)
+            .int("generated", stats.generated)
+            .int("kept", stats.kept)
+            .int("lint_rejected", stats.lint_rejected)
+            .int("validated", stats.validated)
+            .int("cached", stats.cached)
+            .int("invalid", stats.invalid)
+            .int("recomputed_prefixes", stats.recomputed_prefixes)
+            .int("reused_prefixes", stats.reused_prefixes)
+            .raw("suspects", suspects)
+            .raw("candidates", &json::array(cand_rows.iter().cloned()))
+            .build(),
+    );
 }
 
 /// The best variant: lowest fitness, then smallest patch.

@@ -39,6 +39,8 @@
 use acr_cfg::{DeviceModel, NetworkConfig, Patch};
 use acr_lint::{lint_with_models, DiagKey, Diagnostic};
 use acr_net_types::RouterId;
+use acr_obs::metrics::Counter;
+use acr_obs::span;
 use acr_sim::{DerivArena, ShardedCache};
 use acr_topo::Topology;
 use acr_verify::{
@@ -64,6 +66,10 @@ pub(crate) struct LintBase {
 /// the same value later, and nothing in the report depends on whether a
 /// verdict was memoized or recomputed.
 pub(crate) type LintMemo = ShardedCache<u64, Arc<(bool, Vec<Diagnostic>)>>;
+
+static LINT_MEMO_HITS: Counter = Counter::new("lint.memo.hits");
+static LINT_MEMO_MISSES: Counter = Counter::new("lint.memo.misses");
+static LINT_GATE_REJECTED: Counter = Counter::new("lint.gate.rejected");
 
 /// What the validate stage concluded for one candidate patch.
 // Short-lived per-batch values, one per candidate; the variant size skew
@@ -207,17 +213,21 @@ pub(crate) fn validate_batch(
         items
             .iter()
             .zip(&plans)
-            .map(|((_, it), plan)| match plan {
+            .enumerate()
+            .map(|(k, ((_, it), plan))| match plan {
                 Plan::Dup(_) => None,
-                plan => Some(resolve_sequential(
-                    it,
-                    plan,
-                    iv,
-                    topo,
-                    lint_base,
-                    lint_memo,
-                    build_entries,
-                )),
+                plan => {
+                    let _s = span!("engine.validate.candidate", "engine").arg("idx", k as u64);
+                    Some(resolve_sequential(
+                        it,
+                        plan,
+                        iv,
+                        topo,
+                        lint_base,
+                        lint_memo,
+                        build_entries,
+                    ))
+                }
             })
             .collect()
     } else {
@@ -239,6 +249,7 @@ pub(crate) fn validate_batch(
                         if matches!(plans[k], Plan::Dup(_)) {
                             continue;
                         }
+                        let _s = span!("engine.validate.candidate", "engine").arg("idx", k as u64);
                         let res = resolve_worker(
                             &items[k].1,
                             &plans[k],
@@ -354,8 +365,10 @@ fn lint_verdict(
         return (false, Vec::new());
     };
     if let Some(hit) = lint_memo.peek(&it.fp) {
+        LINT_MEMO_HITS.inc();
         return (hit.0, hit.1.clone());
     }
+    LINT_MEMO_MISSES.inc();
     let mut models = base.models.clone();
     for r in it.patch.routers() {
         if let (Some(&i), Some(dc)) = (base.idx.get(&r), it.cfg.device(r)) {
@@ -383,6 +396,7 @@ fn resolve_sequential(
 ) -> Resolved {
     let (fresh_error, diags) = lint_verdict(it, topo, lint_base, lint_memo);
     if fresh_error {
+        LINT_GATE_REJECTED.inc();
         return Resolved::LintRejected;
     }
     match plan {
@@ -423,6 +437,7 @@ fn resolve_worker(
 ) -> Resolved {
     let (fresh_error, diags) = lint_verdict(it, topo, lint_base, lint_memo);
     if fresh_error {
+        LINT_GATE_REJECTED.inc();
         return Resolved::LintRejected;
     }
     match plan {

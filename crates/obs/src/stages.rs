@@ -1,0 +1,106 @@
+//! Per-run stage accounting: the single source the engine derives its
+//! `StageTimes` report from.
+//!
+//! A [`Stages`] value is one run's accumulator. [`Stages::time`] returns
+//! a guard that, on drop, adds the elapsed wall time under the stage
+//! name *and* closes a trace span of the same name — so the coarse
+//! stage totals in the repair report and the fine-grained trace timeline
+//! come from the same clock reads. [`Stages::add`] folds in durations
+//! measured elsewhere (e.g. the simulator's compile/establish/simulate
+//! splits that `IncrementalStats` already carries).
+//!
+//! `Stages` is deliberately not `Sync`: one accumulator belongs to one
+//! coordinating thread. Worker-side timing flows through trace spans and
+//! metrics, which are thread-safe.
+
+use crate::trace;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// One run's stage-time accumulator.
+pub struct Stages {
+    start: Instant,
+    acc: RefCell<BTreeMap<&'static str, Duration>>,
+}
+
+impl Default for Stages {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stages {
+    /// Starts the run clock.
+    pub fn new() -> Self {
+        Stages {
+            start: Instant::now(),
+            acc: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Times a region: the returned guard adds the elapsed time under
+    /// `name` when dropped, and spans the region in the trace under the
+    /// same name.
+    pub fn time<'a>(&'a self, name: &'static str, cat: &'static str) -> StageGuard<'a> {
+        StageGuard {
+            stages: self,
+            name,
+            start: Instant::now(),
+            _span: trace::span(name, cat),
+        }
+    }
+
+    /// Folds an externally measured duration into a stage.
+    pub fn add(&self, name: &'static str, d: Duration) {
+        *self.acc.borrow_mut().entry(name).or_default() += d;
+    }
+
+    /// Accumulated time for a stage (zero if it never ran).
+    pub fn get(&self, name: &'static str) -> Duration {
+        self.acc.borrow().get(name).copied().unwrap_or_default()
+    }
+
+    /// Wall time since the accumulator was created.
+    pub fn wall(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Open timing region; folds its elapsed time into the [`Stages`] on
+/// drop.
+pub struct StageGuard<'a> {
+    stages: &'a Stages,
+    name: &'static str,
+    start: Instant,
+    _span: trace::Span,
+}
+
+impl Drop for StageGuard<'_> {
+    fn drop(&mut self) {
+        self.stages.add(self.name, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_and_adds_accumulate() {
+        let s = Stages::new();
+        {
+            let _g = s.time("engine.generate", "engine");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _g = s.time("engine.generate", "engine");
+        }
+        s.add("sim.compile", Duration::from_millis(5));
+        s.add("sim.compile", Duration::from_millis(3));
+        assert!(s.get("engine.generate") >= Duration::from_millis(2));
+        assert_eq!(s.get("sim.compile"), Duration::from_millis(8));
+        assert_eq!(s.get("never"), Duration::ZERO);
+        assert!(s.wall() >= s.get("engine.generate"));
+    }
+}

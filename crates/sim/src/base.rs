@@ -31,10 +31,16 @@ use crate::session::{establish_router, Session, SessionDiag};
 use acr_cfg::model::DeviceModel;
 use acr_cfg::{Edit, NetworkConfig, Patch};
 use acr_net_types::{Prefix, RouterId};
+use acr_obs::metrics::Counter;
+use acr_obs::span;
 use acr_topo::Topology;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+static DELTA_BUILDS: Counter = Counter::new("sim.delta.builds");
+static DELTA_COMPILED: Counter = Counter::new("sim.delta.compiled_devices");
+static DELTA_ESTABLISHED: Counter = Counter::new("sim.delta.established_routers");
 
 /// One router's session-establishment output (see [`establish_router`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -216,6 +222,7 @@ impl<'a> CompiledBase<'a> {
     pub(crate) fn delta(&self, cfg: &NetworkConfig, patch: &Patch) -> Delta {
         let t = Instant::now();
         let touched = patch.routers();
+        let _compile_span = span!("sim.compile.delta", "sim").arg("devices", touched.len() as u64);
         let mut models = self.models.clone();
         let mut origin_repl: BTreeMap<RouterId, BTreeMap<Prefix, Origination>> = BTreeMap::new();
         let mut session_changed: BTreeSet<RouterId> = BTreeSet::new();
@@ -256,8 +263,12 @@ impl<'a> CompiledBase<'a> {
             Arc::new(self.origin.with_replaced(&origin_repl))
         };
         let compile = t.elapsed();
+        drop(_compile_span);
+        DELTA_BUILDS.inc();
+        DELTA_COMPILED.add(touched.len() as u64);
 
         let t = Instant::now();
+        let _establish_span = span!("sim.establish.delta", "sim");
         let mut established_routers = 0usize;
         let (parts, sessions, session_diags, session_delta) = if session_changed.is_empty() {
             (
@@ -310,6 +321,8 @@ impl<'a> CompiledBase<'a> {
             }
         };
         let establish = t.elapsed();
+        drop(_establish_span);
+        DELTA_ESTABLISHED.add(established_routers as u64);
 
         Delta {
             models,

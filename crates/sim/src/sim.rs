@@ -10,10 +10,22 @@ use crate::session::{establish, Session, SessionDiag};
 use acr_cfg::model::DeviceModel;
 use acr_cfg::{NetworkConfig, Patch};
 use acr_net_types::{Flow, Prefix, RouterId};
+use acr_obs::metrics::{Counter, Histogram};
+use acr_obs::span;
 use acr_topo::Topology;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
+
+static COMPILED_DEVICES: Counter = Counter::new("sim.compiled_devices");
+static ESTABLISHED_ROUTERS: Counter = Counter::new("sim.established_routers");
+static SIM_RUNS: Counter = Counter::new("sim.runs");
+static SIM_PREFIXES: Counter = Counter::new("sim.prefixes_run");
+static SIM_FLAPPING: Counter = Counter::new("sim.prefixes_flapping");
+/// Rounds-to-convergence per prefix run (flapping prefixes observe the
+/// round their cycle was first seen plus its length — the work done).
+static CONVERGENCE_ROUNDS: Histogram =
+    Histogram::new("sim.convergence_rounds", &[1, 2, 4, 8, 16, 32, 64]);
 
 /// A compiled simulation context: semantic models, established sessions
 /// and the origination index for one (topology, configuration) pair.
@@ -37,16 +49,23 @@ impl<'a> Simulator<'a> {
     /// nothing and peer with nobody).
     pub fn new(topo: &'a Topology, cfg: &NetworkConfig) -> Self {
         let t = Instant::now();
-        let models: Vec<Arc<DeviceModel>> = topo
-            .routers()
-            .iter()
-            .map(|r| Arc::new(compile_device(cfg, r.id, &r.name)))
-            .collect();
+        let models: Vec<Arc<DeviceModel>> = {
+            let _s = span!("sim.compile", "sim").arg("devices", topo.routers().len() as u64);
+            topo.routers()
+                .iter()
+                .map(|r| Arc::new(compile_device(cfg, r.id, &r.name)))
+                .collect()
+        };
         let origin = Arc::new(OriginIndex::build(topo, &models));
         let compile = t.elapsed();
         let t = Instant::now();
-        let (sessions, session_diags) = establish(topo, &models);
+        let (sessions, session_diags) = {
+            let _s = span!("sim.establish", "sim");
+            establish(topo, &models)
+        };
         let n = models.len();
+        COMPILED_DEVICES.add(n as u64);
+        ESTABLISHED_ROUTERS.add(n as u64);
         Simulator {
             topo,
             models,
@@ -180,10 +199,26 @@ impl<'a> Simulator<'a> {
                 asn: self.models[r.id.index()].asn.map(|(a, _)| a),
             })
             .collect();
+        let _s = span!("sim.simulate", "sim").arg("prefixes", prefixes.len() as u64);
+        SIM_RUNS.inc();
+        SIM_PREFIXES.add(prefixes.len() as u64);
         let mut outcomes = BTreeMap::new();
         for prefix in prefixes {
             let orig = self.origin.dense(*prefix, self.models.len());
             let outcome = run_prefix(*prefix, &routers, &self.sessions, &orig, arena);
+            match &outcome {
+                PrefixOutcome::Converged { rounds, .. } => {
+                    CONVERGENCE_ROUNDS.observe(*rounds as u64);
+                }
+                PrefixOutcome::Flapping {
+                    first_seen_round,
+                    cycle_len,
+                    ..
+                } => {
+                    SIM_FLAPPING.inc();
+                    CONVERGENCE_ROUNDS.observe((first_seen_round + cycle_len) as u64);
+                }
+            }
             outcomes.insert(*prefix, outcome);
         }
         outcomes

@@ -54,16 +54,36 @@ impl Cnf {
     }
 }
 
+use acr_obs::metrics::Counter;
+
+static DPLL_SOLVES: Counter = Counter::new("smt.dpll.solves");
+static DPLL_DECISIONS: Counter = Counter::new("smt.dpll.decisions");
+static DPLL_PROPAGATIONS: Counter = Counter::new("smt.dpll.propagations");
+static DPLL_BACKTRACKS: Counter = Counter::new("smt.dpll.backtracks");
+
 /// Decision statistics of one solve call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DpllStats {
     pub decisions: u64,
     pub propagations: u64,
+    /// Branches abandoned after a conflict (a decision whose subtree
+    /// refuted).
+    pub backtracks: u64,
 }
 
 /// Solves the CNF; returns a full assignment (indexed by variable) or
 /// `None` if unsatisfiable. `assumptions` are literals forced true.
 pub fn solve(cnf: &Cnf, assumptions: &[Lit], stats: &mut DpllStats) -> Option<Vec<bool>> {
+    let before = *stats;
+    let result = solve_inner(cnf, assumptions, stats);
+    DPLL_SOLVES.inc();
+    DPLL_DECISIONS.add(stats.decisions - before.decisions);
+    DPLL_PROPAGATIONS.add(stats.propagations - before.propagations);
+    DPLL_BACKTRACKS.add(stats.backtracks - before.backtracks);
+    result
+}
+
+fn solve_inner(cnf: &Cnf, assumptions: &[Lit], stats: &mut DpllStats) -> Option<Vec<bool>> {
     let n = cnf.num_vars as usize;
     let mut assign: Vec<Option<bool>> = vec![None; n];
     let mut trail: Vec<u32> = Vec::new();
@@ -159,6 +179,7 @@ fn search(cnf: &Cnf, assign: &mut Vec<Option<bool>>, stats: &mut DpllStats) -> b
             *assign = local;
             return true;
         }
+        stats.backtracks += 1;
     }
     false
 }

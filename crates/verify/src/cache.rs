@@ -28,9 +28,15 @@
 //! engine does so in candidate-index order.
 
 use crate::verify::Verification;
+use acr_obs::metrics::Counter;
 use acr_sim::{CacheStats, DerivArena, ShardedCache, SimOutcome};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+static CAND_HITS: Counter = Counter::new("cache.candidate.hits");
+static CAND_MISSES: Counter = Counter::new("cache.candidate.misses");
+static FULL_HITS: Counter = Counter::new("cache.full.hits");
+static FULL_MISSES: Counter = Counter::new("cache.full.misses");
 
 /// Key of a memoized candidate validation:
 /// `(verifier context, committed base config, candidate config)`.
@@ -111,7 +117,12 @@ impl SimCache {
 
     /// Looks up a candidate validation without touching LRU recency.
     pub fn peek_candidate(&self, key: CandidateKey) -> Option<Arc<CandidateEntry>> {
-        self.candidates.peek(&key)
+        let hit = self.candidates.peek(&key);
+        match hit {
+            Some(_) => CAND_HITS.inc(),
+            None => CAND_MISSES.inc(),
+        }
+        hit
     }
 
     /// Promotes a candidate entry (coordinator only, deterministic order).
@@ -126,7 +137,12 @@ impl SimCache {
 
     /// Looks up a full verification without touching LRU recency.
     pub fn peek_full(&self, key: FullKey) -> Option<Arc<(Verification, SimOutcome)>> {
-        self.full.peek(&key)
+        let hit = self.full.peek(&key);
+        match hit {
+            Some(_) => FULL_HITS.inc(),
+            None => FULL_MISSES.inc(),
+        }
+        hit
     }
 
     /// Inserts a full verification result.

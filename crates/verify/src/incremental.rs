@@ -33,10 +33,37 @@ use crate::spec::Spec;
 use crate::verify::{Verification, Verifier};
 use acr_cfg::{Edit, LineId, NetworkConfig, Patch, Stmt};
 use acr_net_types::{Prefix, RouterId};
+use acr_obs::metrics::Counter;
 use acr_sim::{CompiledBase, DeltaInfo, DerivArena, PrefixOutcome, SessionDelta, Simulator};
 use acr_topo::Topology;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
+
+static PREFIXES_RECOMPUTED: Counter = Counter::new("verify.prefixes_recomputed");
+static PREFIXES_REUSED: Counter = Counter::new("verify.prefixes_reused");
+// Invalidation breadth (prefixes re-simulated) by why the cache missed:
+// cold = no memo yet, structural/lines_only/unchanged = the candidate
+// patch's session-delta class, full = full reset without a delta analysis.
+static INV_COLD: Counter = Counter::new("verify.invalidated.cold");
+static INV_FULL: Counter = Counter::new("verify.invalidated.full");
+static INV_STRUCTURAL: Counter = Counter::new("verify.invalidated.structural");
+static INV_LINES_ONLY: Counter = Counter::new("verify.invalidated.lines_only");
+static INV_UNCHANGED: Counter = Counter::new("verify.invalidated.unchanged");
+
+/// Attributes `n` invalidated prefixes to their session-delta class.
+fn count_invalidated(n: u64, cold: bool, info: Option<&DeltaInfo>) {
+    if !acr_obs::enabled(acr_obs::METRICS) {
+        return;
+    }
+    let c = match (cold, info.map(|i| i.session_delta)) {
+        (true, _) => &INV_COLD,
+        (false, Some(SessionDelta::Structural)) => &INV_STRUCTURAL,
+        (false, Some(SessionDelta::LinesOnly)) => &INV_LINES_ONLY,
+        (false, Some(SessionDelta::Unchanged)) => &INV_UNCHANGED,
+        (false, None) => &INV_FULL,
+    };
+    c.add(n);
+}
 
 /// Statistics of one incremental verification call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -150,6 +177,7 @@ impl<'a> IncrementalVerifier<'a> {
         let sim = Simulator::from_base(&base);
         let universe = sim.universe();
 
+        let cold = self.cached.is_empty();
         let affected: BTreeSet<Prefix> = match (&info, patch) {
             (Some(i), Some(p))
                 if !self.cached.is_empty() && i.session_delta != SessionDelta::Structural =>
@@ -165,6 +193,9 @@ impl<'a> IncrementalVerifier<'a> {
 
         let t = Instant::now();
         let fresh = sim.run_prefixes_into(&affected, &mut self.arena);
+        PREFIXES_RECOMPUTED.add(fresh.len() as u64);
+        PREFIXES_REUSED.add(universe.len().saturating_sub(fresh.len()) as u64);
+        count_invalidated(fresh.len() as u64, cold, info.as_ref());
         self.last_stats = IncrementalStats {
             recomputed: fresh.len(),
             reused: universe.len().saturating_sub(fresh.len()),
@@ -316,6 +347,9 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
         };
         let t = Instant::now();
         let fresh = sim.run_prefixes_into(&affected, arena);
+        PREFIXES_RECOMPUTED.add(fresh.len() as u64);
+        PREFIXES_REUSED.add(universe.len().saturating_sub(fresh.len()) as u64);
+        count_invalidated(fresh.len() as u64, self.cached.is_empty(), info.as_ref());
         let mut stats = IncrementalStats {
             recomputed: fresh.len(),
             reused: universe.len().saturating_sub(fresh.len()),

@@ -6,9 +6,10 @@
 //! BGP control-plane simulator with oscillation detection, a DNA-style
 //! incremental verifier, provenance-based coverage, spectrum-based fault
 //! localization, a finite-domain constraint solver for local
-//! symbolization, the MetaProv/AED baselines it is compared against, and
+//! symbolization, the MetaProv/AED baselines it is compared against,
 //! workload generators reproducing the paper's Figure 2 incident and
-//! Table 1 misconfiguration taxonomy.
+//! Table 1 misconfiguration taxonomy, and a zero-dependency
+//! observability layer (tracing, metrics, run journal — see [`obs`]).
 //!
 //! ## Quickstart
 //!
@@ -35,6 +36,7 @@ pub use acr_core as core;
 pub use acr_lint as lint;
 pub use acr_localize as localize;
 pub use acr_net_types as net_types;
+pub use acr_obs as obs;
 pub use acr_prov as prov;
 pub use acr_sim as sim;
 pub use acr_smt as smt;
