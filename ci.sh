@@ -32,6 +32,16 @@ ACR_DELTA=0 cargo test -q --test determinism_differential --test repair_incident
 echo "==> exp_delta --smoke (delta/full equivalence regression guard)"
 cargo run --release -q -p acr-bench --bin exp_delta -- --smoke
 
+echo "==> exp_converge --smoke (sparse engine: strictly-less-work guard)"
+conv_sparse=$(cargo run --release -q -p acr-bench --bin exp_converge -- --smoke | tee /dev/stderr | grep '^report_digest=')
+
+echo "==> exp_converge --smoke (dense engine, ACR_SPARSE=0; digests must agree)"
+conv_dense=$(ACR_SPARSE=0 cargo run --release -q -p acr-bench --bin exp_converge -- --smoke | tee /dev/stderr | grep '^report_digest=')
+if [ "$conv_sparse" != "$conv_dense" ]; then
+    echo "FAIL: sparse and dense engines computed different repairs ($conv_sparse vs $conv_dense)" >&2
+    exit 1
+fi
+
 echo "==> exp_obs --smoke (journal/trace schema + determinism guard)"
 obs_on=$(cargo run --release -q -p acr-bench --bin exp_obs -- --smoke | tee /dev/stderr | grep '^report_digest=')
 

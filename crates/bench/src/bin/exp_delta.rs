@@ -164,18 +164,24 @@ fn main() {
     }
     let sum = |rs: &[RepairReport]| {
         rs.iter().fold(
-            (Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            (
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+            ),
             |acc, r| {
                 (
                     acc.0 + r.stage.sim_compile,
                     acc.1 + r.stage.sim_establish,
                     acc.2 + r.stage.sim_simulate,
+                    acc.3 + r.stage.sim_converge,
                 )
             },
         )
     };
-    let (c_on, e_on, s_on) = sum(&on);
-    let (c_off, e_off, s_off) = sum(&off);
+    let (c_on, e_on, s_on, v_on) = sum(&on);
+    let (c_off, e_off, s_off, v_off) = sum(&off);
     let fixed = on.iter().filter(|r| r.outcome.is_fixed()).count();
     println!(
         "repair A/B on {} ({} incidents, threads=1, cache off, {fixed} fixed; reports identical):",
@@ -183,18 +189,20 @@ fn main() {
         incidents.len()
     );
     println!(
-        "  delta on : wall {:>8}  compile {:>8}  establish {:>8}  simulate {:>8}",
+        "  delta on : wall {:>8}  compile {:>8}  establish {:>8}  simulate {:>8} (converge {:>8})",
         fmt_duration(wall_on),
         fmt_duration(c_on),
         fmt_duration(e_on),
         fmt_duration(s_on),
+        fmt_duration(v_on),
     );
     println!(
-        "  delta off: wall {:>8}  compile {:>8}  establish {:>8}  simulate {:>8}",
+        "  delta off: wall {:>8}  compile {:>8}  establish {:>8}  simulate {:>8} (converge {:>8})",
         fmt_duration(wall_off),
         fmt_duration(c_off),
         fmt_duration(e_off),
         fmt_duration(s_off),
+        fmt_duration(v_off),
     );
     println!(
         "  compile+establish reduced {:.2}x; end-to-end {:.2}x",
@@ -230,6 +238,8 @@ fn main() {
         .num("compile_establish_off_s", (c_off + e_off).as_secs_f64())
         .num("simulate_on_s", s_on.as_secs_f64())
         .num("simulate_off_s", s_off.as_secs_f64())
+        .num("converge_on_s", v_on.as_secs_f64())
+        .num("converge_off_s", v_off.as_secs_f64())
         .build();
     let path = write_bench("delta", |env| {
         env.bool("smoke", smoke)

@@ -208,6 +208,9 @@ pub struct StageTimes {
     pub sim_establish: Duration,
     /// Within validation: per-prefix simulation and FIB assembly.
     pub sim_simulate: Duration,
+    /// Within `sim_simulate`: per-prefix convergence alone (worklist
+    /// iteration and warm-start probes, excluding merge/FIB assembly).
+    pub sim_converge: Duration,
 }
 
 /// The full report of one repair run.
@@ -434,6 +437,7 @@ impl<'a> RepairEngine<'a> {
                         stages.add("sim.compile", stats.compile);
                         stages.add("sim.establish", stats.establish);
                         stages.add("sim.simulate", stats.simulate);
+                        stages.add("sim.converge", stats.converge);
                         let fitness = verification.failed_count();
                         // §5: discard candidates whose fitness exceeds
                         // the previous iteration's fitness.
@@ -773,6 +777,7 @@ fn finish(
         sim_compile: stages.get("sim.compile"),
         sim_establish: stages.get("sim.establish"),
         sim_simulate: stages.get("sim.simulate"),
+        sim_converge: stages.get("sim.converge"),
     };
     if acr_obs::enabled(acr_obs::JOURNAL) {
         let (kind, patch, fitness) = match &outcome {

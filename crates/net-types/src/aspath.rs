@@ -6,6 +6,7 @@
 //! route's preference — the exact mechanism behind the flapping incident.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A BGP autonomous-system number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -19,18 +20,30 @@ impl fmt::Display for Asn {
 
 /// A BGP AS_PATH, most-recent hop first (index 0 is the neighbor that last
 /// exported the route).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-pub struct AsPath(Vec<Asn>);
+///
+/// Paths are immutable once built (every "mutator" returns a new path), so
+/// the hops live behind an `Arc`: cloning a path — which the simulator does
+/// on every policy evaluation when it copies a route — is a refcount bump,
+/// not a heap allocation. `Eq`/`Ord`/`Hash` all delegate to the hop slice,
+/// so semantics are identical to a `Vec`-backed path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsPath(Arc<[Asn]>);
+
+impl Default for AsPath {
+    fn default() -> Self {
+        AsPath::empty()
+    }
+}
 
 impl AsPath {
     /// The empty path (a locally originated route).
     pub fn empty() -> Self {
-        AsPath(Vec::new())
+        AsPath(Arc::from([]))
     }
 
     /// A path consisting of the single AS `asn`.
     pub fn origin(asn: Asn) -> Self {
-        AsPath(vec![asn])
+        AsPath(Arc::from([asn]))
     }
 
     /// Builds a path from hops, most recent first.
@@ -58,7 +71,7 @@ impl AsPath {
         let mut hops = Vec::with_capacity(self.0.len() + 1);
         hops.push(asn);
         hops.extend_from_slice(&self.0);
-        AsPath(hops)
+        AsPath(hops.into())
     }
 
     /// Prepend the local AS `count` times (route-policy `as-path prepend`).
@@ -66,14 +79,14 @@ impl AsPath {
         let mut hops = Vec::with_capacity(self.0.len() + count);
         hops.extend(std::iter::repeat_n(asn, count));
         hops.extend_from_slice(&self.0);
-        AsPath(hops)
+        AsPath(hops.into())
     }
 
     /// The `as-path overwrite` action: replace the whole path with the
     /// local AS. This defeats AS-path loop prevention and shortens the
     /// path, which is what makes the Figure 2 incident possible.
     pub fn overwrite(asn: Asn) -> AsPath {
-        AsPath(vec![asn])
+        AsPath(Arc::from([asn]))
     }
 
     /// The hops, most recent first.

@@ -94,6 +94,22 @@ pub struct DeltaInfo {
     /// the literals it may have mentioned are recovered conservatively
     /// from the pre-patch model.
     pub delete_literals: Vec<Prefix>,
+    /// Whether the patch provably leaves the BGP dynamics unchanged, so
+    /// cached converged fixed points may be warm-started (probe + reuse).
+    ///
+    /// The per-prefix run reads exactly: the session vector (views, base
+    /// lines, policy bindings), each router's AS value, the origination
+    /// index, and — through `eval_policy` — the touched models'
+    /// `route_policies` and `prefix_lists`. If sessions are byte-identical
+    /// ([`SessionDelta::Unchanged`]), no origination changed, and every
+    /// touched router kept those three model inputs equal, then every
+    /// input of every `run_prefix` call is identical to the base's, the
+    /// candidate's convergence trajectory replays the base's round for
+    /// round, and the cached outcome (rounds, bests, rejections, interned
+    /// derivations) is byte-for-byte reusable. Typical eligible patches:
+    /// ACL, PBR, static-route and remark edits — which the conservative
+    /// region/literal-overlap rules still invalidate prefixes for.
+    pub warm_eligible: bool,
     /// Construction cost of the delta build.
     pub build: SimBuild,
 }
@@ -236,12 +252,16 @@ impl<'a> CompiledBase<'a> {
                 _ => None,
             })
             .collect();
+        let mut policies_unchanged = true;
         for r in &touched {
             let old = &self.models[r.index()];
             let new = compile_device(cfg, *r, &old.name);
             if old.peers != new.peers || as_value(old) != as_value(&new) {
                 session_changed.insert(*r);
             }
+            policies_unchanged &= old.route_policies == new.route_policies
+                && old.prefix_lists == new.prefix_lists
+                && as_value(old) == as_value(&new);
             let old_part = router_origins(self.topo, *r, old);
             let new_part = router_origins(self.topo, *r, &new);
             if old_part != new_part {
@@ -332,6 +352,9 @@ impl<'a> CompiledBase<'a> {
             origin,
             info: DeltaInfo {
                 session_delta,
+                warm_eligible: policies_unchanged
+                    && session_delta == SessionDelta::Unchanged
+                    && changed_origin_prefixes.is_empty(),
                 changed_origin_prefixes,
                 delete_literals,
                 build: SimBuild {

@@ -12,17 +12,53 @@
 //! inside it, so coverage can attribute the flap to the configuration
 //! lines that keep rewriting the route (the override policies of the
 //! incident).
+//!
+//! Two engines implement the same dynamics:
+//!
+//! * [`run_prefix_dense`] — the reference engine: every router recomputes
+//!   from every session every round.
+//! * [`run_prefix_sparse`] — the production engine: a router is
+//!   recomputed in round *t+1* only when it held round 0 or a session
+//!   neighbor's best changed (as a full [`Route`], derivation included)
+//!   in round *t*. A skipped router's inputs are bit-identical to the
+//!   previous round, so its recomputation would reproduce its current
+//!   best exactly — bests, rejection [`DerivId`]s, and arena first-intern
+//!   order all match the dense engine (see `states` below and the
+//!   `prop_sparse_sim` suite). The cycle-detection hash is maintained
+//!   incrementally (XOR of position-indexed per-router key hashes, with
+//!   true key-state verification on a hash hit — the dense engine trusts
+//!   the 64-bit hash), and history is a per-router change log instead of
+//!   a full `best.clone()` per round.
+//!
+//! Policy transfers (`export` then `import` over one session in one
+//! direction) are pure in the carried route, so the sparse engine
+//! memoizes them per simulation run ([`PolicyMemo`]); repeated rounds —
+//! a dirty router re-pulling an unchanged neighbor, or a flap cycling
+//! through the same states — cost a hash lookup instead of a policy walk.
+//! The memo key is the full [`Route`] (not [`RouteKey`]): communities and
+//! the derivation id are not protocol-key state but *do* influence the
+//! transfer result (community matches; provenance of the output).
+//!
+//! [`warm_probe`] layers fixed-point reuse on top: given a previously
+//! converged outcome for the same dynamics, one synchronous round checks
+//! whether that state is still a fixed point, and if so the outcome is
+//! reused wholesale. The incremental verifier gates this on a
+//! patch-eligibility guard (see `acr-sim`'s `base` module) so provenance
+//! is never silently altered.
+//!
+//! [`RouteKey`]: crate::route::RouteKey
 
 use crate::deriv::{DerivArena, DerivId, DerivKind};
-use crate::policy::{eval_policy, PolicyVerdict};
+use crate::fxhash::FxHashMap;
+use crate::policy::{eval_policy_into, PolicyOutcome};
 use crate::route::{select_best, Route};
 use crate::session::Session;
 use acr_cfg::model::DeviceModel;
 use acr_cfg::LineId;
 use acr_net_types::{Asn, Prefix, RouterId};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// Base number of extra rounds beyond the network diameter bound before
 /// declaring non-convergence without a detected cycle (defensive cap; the
@@ -105,7 +141,316 @@ pub struct RouterCtx<'a> {
     pub asn: Option<Asn>,
 }
 
-/// Simulates one prefix to fixed point or cycle.
+/// Which convergence engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergeEngine {
+    /// The reference engine: full recomputation every round.
+    Dense,
+    /// The worklist engine: recompute only routers whose inputs changed.
+    Sparse,
+}
+
+static SPARSE_DEFAULT: OnceLock<bool> = OnceLock::new();
+
+impl ConvergeEngine {
+    /// The process-wide default: [`ConvergeEngine::Sparse`], unless the
+    /// `ACR_SPARSE` environment variable says `0`/`false`/`off`. Read
+    /// once (first call wins), like the other `ACR_*` toggles.
+    pub fn from_env() -> ConvergeEngine {
+        let sparse = *SPARSE_DEFAULT.get_or_init(|| {
+            !matches!(
+                std::env::var("ACR_SPARSE").ok().as_deref(),
+                Some("0") | Some("false") | Some("off")
+            )
+        });
+        if sparse {
+            ConvergeEngine::Sparse
+        } else {
+            ConvergeEngine::Dense
+        }
+    }
+}
+
+/// Work accounting across one or more convergence runs. One "policy
+/// eval" is one actual walk of the export→import machinery; attempts the
+/// sparse engine serves from its memo are counted in `memo_hits` instead.
+/// The dense engine never skips and never memoizes, so on identical
+/// dynamics `recomputed_routers` and `policy_evals` bound the sparse
+/// engine's from above — `exp_converge` records both sides.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvergeWork {
+    /// Prefixes run to an outcome (warm reuses included).
+    pub prefixes: u64,
+    /// Synchronous rounds computed (cycle-check-only iterations excluded).
+    pub rounds: u64,
+    /// Router recomputations performed.
+    pub recomputed_routers: u64,
+    /// Router recomputations skipped because no session neighbor changed.
+    pub skipped_routers: u64,
+    /// Export→import evaluations actually performed.
+    pub policy_evals: u64,
+    /// Evaluations served from the per-run [`PolicyMemo`].
+    pub memo_hits: u64,
+    /// Warm-start probes attempted ([`warm_probe`]).
+    pub warm_probes: u64,
+    /// Probes that confirmed the cached fixed point and reused it.
+    pub warm_reused: u64,
+    /// Probes that failed and fell back to a cold sparse run.
+    pub warm_fallbacks: u64,
+}
+
+impl ConvergeWork {
+    /// Field-wise accumulation.
+    pub fn absorb(&mut self, other: &ConvergeWork) {
+        self.prefixes += other.prefixes;
+        self.rounds += other.rounds;
+        self.recomputed_routers += other.recomputed_routers;
+        self.skipped_routers += other.skipped_routers;
+        self.policy_evals += other.policy_evals;
+        self.memo_hits += other.memo_hits;
+        self.warm_probes += other.warm_probes;
+        self.warm_reused += other.warm_reused;
+        self.warm_fallbacks += other.warm_fallbacks;
+    }
+}
+
+/// Result of one policy transfer (export by the sender, then import by
+/// the receiver) over one session in one direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Transfer {
+    /// The receiver accepted this route into its candidate set.
+    Accepted(Route),
+    /// A policy denied the announcement (negative provenance).
+    Denied(DerivId),
+    /// Nothing config-attributable happened (AS-path loop, no BGP).
+    Silent,
+}
+
+/// Per-simulation-run memo over the transfer function, keyed on
+/// (session, direction, carried route). The transfer is pure in those
+/// inputs — the models and session views are fixed for a run, and the
+/// derivation arena is content-addressed, so re-running a transfer
+/// returns bit-identical routes and ids. The key must be the full
+/// [`Route`]: the route *key* excludes communities (matchable by
+/// policies) and the derivation id (flows into the output's provenance),
+/// both of which change the result.
+///
+/// Hits only ever occur within one prefix's run (the prefix is part of
+/// the route), where they come from repeated rounds: a dirty router
+/// re-pulling an unchanged neighbor, or a flap cycling through the same
+/// states.
+#[derive(Default)]
+pub struct PolicyMemo {
+    /// `slots[2 * session_index + direction]`, direction = sender is `a`.
+    /// Keyed with the crate's fast hasher — the memo is looked up on
+    /// every transfer attempt, and `HashMap` semantics (not hash quality)
+    /// carry the correctness argument.
+    slots: Vec<FxHashMap<Route, MemoEntry>>,
+    /// Reused per-evaluation buffers for the unmemoized path.
+    eval: EvalScratch,
+    /// Current run generation; entries remember the last generation that
+    /// *attempted* them through [`PolicyMemo::transfer`], which is what
+    /// keeps per-run rejection bookkeeping exact when one memo is kept
+    /// alive across runs (see [`PolicyMemo::begin_run`]).
+    gen: u64,
+    /// Routers whose adjacent-session slots were (re)filled during the
+    /// last cross-run use while *their* models were patched — those
+    /// entries encode that candidate's semantics and must be dropped
+    /// before the next run reuses the memo.
+    poisoned: Vec<RouterId>,
+    /// The session list `slots` is indexed against — kept so the next
+    /// [`PolicyMemo::begin_run`] can detect a structurally changed list
+    /// and re-home surviving entries by endpoint pair instead of
+    /// discarding them (an `Arc` clone, so carrying it is free).
+    sessions: Option<Arc<Vec<Session>>>,
+}
+
+/// One memoized transfer and the generation that last attempted it.
+struct MemoEntry {
+    t: Transfer,
+    gen: u64,
+}
+
+/// Reusable buffers for one policy evaluation: the derivation's line set
+/// and parent list, built in place and interned via
+/// [`DerivArena::intern_ref`] so a dedup hit allocates nothing.
+#[derive(Default)]
+struct EvalScratch {
+    lines: Vec<LineId>,
+    parents: Vec<DerivId>,
+}
+
+impl PolicyMemo {
+    pub fn new() -> Self {
+        PolicyMemo::default()
+    }
+
+    fn slot_index(&mut self, si: u32, sender_is_a: bool) -> usize {
+        let idx = si as usize * 2 + sender_is_a as usize;
+        if self.slots.len() <= idx {
+            self.slots.resize_with(idx + 1, FxHashMap::default);
+        }
+        idx
+    }
+
+    /// Prepares a memo that outlives one simulation for its next run.
+    /// Bumps the generation (so every surviving entry reads as "not yet
+    /// attempted this run" and its denial is re-recorded exactly once)
+    /// and drops entries for sessions adjacent to `changed` routers —
+    /// plus those poisoned by the previous run's changed routers, whose
+    /// entries encode that run's patched semantics. Entries on sessions
+    /// between untouched routers are pure in inputs the patch cannot
+    /// reach, so they remain bit-exact.
+    ///
+    /// When `sessions` still lines up with the previous run's list
+    /// (same endpoint pairs in the same order — every non-structural
+    /// delta), slots are reused in place; any slot whose session content
+    /// changed is cleared. A structurally changed list (sessions added,
+    /// removed, or reordered) shifts slot indices instead of merely
+    /// invalidating entries, so surviving slots are re-homed by endpoint
+    /// pair, gated on full content equality of the old and new session.
+    ///
+    /// The caller must only keep a memo across runs that share a
+    /// content-addressed arena and whose unpatched routers share device
+    /// models (the incremental verifier's delta-construction path).
+    pub fn begin_run(&mut self, sessions: &Arc<Vec<Session>>, changed: &[RouterId]) {
+        self.gen = self.gen.wrapping_add(1);
+        let prev = self.sessions.replace(Arc::clone(sessions));
+        let stale = |r: &RouterId| changed.contains(r) || self.poisoned.contains(r);
+        let aligned = prev.as_ref().is_some_and(|p| {
+            Arc::ptr_eq(p, sessions)
+                || (p.len() == sessions.len()
+                    && p.iter()
+                        .zip(sessions.iter())
+                        .all(|(x, y)| x.a == y.a && x.b == y.b))
+        });
+        if aligned {
+            let prev = prev.expect("aligned implies a previous list");
+            let same_arc = Arc::ptr_eq(&prev, sessions);
+            for (si, s) in sessions.iter().enumerate() {
+                if stale(&s.a) || stale(&s.b) || (!same_arc && prev[si] != *s) {
+                    for idx in [si * 2, si * 2 + 1] {
+                        if let Some(slot) = self.slots.get_mut(idx) {
+                            slot.clear();
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut old_slots = std::mem::take(&mut self.slots);
+            self.slots
+                .resize_with(sessions.len() * 2, FxHashMap::default);
+            if let Some(prev) = prev {
+                let mut by_pair: FxHashMap<(RouterId, RouterId), usize> = FxHashMap::default();
+                for (osi, s) in prev.iter().enumerate() {
+                    by_pair.insert((s.a, s.b), osi);
+                }
+                for (si, s) in sessions.iter().enumerate() {
+                    if stale(&s.a) || stale(&s.b) {
+                        continue;
+                    }
+                    let Some(&osi) = by_pair.get(&(s.a, s.b)) else {
+                        continue;
+                    };
+                    if prev[osi] == *s && old_slots.len() > osi * 2 + 1 {
+                        self.slots[si * 2] = std::mem::take(&mut old_slots[osi * 2]);
+                        self.slots[si * 2 + 1] = std::mem::take(&mut old_slots[osi * 2 + 1]);
+                    }
+                }
+            }
+        }
+        self.poisoned.clear();
+        self.poisoned.extend_from_slice(changed);
+    }
+
+    /// The memoized transfer. Returns `(first, result)` — `first` is true
+    /// when this (session, direction, route) was not yet attempted *this
+    /// run* (the caller records denials into its rejection set exactly
+    /// once per run, on that first attempt; the dense engine's duplicate
+    /// pushes dedup away in the final sort).
+    #[allow(clippy::too_many_arguments)]
+    fn transfer(
+        &mut self,
+        si: u32,
+        receiver: &RouterCtx<'_>,
+        sender: &RouterCtx<'_>,
+        session: &Session,
+        best: &Route,
+        arena: &mut DerivArena,
+        work: &mut ConvergeWork,
+    ) -> (bool, &Transfer) {
+        let idx = self.slot_index(si, session.a == sender.id);
+        let gen = self.gen;
+        if self.slots[idx].contains_key(best) {
+            work.memo_hits += 1;
+            let e = self.slots[idx].get_mut(best).expect("checked above");
+            let first = e.gen != gen;
+            e.gen = gen;
+            return (first, &self.slots[idx][best].t);
+        }
+        work.policy_evals += 1;
+        let t = transfer(receiver, sender, session, best, arena, &mut self.eval);
+        let e = self.slots[idx]
+            .entry(best.clone())
+            .or_insert(MemoEntry { t, gen });
+        (true, &e.t)
+    }
+
+    /// A transfer lookup for the warm probe: reuses (and fills) the memo
+    /// **without** stamping the current generation. Probe evaluations do
+    /// not record rejections, so an entry the probe touches must still
+    /// read as unattempted to a subsequent cold run of the same run
+    /// generation — otherwise that run's first-evaluation denial
+    /// bookkeeping would be suppressed.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_transfer(
+        &mut self,
+        si: u32,
+        receiver: &RouterCtx<'_>,
+        sender: &RouterCtx<'_>,
+        session: &Session,
+        best: &Route,
+        arena: &mut DerivArena,
+        work: &mut ConvergeWork,
+    ) -> &Transfer {
+        let idx = self.slot_index(si, session.a == sender.id);
+        if self.slots[idx].contains_key(best) {
+            work.memo_hits += 1;
+            return &self.slots[idx][best].t;
+        }
+        work.policy_evals += 1;
+        let t = transfer(receiver, sender, session, best, arena, &mut self.eval);
+        let gen = self.gen.wrapping_sub(1);
+        let e = self.slots[idx]
+            .entry(best.clone())
+            .or_insert(MemoEntry { t, gen });
+        &e.t
+    }
+}
+
+/// One unmemoized transfer: `sender` exports `best` over `session`,
+/// `receiver` imports the result.
+fn transfer(
+    receiver: &RouterCtx<'_>,
+    sender: &RouterCtx<'_>,
+    session: &Session,
+    best: &Route,
+    arena: &mut DerivArena,
+    scratch: &mut EvalScratch,
+) -> Transfer {
+    match export(sender, session, receiver.id, best, arena, scratch) {
+        Ok(msg) => match import(receiver, session, sender.id, &msg, arena, scratch) {
+            Ok(imported) => Transfer::Accepted(imported),
+            Err(Some(denied)) => Transfer::Denied(denied),
+            Err(None) => Transfer::Silent,
+        },
+        Err(Some(denied)) => Transfer::Denied(denied),
+        Err(None) => Transfer::Silent,
+    }
+}
+
+/// Simulates one prefix to fixed point or cycle with the process-default
+/// engine (see [`ConvergeEngine::from_env`]).
 ///
 /// `originations[i]` lists why router `i` originates `prefix` (empty for
 /// non-originators). `sessions` are the established sessions.
@@ -116,12 +461,46 @@ pub fn run_prefix(
     originations: &[Origination],
     arena: &mut DerivArena,
 ) -> PrefixOutcome {
-    let n = routers.len();
-    // Local candidate routes never change across rounds.
-    let locals: Vec<Vec<Route>> = (0..n)
-        .map(|i| {
-            originations[i]
-                .sources
+    let mut work = ConvergeWork::default();
+    let sessions_of = index_sessions(sessions, routers.len());
+    match ConvergeEngine::from_env() {
+        ConvergeEngine::Dense => run_prefix_dense(
+            prefix,
+            routers,
+            sessions,
+            &sessions_of,
+            originations,
+            arena,
+            &mut work,
+        ),
+        ConvergeEngine::Sparse => {
+            let mut memo = PolicyMemo::new();
+            let mut scratch = SparseScratch::new();
+            run_prefix_sparse(
+                prefix,
+                routers,
+                sessions,
+                &sessions_of,
+                originations,
+                arena,
+                &mut memo,
+                &mut scratch,
+                &mut work,
+            )
+        }
+    }
+}
+
+/// Interns the constant per-router local candidate routes.
+fn intern_locals(
+    prefix: Prefix,
+    originations: &[Origination],
+    arena: &mut DerivArena,
+) -> Vec<Vec<Route>> {
+    originations
+        .iter()
+        .map(|o| {
+            o.sources
                 .iter()
                 .map(|(kind, lines)| {
                     let deriv = arena.intern(*kind, lines.clone(), vec![]);
@@ -129,21 +508,75 @@ pub fn run_prefix(
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
 
-    // Sessions indexed by receiving router for the import step.
-    let mut sessions_of: Vec<Vec<&Session>> = vec![Vec::new(); n];
-    for s in sessions {
-        sessions_of[s.a.index()].push(s);
-        sessions_of[s.b.index()].push(s);
+/// Session indices per member router, in session order — the candidate
+/// evaluation order both engines share. Prefix-independent: callers
+/// running many prefixes build this once and pass it to every engine
+/// invocation (it showed up as per-prefix fixed cost when it was built
+/// inside the engines).
+pub fn index_sessions(sessions: &[Session], n: usize) -> Vec<Vec<u32>> {
+    let mut sessions_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (si, s) in sessions.iter().enumerate() {
+        sessions_of[s.a.index()].push(si as u32);
+        sessions_of[s.b.index()].push(si as u32);
     }
+    sessions_of
+}
+
+/// Reusable working memory for [`run_prefix_sparse`]: change logs, the
+/// worklist bitmaps, cycle table, and candidate buffer. A many-prefix run
+/// clears and refills these per prefix instead of reallocating — on the
+/// repair loop's small networks the per-prefix allocations were a
+/// measurable share of convergence wall time.
+#[derive(Default)]
+pub struct SparseScratch {
+    slot_hash: Vec<u64>,
+    logs: Vec<Vec<(usize, Option<Route>)>>,
+    seen_states: FxHashMap<u64, usize>,
+    dirty: Vec<bool>,
+    next_dirty: Vec<bool>,
+    pending: Vec<(usize, Option<Route>)>,
+    candidates: Vec<Route>,
+}
+
+impl SparseScratch {
+    pub fn new() -> Self {
+        SparseScratch::default()
+    }
+}
+
+/// The dense reference engine: every router recomputes from every session
+/// every round. Kept verbatim as the oracle the sparse engine is tested
+/// against (per-round scratch is reused, which does not change a single
+/// evaluation).
+pub fn run_prefix_dense(
+    prefix: Prefix,
+    routers: &[RouterCtx<'_>],
+    sessions: &[Session],
+    sessions_of: &[Vec<u32>],
+    originations: &[Origination],
+    arena: &mut DerivArena,
+    work: &mut ConvergeWork,
+) -> PrefixOutcome {
+    let n = routers.len();
+    work.prefixes += 1;
+    // Local candidate routes never change across rounds.
+    let locals = intern_locals(prefix, originations, arena);
 
     let mut best: Vec<Option<Route>> = (0..n)
         .map(|i| select_best(locals[i].iter().cloned()))
         .collect();
-    let mut seen_states: HashMap<u64, usize> = HashMap::new();
+    let mut seen_states: FxHashMap<u64, usize> = FxHashMap::default();
     let mut history: Vec<Vec<Option<Route>>> = Vec::new();
     let mut rejections: Vec<DerivId> = Vec::new();
+
+    // Per-round scratch, allocated once and drained per router / swapped
+    // per round.
+    let mut next: Vec<Option<Route>> = Vec::with_capacity(n);
+    let mut candidates: Vec<Route> = Vec::new();
+    let mut eval = EvalScratch::default();
 
     let max_rounds = MAX_ROUNDS_BASE + 4 * n;
     for round in 0..max_rounds {
@@ -177,18 +610,22 @@ pub fn run_prefix(
         history.push(best.clone());
 
         // Compute the next state.
-        let mut next: Vec<Option<Route>> = Vec::with_capacity(n);
+        work.rounds += 1;
+        work.recomputed_routers += n as u64;
+        next.clear();
         for i in 0..n {
             let me = &routers[i];
-            let mut candidates: Vec<Route> = locals[i].clone();
-            for session in &sessions_of[i] {
+            candidates.extend(locals[i].iter().cloned());
+            for &si in &sessions_of[i] {
+                let session = &sessions[si as usize];
                 let view = session.view_of(me.id).expect("indexed by member");
                 let neighbor = &routers[view.peer.index()];
                 let Some(neighbor_best) = &best[view.peer.index()] else {
                     continue;
                 };
-                match export(neighbor, session, me.id, neighbor_best, arena) {
-                    Ok(msg) => match import(me, session, view.peer, &msg, arena) {
+                work.policy_evals += 1;
+                match export(neighbor, session, me.id, neighbor_best, arena, &mut eval) {
+                    Ok(msg) => match import(me, session, view.peer, &msg, arena, &mut eval) {
                         Ok(imported) => candidates.push(imported),
                         Err(Some(denied)) => rejections.push(denied),
                         Err(None) => {} // AS-path loop: not config-attributable
@@ -197,7 +634,7 @@ pub fn run_prefix(
                     Err(None) => {}
                 }
             }
-            next.push(select_best(candidates));
+            next.push(select_best(candidates.drain(..)));
         }
 
         let stable = next.iter().zip(&best).all(|(a, b)| match (a, b) {
@@ -205,7 +642,7 @@ pub fn run_prefix(
             (None, None) => true,
             _ => false,
         });
-        best = next;
+        std::mem::swap(&mut best, &mut next);
         if stable {
             rejections.sort_unstable();
             rejections.dedup();
@@ -236,6 +673,309 @@ pub fn run_prefix(
     }
 }
 
+/// Position-indexed hash of one router's slot in the key-state vector.
+/// The full state hash is the XOR of all slots, so a change to router `i`
+/// updates it in O(1): `H ^= old_slot ^ new_slot`.
+///
+/// Uses the crate's fast hasher: the sparse engine *verifies* every hash
+/// hit against the reconstructed key state before declaring a cycle, so a
+/// collision between distinct states costs a spurious comparison (and, if
+/// it persisted, a delayed detection) rather than a *false* cycle — the
+/// same ~2^-64 regime as the dense engine's [`hash_state`], which trusts
+/// its fingerprint outright and therefore keeps SipHash.
+fn hash_slot(i: usize, r: &Option<Route>) -> u64 {
+    let mut hasher = crate::fxhash::FxHasher::default();
+    i.hash(&mut hasher);
+    match r {
+        Some(r) => {
+            1u8.hash(&mut hasher);
+            r.key().hash(&mut hasher);
+        }
+        None => 0u8.hash(&mut hasher),
+    }
+    hasher.finish()
+}
+
+/// Protocol-key equality of two slots (what convergence and cycle
+/// detection are defined over; derivations and communities excluded).
+fn keys_eq(a: &Option<Route>, b: &Option<Route>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x.key() == y.key(),
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+/// The value router `i`'s change log held at `round` (logs are seeded at
+/// round 0 and gain an entry per change, sorted by round).
+fn log_value_at(log: &[(usize, Option<Route>)], round: usize) -> &Option<Route> {
+    let idx = match log.binary_search_by_key(&round, |e| e.0) {
+        Ok(k) => k,
+        Err(k) => k - 1, // log[0].0 == 0 <= round, so k >= 1
+    };
+    &log[idx].1
+}
+
+/// The sparse worklist engine. Produces outcomes byte-identical to
+/// [`run_prefix_dense`] (modulo an astronomically unlikely 64-bit state
+/// hash collision, where the dense engine would mis-detect a cycle and
+/// this engine — which verifies hash hits against the reconstructed
+/// state — would not):
+///
+/// * **Skipping is exact.** `next[i]` is a pure function of the
+///   neighbors' round-*t* bests and constant locals. If no session
+///   neighbor of `i` changed as a full `Route` in round *t*, recomputing
+///   `i` would reproduce its current best bit-for-bit (same derivation
+///   ids — the arena is content-addressed), so it is skipped. Dirtiness
+///   propagates on *full* route change; the stability check stays
+///   key-based, exactly like the dense engine.
+/// * **Rejections are complete.** Every distinct transfer value the dense
+///   engine ever evaluates is first evaluated here at the same (round,
+///   receiver, session) position — the sender's change made the receiver
+///   dirty — and its denial is recorded then. Dense re-evaluations of the
+///   same value only push duplicates, which its final dedup removes.
+/// * **Arena first-intern order is preserved.** New derivations only
+///   appear on the first evaluation of a transfer value, and those first
+///   evaluations coincide positionally in both engines; everything else
+///   is a content-addressed dedup hit.
+#[allow(clippy::too_many_arguments)]
+pub fn run_prefix_sparse(
+    prefix: Prefix,
+    routers: &[RouterCtx<'_>],
+    sessions: &[Session],
+    sessions_of: &[Vec<u32>],
+    originations: &[Origination],
+    arena: &mut DerivArena,
+    memo: &mut PolicyMemo,
+    scratch: &mut SparseScratch,
+    work: &mut ConvergeWork,
+) -> PrefixOutcome {
+    let n = routers.len();
+    work.prefixes += 1;
+    let locals = intern_locals(prefix, originations, arena);
+
+    let mut best: Vec<Option<Route>> = (0..n)
+        .map(|i| select_best(locals[i].iter().cloned()))
+        .collect();
+    // Incremental state hash and per-router change logs (round, value) —
+    // the compact replacement for the dense engine's per-round history.
+    // All working buffers live in `scratch` and are reset here.
+    let slot_hash = &mut scratch.slot_hash;
+    slot_hash.clear();
+    slot_hash.extend(best.iter().enumerate().map(|(i, r)| hash_slot(i, r)));
+    let mut state_hash: u64 = slot_hash.iter().fold(0, |acc, h| acc ^ h);
+    let logs = &mut scratch.logs;
+    logs.truncate(n);
+    logs.resize_with(n, Vec::new);
+    for (log, r) in logs.iter_mut().zip(&best) {
+        log.clear();
+        log.push((0usize, r.clone()));
+    }
+    let seen_states = &mut scratch.seen_states;
+    seen_states.clear();
+    let mut rejections: Vec<DerivId> = Vec::new();
+
+    // Worklist state: `dirty` for the round being computed, `next_dirty`
+    // accumulates for the round after. Round 1 recomputes everyone.
+    scratch.dirty.clear();
+    scratch.dirty.resize(n, true);
+    scratch.next_dirty.clear();
+    scratch.next_dirty.resize(n, false);
+    let mut dirty = &mut scratch.dirty;
+    let mut next_dirty = &mut scratch.next_dirty;
+    let pending = &mut scratch.pending;
+    pending.clear();
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
+
+    let max_rounds = MAX_ROUNDS_BASE + 4 * n;
+    for round in 0..max_rounds {
+        if let Some(&first) = seen_states.get(&state_hash) {
+            // Hash hit: verify true key-state equality against the
+            // reconstructed round-`first` state before declaring a cycle
+            // (a collision between distinct states is skipped — the dense
+            // engine would mis-fire here, at probability ~2^-64).
+            let equal = logs
+                .iter()
+                .zip(&best)
+                .all(|(log, cur)| keys_eq(log_value_at(log, first), cur));
+            if equal {
+                let cycle_len = round - first;
+                if cycle_len == 0 {
+                    break; // defensive; cannot happen (hash inserted below)
+                }
+                // Reconstruct the dense `observed` sets: per router, the
+                // first occurrence of each distinct key over the cycle
+                // rounds [first, round), in round order.
+                let mut observed: Vec<Vec<Route>> = vec![Vec::new(); n];
+                for (i, log) in logs.iter().enumerate() {
+                    for r in first..round {
+                        if let Some(route) = log_value_at(log, r) {
+                            if !observed[i].iter().any(|o: &Route| o.key() == route.key()) {
+                                observed[i].push(route.clone());
+                            }
+                        }
+                    }
+                }
+                rejections.sort_unstable();
+                rejections.dedup();
+                return PrefixOutcome::Flapping {
+                    first_seen_round: first,
+                    cycle_len,
+                    observed,
+                    rejections,
+                };
+            }
+        } else {
+            seen_states.insert(state_hash, round);
+        }
+
+        // Sweep the dirty routers against the round-`round` state.
+        // Updates are buffered in `pending` so every recomputation reads
+        // the same synchronous state.
+        work.rounds += 1;
+        pending.clear();
+        for i in 0..n {
+            if !dirty[i] {
+                work.skipped_routers += 1;
+                continue;
+            }
+            work.recomputed_routers += 1;
+            let me = &routers[i];
+            candidates.extend(locals[i].iter().cloned());
+            for &si in &sessions_of[i] {
+                let session = &sessions[si as usize];
+                let view = session.view_of(me.id).expect("indexed by member");
+                let Some(neighbor_best) = &best[view.peer.index()] else {
+                    continue;
+                };
+                let neighbor = &routers[view.peer.index()];
+                let (fresh, t) =
+                    memo.transfer(si, me, neighbor, session, neighbor_best, arena, work);
+                match t {
+                    Transfer::Accepted(r) => candidates.push(r.clone()),
+                    Transfer::Denied(d) => {
+                        if fresh {
+                            rejections.push(*d);
+                        }
+                    }
+                    Transfer::Silent => {}
+                }
+            }
+            let new = select_best(candidates.drain(..));
+            if new != best[i] {
+                pending.push((i, new));
+            }
+        }
+
+        // Key-stability, dense semantics: changes that only touch
+        // non-key fields (derivation, communities) still converge.
+        let stable = pending.iter().all(|(i, new)| keys_eq(new, &best[*i]));
+        for (i, new) in pending.drain(..) {
+            let h = hash_slot(i, &new);
+            state_hash ^= slot_hash[i] ^ h;
+            slot_hash[i] = h;
+            best[i] = new;
+            logs[i].push((round + 1, best[i].clone()));
+            for &si in &sessions_of[i] {
+                let s = &sessions[si as usize];
+                let peer = if s.a.index() == i { s.b } else { s.a };
+                next_dirty[peer.index()] = true;
+            }
+        }
+        if stable {
+            rejections.sort_unstable();
+            rejections.dedup();
+            return PrefixOutcome::Converged {
+                rounds: round + 1,
+                best,
+                rejections,
+            };
+        }
+        std::mem::swap(&mut dirty, &mut next_dirty);
+        next_dirty.fill(false);
+    }
+    // Defensive cap, identical to the dense engine's.
+    rejections.sort_unstable();
+    rejections.dedup();
+    PrefixOutcome::Flapping {
+        first_seen_round: 0,
+        cycle_len: max_rounds,
+        observed: vec![
+            best.into_iter()
+                .flatten()
+                .map(|r| vec![r])
+                .next()
+                .unwrap_or_default();
+            n
+        ],
+        rejections,
+    }
+}
+
+/// Probes a previously converged outcome with one synchronous round: if
+/// the cached per-router bests are a full fixed point of the *current*
+/// dynamics (every recomputation reproduces the cached route
+/// bit-for-bit), the cached outcome — rounds, bests, rejections — is
+/// returned for wholesale reuse; otherwise `None`, and the caller falls
+/// back to a cold run, so provenance is never silently altered.
+///
+/// The caller is responsible for only probing when the dynamics are
+/// *expected* to be unchanged (the incremental verifier's
+/// `warm_eligible` guard); the probe is the runtime defense-in-depth
+/// behind that guard. Under the guard every intern below is a
+/// content-addressed dedup hit; a failed probe may leave unreferenced
+/// (and therefore harmless) derivations behind. Probe evaluations go
+/// through [`PolicyMemo::probe_transfer`], which never stamps the current
+/// run generation: probes do not record rejections, so an entry the probe
+/// touches must still read as unattempted to a subsequent cold run.
+#[allow(clippy::too_many_arguments)]
+pub fn warm_probe(
+    prefix: Prefix,
+    routers: &[RouterCtx<'_>],
+    sessions: &[Session],
+    sessions_of: &[Vec<u32>],
+    originations: &[Origination],
+    arena: &mut DerivArena,
+    memo: &mut PolicyMemo,
+    base: &PrefixOutcome,
+    work: &mut ConvergeWork,
+) -> Option<PrefixOutcome> {
+    let PrefixOutcome::Converged { best, .. } = base else {
+        return None;
+    };
+    let n = routers.len();
+    if best.len() != n {
+        return None;
+    }
+    work.warm_probes += 1;
+    let mut candidates: Vec<Route> = Vec::new();
+    for i in 0..n {
+        let me = &routers[i];
+        for (kind, lines) in &originations[i].sources {
+            let deriv = arena.intern(*kind, lines.clone(), vec![]);
+            candidates.push(Route::local(prefix, deriv));
+        }
+        for &si in &sessions_of[i] {
+            let session = &sessions[si as usize];
+            let view = session.view_of(me.id).expect("indexed by member");
+            let Some(neighbor_best) = &best[view.peer.index()] else {
+                continue;
+            };
+            let neighbor = &routers[view.peer.index()];
+            let t = memo.probe_transfer(si, me, neighbor, session, neighbor_best, arena, work);
+            if let Transfer::Accepted(r) = t {
+                candidates.push(r.clone());
+            }
+        }
+        if select_best(candidates.drain(..)) != best[i] {
+            return None;
+        }
+    }
+    work.warm_reused += 1;
+    Some(base.clone())
+}
+
 /// The export half: `sender` announces its best to `receiver` over
 /// `session`. Returns `None` when suppressed (policy deny).
 ///
@@ -252,34 +992,34 @@ fn export(
     receiver: RouterId,
     best: &Route,
     arena: &mut DerivArena,
+    scratch: &mut EvalScratch,
 ) -> Result<Route, Option<DerivId>> {
     let sender_view = session.view_of(sender.id).ok_or(None)?;
     debug_assert_eq!(sender_view.peer, receiver);
     let own_asn = sender.asn.ok_or(None)?;
 
-    let mut lines: Vec<LineId> = sender_view.base_lines.to_vec();
+    let EvalScratch { lines, parents } = scratch;
+    lines.clear();
+    lines.extend_from_slice(sender_view.base_lines);
+    parents.clear();
+    parents.push(best.deriv);
     let mut out = best.clone();
     let mut overwrote = false;
     if let Some((policy, app_line)) = sender_view.export {
-        match eval_policy(sender.model, sender.id, own_asn, policy, best) {
-            PolicyVerdict::Permit {
+        lines.push(app_line);
+        match eval_policy_into(sender.model, sender.id, own_asn, policy, best, lines) {
+            PolicyOutcome::Permit {
                 route,
                 overwrote_path,
-                lines: pol_lines,
             } => {
                 out = route;
                 overwrote = overwrote_path;
-                lines.push(app_line);
-                lines.extend(pol_lines);
             }
-            PolicyVerdict::Deny { lines: deny_lines } => {
-                let mut all = lines;
-                all.push(app_line);
-                all.extend(deny_lines);
-                return Err(Some(arena.intern(
+            PolicyOutcome::Deny => {
+                return Err(Some(arena.intern_ref(
                     DerivKind::ExportDenied,
-                    all,
-                    vec![best.deriv],
+                    lines,
+                    parents,
                 )));
             }
         }
@@ -293,7 +1033,7 @@ fn export(
     // Announcements reset LOCAL_PREF (it is not transitive across eBGP)
     // and keep MED/communities.
     out.local_pref = crate::route::DEFAULT_LOCAL_PREF;
-    out.deriv = arena.intern(DerivKind::Export, lines, vec![best.deriv]);
+    out.deriv = arena.intern_ref(DerivKind::Export, lines, parents);
     out.learned_from = None; // receiver will stamp its own view
     Ok(out)
 }
@@ -307,6 +1047,7 @@ fn import(
     sender: RouterId,
     msg: &Route,
     arena: &mut DerivArena,
+    scratch: &mut EvalScratch,
 ) -> Result<Route, Option<DerivId>> {
     let view = session.view_of(receiver.id).ok_or(None)?;
     debug_assert_eq!(view.peer, sender);
@@ -317,33 +1058,29 @@ fn import(
     if msg.as_path.contains(own_asn) {
         return Err(None);
     }
-    let mut lines: Vec<LineId> = view.base_lines.to_vec();
+    let EvalScratch { lines, parents } = scratch;
+    lines.clear();
+    lines.extend_from_slice(view.base_lines);
+    parents.clear();
+    parents.push(msg.deriv);
     let mut out = msg.clone();
     if let Some((policy, app_line)) = view.import {
-        match eval_policy(receiver.model, receiver.id, own_asn, policy, msg) {
-            PolicyVerdict::Permit {
-                route,
-                lines: pol_lines,
-                ..
-            } => {
+        lines.push(app_line);
+        match eval_policy_into(receiver.model, receiver.id, own_asn, policy, msg, lines) {
+            PolicyOutcome::Permit { route, .. } => {
                 out = route;
-                lines.push(app_line);
-                lines.extend(pol_lines);
             }
-            PolicyVerdict::Deny { lines: deny_lines } => {
-                let mut all = lines;
-                all.push(app_line);
-                all.extend(deny_lines);
-                return Err(Some(arena.intern(
+            PolicyOutcome::Deny => {
+                return Err(Some(arena.intern_ref(
                     DerivKind::ImportDenied,
-                    all,
-                    vec![msg.deriv],
+                    lines,
+                    parents,
                 )));
             }
         }
     }
     out.learned_from = Some(sender);
-    out.deriv = arena.intern(DerivKind::Import, lines, vec![msg.deriv]);
+    out.deriv = arena.intern_ref(DerivKind::Import, lines, parents);
     Ok(out)
 }
 
@@ -647,29 +1384,7 @@ mod tests {
     /// is the post-partial-repair state of the paper\'s Figure 2.
     #[test]
     fn mutual_overwrite_converges_to_stable_loop() {
-        let mut b = TopologyBuilder::new();
-        let r0 = b.router("O", Role::Backbone);
-        let r1 = b.router("X", Role::Backbone);
-        let r2 = b.router("Y", Role::Backbone);
-        b.link(r0, r1); // .1/.2
-        b.link(r1, r2); // .5/.6
-        let topo = b.build();
-        // O originates; X transits honestly; Y overwrites+prefers routes
-        // from X. X in turn overwrites+prefers routes from Y.
-        let cfgs = [
-            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n".to_string(),
-            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n peer 172.16.0.6 route-policy OW import\nroute-policy OW permit node 10\n apply as-path overwrite\n apply local-preference 200\n".to_string(),
-            "bgp 65002\n peer 172.16.0.5 as-number 65001\n peer 172.16.0.5 route-policy OW import\nroute-policy OW permit node 10\n apply as-path overwrite\n apply local-preference 200\n".to_string(),
-        ];
-        let models: Vec<DeviceModel> = topo
-            .routers()
-            .iter()
-            .map(|r| {
-                DeviceModel::from_config(
-                    &parse_device(r.name.clone(), &cfgs[r.id.index()]).unwrap(),
-                )
-            })
-            .collect();
+        let (topo, models) = mutual_overwrite();
         let (sessions, _) = establish(&topo, &models);
         let routers = ctxs(&topo, &models);
         let mut arena = DerivArena::new();
@@ -695,6 +1410,33 @@ mod tests {
         );
     }
 
+    fn mutual_overwrite() -> (Topology, Vec<DeviceModel>) {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.router("O", Role::Backbone);
+        let r1 = b.router("X", Role::Backbone);
+        let r2 = b.router("Y", Role::Backbone);
+        b.link(r0, r1); // .1/.2
+        b.link(r1, r2); // .5/.6
+        let topo = b.build();
+        // O originates; X transits honestly; Y overwrites+prefers routes
+        // from X. X in turn overwrites+prefers routes from Y.
+        let cfgs = [
+            "bgp 65000\n network 10.0.0.0 16\n peer 172.16.0.2 as-number 65001\n".to_string(),
+            "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.6 as-number 65002\n peer 172.16.0.6 route-policy OW import\nroute-policy OW permit node 10\n apply as-path overwrite\n apply local-preference 200\n".to_string(),
+            "bgp 65002\n peer 172.16.0.5 as-number 65001\n peer 172.16.0.5 route-policy OW import\nroute-policy OW permit node 10\n apply as-path overwrite\n apply local-preference 200\n".to_string(),
+        ];
+        let models: Vec<DeviceModel> = topo
+            .routers()
+            .iter()
+            .map(|r| {
+                DeviceModel::from_config(
+                    &parse_device(r.name.clone(), &cfgs[r.id.index()]).unwrap(),
+                )
+            })
+            .collect();
+        (topo, models)
+    }
+
     #[test]
     fn deriv_arena_stays_bounded_under_flap() {
         let (topo, models) = bad_gadget();
@@ -707,5 +1449,186 @@ mod tests {
             .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
         let _ = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
         assert!(arena.len() < 128, "arena grew to {}", arena.len());
+    }
+
+    /// Runs both engines on the same dynamics and asserts byte-identical
+    /// outcomes *and* arenas, returning the work counters for invariant
+    /// checks.
+    fn both_engines(
+        topo: &Topology,
+        models: &[DeviceModel],
+        orig: &[Origination],
+        prefix: Prefix,
+    ) -> (PrefixOutcome, ConvergeWork, ConvergeWork) {
+        let (sessions, _) = establish(topo, models);
+        let routers = ctxs(topo, models);
+        let sessions_of = index_sessions(&sessions, routers.len());
+        let mut dense_arena = DerivArena::new();
+        let mut dense_work = ConvergeWork::default();
+        let dense = run_prefix_dense(
+            prefix,
+            &routers,
+            &sessions,
+            &sessions_of,
+            orig,
+            &mut dense_arena,
+            &mut dense_work,
+        );
+        let mut sparse_arena = DerivArena::new();
+        let mut sparse_work = ConvergeWork::default();
+        let mut memo = PolicyMemo::new();
+        let mut scratch = SparseScratch::new();
+        let sparse = run_prefix_sparse(
+            prefix,
+            &routers,
+            &sessions,
+            &sessions_of,
+            orig,
+            &mut sparse_arena,
+            &mut memo,
+            &mut scratch,
+            &mut sparse_work,
+        );
+        assert_eq!(dense, sparse, "outcomes must be byte-identical");
+        assert_eq!(dense_arena, sparse_arena, "arenas must be byte-identical");
+        (dense, dense_work, sparse_work)
+    }
+
+    fn origin_at_r0(n: usize) -> Vec<Origination> {
+        let mut orig = vec![Origination::default(); n];
+        orig[0]
+            .sources
+            .push((DerivKind::OriginNetwork, vec![LineId::new(RouterId(0), 2)]));
+        orig
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_line() {
+        let (topo, models) = line3();
+        let (out, dense, sparse) = both_engines(&topo, &models, &origin_at_r0(3), p("10.0.0.0/16"));
+        assert!(out.is_converged());
+        assert!(
+            sparse.recomputed_routers < dense.recomputed_routers,
+            "sparse {sparse:?} vs dense {dense:?}"
+        );
+        assert!(sparse.policy_evals < dense.policy_evals);
+        assert_eq!(sparse.rounds, dense.rounds);
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_flap() {
+        // Cycle detection must fire at the same first_seen_round and
+        // cycle_len, with identical observed sets.
+        let (topo, models) = bad_gadget();
+        let (out, dense, sparse) = both_engines(&topo, &models, &origin_at_r0(4), p("10.0.0.0/16"));
+        assert!(matches!(out, PrefixOutcome::Flapping { .. }));
+        assert!(sparse.policy_evals < dense.policy_evals);
+        assert!(
+            sparse.memo_hits > 0,
+            "a flap cycles through memoized transfers"
+        );
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_stable_loop() {
+        let (topo, models) = mutual_overwrite();
+        let (out, _, _) = both_engines(&topo, &models, &origin_at_r0(3), p("10.0.0.0/16"));
+        assert!(out.is_converged());
+    }
+
+    #[test]
+    fn sparse_matches_dense_without_origination() {
+        let (topo, models) = line3();
+        let orig = vec![Origination::default(); 3];
+        let (out, dense, sparse) = both_engines(&topo, &models, &orig, p("10.0.0.0/16"));
+        let PrefixOutcome::Converged { rounds, .. } = out else {
+            panic!()
+        };
+        // Single-round prefixes do equal work in both engines.
+        assert_eq!(rounds, 1);
+        assert_eq!(sparse.recomputed_routers, dense.recomputed_routers);
+    }
+
+    #[test]
+    fn warm_probe_reuses_a_fixed_point_and_rejects_a_changed_one() {
+        let (topo, models) = line3();
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let orig = origin_at_r0(3);
+        let sessions_of = index_sessions(&sessions, routers.len());
+        let mut arena = DerivArena::new();
+        let base = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let mut work = ConvergeWork::default();
+        let mut memo = PolicyMemo::new();
+        let probed = warm_probe(
+            p("10.0.0.0/16"),
+            &routers,
+            &sessions,
+            &sessions_of,
+            &orig,
+            &mut arena,
+            &mut memo,
+            &base,
+            &mut work,
+        )
+        .expect("unchanged dynamics must re-confirm the fixed point");
+        assert_eq!(probed, base);
+        assert_eq!(work.warm_reused, 1);
+
+        // Change R1's import policy to deny: the cached state is no longer
+        // a fixed point — the probe must refuse it.
+        let mut changed = models.clone();
+        changed[1] = DeviceModel::from_config(
+            &parse_device(
+                "R1",
+                "bgp 65001\n peer 172.16.0.1 as-number 65000\n peer 172.16.0.1 route-policy Block import\n peer 172.16.0.6 as-number 65002\nroute-policy Block deny node 10\n",
+            )
+            .unwrap(),
+        );
+        let (sessions2, _) = establish(&topo, &changed);
+        let routers2 = ctxs(&topo, &changed);
+        let sessions_of2 = index_sessions(&sessions2, routers2.len());
+        let mut work2 = ConvergeWork::default();
+        let mut memo2 = PolicyMemo::new();
+        assert!(warm_probe(
+            p("10.0.0.0/16"),
+            &routers2,
+            &sessions2,
+            &sessions_of2,
+            &orig,
+            &mut arena,
+            &mut memo2,
+            &base,
+            &mut work2,
+        )
+        .is_none());
+        assert_eq!(work2.warm_fallbacks, 0, "fallback is counted by the caller");
+        assert_eq!(work2.warm_reused, 0);
+    }
+
+    #[test]
+    fn flapping_outcome_is_never_warm_probed() {
+        let (topo, models) = bad_gadget();
+        let (sessions, _) = establish(&topo, &models);
+        let routers = ctxs(&topo, &models);
+        let orig = origin_at_r0(4);
+        let sessions_of = index_sessions(&sessions, routers.len());
+        let mut arena = DerivArena::new();
+        let base = run_prefix(p("10.0.0.0/16"), &routers, &sessions, &orig, &mut arena);
+        let mut work = ConvergeWork::default();
+        let mut memo = PolicyMemo::new();
+        assert!(warm_probe(
+            p("10.0.0.0/16"),
+            &routers,
+            &sessions,
+            &sessions_of,
+            &orig,
+            &mut arena,
+            &mut memo,
+            &base,
+            &mut work,
+        )
+        .is_none());
+        assert_eq!(work.warm_probes, 0);
     }
 }

@@ -11,8 +11,8 @@
 //! transitive closure of `lines` over `parents`; this is the paper's
 //! NetCov-style coverage feeding SBFL (§4.1).
 
+use crate::fxhash::{FxHashMap, FxHasher};
 use acr_cfg::LineId;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
@@ -60,7 +60,11 @@ pub struct DerivNode {
 #[derive(Debug, Default, Clone)]
 pub struct DerivArena {
     nodes: Vec<DerivNode>,
-    index: HashMap<u64, Vec<DerivId>>,
+    // Hash -> candidate ids, confirmed by full content compare below, so
+    // the hash function only routes lookups — it can never change which
+    // id a given content interns to. `FxHasher` keeps this off the
+    // convergence hot path's profile (interning happens per transfer).
+    index: FxHashMap<u64, Vec<DerivId>>,
 }
 
 // The index is derived from `nodes`, so equality is node-list equality.
@@ -97,11 +101,26 @@ impl DerivArena {
         mut lines: Vec<LineId>,
         mut parents: Vec<DerivId>,
     ) -> DerivId {
+        self.intern_ref(kind, &mut lines, &mut parents)
+    }
+
+    /// [`DerivArena::intern`] over caller-owned scratch buffers: sorts and
+    /// dedups in place, and only copies the content into the arena on a
+    /// miss. Interning is content-addressed, so on the simulator hot path
+    /// nearly every call is a dedup hit — with this entry point a hit
+    /// allocates nothing, where `intern` forces the caller to build (and
+    /// then drop) fresh `Vec`s per call.
+    pub fn intern_ref(
+        &mut self,
+        kind: DerivKind,
+        lines: &mut Vec<LineId>,
+        parents: &mut Vec<DerivId>,
+    ) -> DerivId {
         lines.sort_unstable();
         lines.dedup();
         parents.sort_unstable();
         parents.dedup();
-        let mut hasher = DefaultHasher::new();
+        let mut hasher = FxHasher::default();
         kind.hash(&mut hasher);
         lines.hash(&mut hasher);
         parents.hash(&mut hasher);
@@ -109,7 +128,7 @@ impl DerivArena {
         if let Some(bucket) = self.index.get(&h) {
             for id in bucket {
                 let n = &self.nodes[id.0 as usize];
-                if n.kind == kind && n.lines == lines && n.parents == parents {
+                if n.kind == kind && &n.lines == lines && &n.parents == parents {
                     return *id;
                 }
             }
@@ -117,8 +136,8 @@ impl DerivArena {
         let id = DerivId(self.nodes.len() as u32);
         self.nodes.push(DerivNode {
             kind,
-            lines,
-            parents,
+            lines: lines.clone(),
+            parents: parents.clone(),
         });
         self.index.entry(h).or_default().push(id);
         id

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod deriv;
 pub mod fib;
 pub mod forward;
+pub(crate) mod fxhash;
 pub mod origin;
 pub mod policy;
 pub mod route;
@@ -34,7 +35,7 @@ pub mod session;
 pub mod sim;
 
 pub use base::{CompiledBase, DeltaInfo, SessionDelta, SessionPart, SimBuild};
-pub use bgp::{PrefixOutcome, MAX_ROUNDS_BASE};
+pub use bgp::{ConvergeEngine, ConvergeWork, PolicyMemo, PrefixOutcome, MAX_ROUNDS_BASE};
 pub use cache::{CacheStats, ShardedCache};
 pub use deriv::{DerivArena, DerivId, DerivKind, DerivNode};
 pub use fib::{Fib, FibAction, FibEntry};
@@ -42,4 +43,4 @@ pub use forward::{ForwardOutcome, ForwardResult};
 pub use origin::OriginIndex;
 pub use route::{Route, RouteKey};
 pub use session::{Session, SessionDiag, SessionFailure};
-pub use sim::{SimOutcome, Simulator};
+pub use sim::{RunOptions, SimOutcome, Simulator};

@@ -39,6 +39,21 @@ pub enum PolicyVerdict {
     Deny { lines: Vec<LineId> },
 }
 
+/// A [`PolicyVerdict`] whose responsible lines were appended to a
+/// caller-owned buffer instead of an owned `Vec` — the allocation-free
+/// form the simulator's hot loop uses (see [`eval_policy_into`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyOutcome {
+    /// Route accepted; attributes possibly rewritten.
+    Permit {
+        route: Route,
+        /// True when an `as-path overwrite` fired.
+        overwrote_path: bool,
+    },
+    /// Route rejected.
+    Deny,
+}
+
 /// Evaluates policy `name` of `model` (owned by `router`, local AS
 /// `own_asn`) against `route`.
 pub fn eval_policy(
@@ -48,16 +63,43 @@ pub fn eval_policy(
     name: &str,
     route: &Route,
 ) -> PolicyVerdict {
+    let mut lines = Vec::new();
+    match eval_policy_into(model, router, own_asn, name, route, &mut lines) {
+        PolicyOutcome::Permit {
+            route,
+            overwrote_path,
+        } => PolicyVerdict::Permit {
+            route,
+            overwrote_path,
+            lines,
+        },
+        PolicyOutcome::Deny => PolicyVerdict::Deny { lines },
+    }
+}
+
+/// [`eval_policy`] with the verdict's lines *appended* to `lines` rather
+/// than returned in a fresh `Vec`. Lines pushed while scanning a node that
+/// turns out not to match are truncated away, so the appended set is
+/// exactly the owned variant's — the simulator folds them straight into a
+/// derivation without an intermediate allocation per evaluation.
+pub fn eval_policy_into(
+    model: &DeviceModel,
+    router: RouterId,
+    own_asn: Asn,
+    name: &str,
+    route: &Route,
+    lines: &mut Vec<LineId>,
+) -> PolicyOutcome {
     let Some(nodes) = model.route_policies.get(name) else {
         // Undefined policy: permit everything unchanged.
-        return PolicyVerdict::Permit {
+        return PolicyOutcome::Permit {
             route: route.clone(),
             overwrote_path: false,
-            lines: Vec::new(),
         };
     };
     for node in nodes {
-        let mut lines = vec![LineId::new(router, node.line)];
+        let mark = lines.len();
+        lines.push(LineId::new(router, node.line));
         let mut all_match = true;
         for (cond, clause_line) in &node.matches {
             match cond {
@@ -82,10 +124,11 @@ pub fn eval_policy(
             }
         }
         if !all_match {
+            lines.truncate(mark);
             continue;
         }
         if node.action == PlAction::Deny {
-            return PolicyVerdict::Deny { lines };
+            return PolicyOutcome::Deny;
         }
         // Permit: apply actions in order.
         let mut out = route.clone();
@@ -109,19 +152,17 @@ pub fn eval_policy(
                 }
             }
         }
-        return PolicyVerdict::Permit {
+        return PolicyOutcome::Permit {
             route: out,
             overwrote_path: overwrote,
-            lines,
         };
     }
     // Implicit deny: attribute it to the policy's first node header so the
     // rejection is visible to coverage at all.
-    let lines = nodes
-        .first()
-        .map(|n| vec![LineId::new(router, n.line)])
-        .unwrap_or_default();
-    PolicyVerdict::Deny { lines }
+    if let Some(n) = nodes.first() {
+        lines.push(LineId::new(router, n.line));
+    }
+    PolicyOutcome::Deny
 }
 
 #[cfg(test)]

@@ -8,7 +8,11 @@ use std::cmp::Ordering;
 pub const DEFAULT_LOCAL_PREF: u32 = 100;
 
 /// A route as held in a router's Loc-RIB (or carried in an announcement).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `Hash` covers every field (derivation id included) — the sparse
+/// engine's policy memo keys on the full route, since communities and
+/// provenance influence transfer results even though they are outside
+/// [`RouteKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Route {
     pub prefix: Prefix,
     pub as_path: AsPath,

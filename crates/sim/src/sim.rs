@@ -1,7 +1,10 @@
 //! The top-level simulator: configs + topology → routes, FIBs, forwarding.
 
 use crate::base::{compile_device, CompiledBase, DeltaInfo, SimBuild};
-use crate::bgp::{run_prefix, PrefixOutcome, RouterCtx};
+use crate::bgp::{
+    index_sessions, run_prefix_dense, run_prefix_sparse, warm_probe, ConvergeEngine, ConvergeWork,
+    PolicyMemo, PrefixOutcome, RouterCtx, SparseScratch,
+};
 use crate::deriv::{DerivArena, DerivId};
 use crate::fib::{base_fib, Fib, FibAction, FibEntry, FibSource};
 use crate::forward::{walk, ForwardResult};
@@ -13,6 +16,7 @@ use acr_net_types::{Flow, Prefix, RouterId};
 use acr_obs::metrics::{Counter, Histogram};
 use acr_obs::span;
 use acr_topo::Topology;
+use std::borrow::Borrow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,6 +30,37 @@ static SIM_FLAPPING: Counter = Counter::new("sim.prefixes_flapping");
 /// round their cycle was first seen plus its length — the work done).
 static CONVERGENCE_ROUNDS: Histogram =
     Histogram::new("sim.convergence_rounds", &[1, 2, 4, 8, 16, 32, 64]);
+// Sparse-engine work accounting (see `ConvergeWork` for the definitions).
+static SIM_ROUTERS_RECOMPUTED: Counter = Counter::new("sim.routers_recomputed");
+static SIM_ROUTERS_SKIPPED: Counter = Counter::new("sim.routers_skipped");
+static SIM_POLICY_EVALS: Counter = Counter::new("sim.policy_evals");
+static SIM_POLICY_MEMO_HITS: Counter = Counter::new("sim.policy_memo_hits");
+static SIM_WARM_PROBES: Counter = Counter::new("sim.warm_probes");
+static SIM_WARM_REUSED: Counter = Counter::new("sim.warm_reused");
+static SIM_WARM_FALLBACKS: Counter = Counter::new("sim.warm_fallbacks");
+
+/// Options for a per-prefix simulation run.
+pub struct RunOptions<'w> {
+    /// Which convergence engine to use. Defaults to the process default
+    /// ([`ConvergeEngine::from_env`]): sparse unless `ACR_SPARSE=0`.
+    pub engine: ConvergeEngine,
+    /// Warm-start source: previously computed outcomes whose converged
+    /// fixed points may be probed and reused ([`warm_probe`]). The caller
+    /// must only supply this when the patch provably leaves the BGP
+    /// dynamics unchanged (the incremental verifier's `warm_eligible`
+    /// guard) — the probe is the runtime check behind that guard, and a
+    /// failed probe falls back to a cold run.
+    pub warm: Option<&'w BTreeMap<Prefix, PrefixOutcome>>,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            engine: ConvergeEngine::from_env(),
+            warm: None,
+        }
+    }
+}
 
 /// A compiled simulation context: semantic models, established sessions
 /// and the origination index for one (topology, configuration) pair.
@@ -134,6 +169,12 @@ impl<'a> Simulator<'a> {
         &self.sessions
     }
 
+    /// Established sessions behind their shared handle (what a
+    /// cross-run [`PolicyMemo`] keys its slot layout against).
+    pub fn sessions_arc(&self) -> &Arc<Vec<Session>> {
+        &self.sessions
+    }
+
     /// Why configured peers are down.
     pub fn session_diags(&self) -> &[SessionDiag] {
         &self.session_diags
@@ -189,6 +230,38 @@ impl<'a> Simulator<'a> {
         prefixes: &BTreeSet<Prefix>,
         arena: &mut DerivArena,
     ) -> BTreeMap<Prefix, PrefixOutcome> {
+        self.run_prefixes_opts(prefixes, arena, &RunOptions::default())
+            .0
+    }
+
+    /// [`Simulator::run_prefixes_into`] with an explicit engine choice and
+    /// optional warm-start source, returning the work performed. The
+    /// explicit engine keeps differential tests and `exp_converge` free of
+    /// process-global environment races.
+    pub fn run_prefixes_opts(
+        &self,
+        prefixes: &BTreeSet<Prefix>,
+        arena: &mut DerivArena,
+        opts: &RunOptions<'_>,
+    ) -> (BTreeMap<Prefix, PrefixOutcome>, ConvergeWork) {
+        let mut memo = PolicyMemo::new();
+        self.run_prefixes_with(prefixes, arena, opts, &mut memo)
+    }
+
+    /// [`Simulator::run_prefixes_opts`] with a caller-owned policy memo.
+    /// Keeping one memo alive across runs (the incremental verifier's
+    /// candidate loop) lets transfers on sessions a patch cannot reach
+    /// come back as hash hits instead of re-evaluations; the caller is
+    /// responsible for [`PolicyMemo::begin_run`] between runs and for
+    /// only reusing a memo across runs that share `arena` and a
+    /// positionally identical session list.
+    pub fn run_prefixes_with(
+        &self,
+        prefixes: &BTreeSet<Prefix>,
+        arena: &mut DerivArena,
+        opts: &RunOptions<'_>,
+        memo: &mut PolicyMemo,
+    ) -> (BTreeMap<Prefix, PrefixOutcome>, ConvergeWork) {
         let routers: Vec<RouterCtx<'_>> = self
             .topo
             .routers()
@@ -203,9 +276,56 @@ impl<'a> Simulator<'a> {
         SIM_RUNS.inc();
         SIM_PREFIXES.add(prefixes.len() as u64);
         let mut outcomes = BTreeMap::new();
+        let mut work = ConvergeWork::default();
+        // Hoisted across prefixes: the session index is prefix-independent
+        // and the sparse scratch is cleared (not reallocated) per prefix.
+        let sessions_of = index_sessions(&self.sessions, routers.len());
+        let mut scratch = SparseScratch::new();
         for prefix in prefixes {
             let orig = self.origin.dense(*prefix, self.models.len());
-            let outcome = run_prefix(*prefix, &routers, &self.sessions, &orig, arena);
+            let mut outcome = None;
+            if let Some(warm) = opts.warm {
+                if let Some(base) = warm.get(prefix).filter(|o| o.is_converged()) {
+                    outcome = warm_probe(
+                        *prefix,
+                        &routers,
+                        &self.sessions,
+                        &sessions_of,
+                        &orig,
+                        arena,
+                        memo,
+                        base,
+                        &mut work,
+                    );
+                    if outcome.is_some() {
+                        work.prefixes += 1;
+                    } else {
+                        work.warm_fallbacks += 1;
+                    }
+                }
+            }
+            let outcome = outcome.unwrap_or_else(|| match opts.engine {
+                ConvergeEngine::Dense => run_prefix_dense(
+                    *prefix,
+                    &routers,
+                    &self.sessions,
+                    &sessions_of,
+                    &orig,
+                    arena,
+                    &mut work,
+                ),
+                ConvergeEngine::Sparse => run_prefix_sparse(
+                    *prefix,
+                    &routers,
+                    &self.sessions,
+                    &sessions_of,
+                    &orig,
+                    arena,
+                    memo,
+                    &mut scratch,
+                    &mut work,
+                ),
+            });
             match &outcome {
                 PrefixOutcome::Converged { rounds, .. } => {
                     CONVERGENCE_ROUNDS.observe(*rounds as u64);
@@ -221,14 +341,24 @@ impl<'a> Simulator<'a> {
             }
             outcomes.insert(*prefix, outcome);
         }
-        outcomes
+        SIM_ROUTERS_RECOMPUTED.add(work.recomputed_routers);
+        SIM_ROUTERS_SKIPPED.add(work.skipped_routers);
+        SIM_POLICY_EVALS.add(work.policy_evals);
+        SIM_POLICY_MEMO_HITS.add(work.memo_hits);
+        SIM_WARM_PROBES.add(work.warm_probes);
+        SIM_WARM_REUSED.add(work.warm_reused);
+        SIM_WARM_FALLBACKS.add(work.warm_fallbacks);
+        (outcomes, work)
     }
 
     /// Assembles per-router FIBs from connected/static state plus the
     /// given per-prefix outcomes (flapping prefixes install nothing).
-    pub fn fibs_for(
+    /// Generic over `Borrow` so the incremental verifier can pass a
+    /// merged map of *references* into its cache instead of deep-cloning
+    /// every cached outcome per candidate.
+    pub fn fibs_for<O: Borrow<PrefixOutcome>>(
         &self,
-        outcomes: &BTreeMap<Prefix, PrefixOutcome>,
+        outcomes: &BTreeMap<Prefix, O>,
         arena: &mut DerivArena,
     ) -> Vec<Fib> {
         let mut fibs: Vec<Fib> = self
@@ -238,7 +368,7 @@ impl<'a> Simulator<'a> {
             .map(|r| base_fib(self.topo, r.id, self.models[r.id.index()].as_ref(), arena))
             .collect();
         for (prefix, outcome) in outcomes {
-            if let PrefixOutcome::Converged { best, .. } = outcome {
+            if let PrefixOutcome::Converged { best, .. } = outcome.borrow() {
                 for (i, route) in best.iter().enumerate() {
                     let Some(route) = route else { continue };
                     let Some(from) = route.learned_from else {

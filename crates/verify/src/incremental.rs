@@ -34,7 +34,10 @@ use crate::verify::{Verification, Verifier};
 use acr_cfg::{Edit, LineId, NetworkConfig, Patch, Stmt};
 use acr_net_types::{Prefix, RouterId};
 use acr_obs::metrics::Counter;
-use acr_sim::{CompiledBase, DeltaInfo, DerivArena, PrefixOutcome, SessionDelta, Simulator};
+use acr_sim::{
+    CompiledBase, DeltaInfo, DerivArena, PolicyMemo, PrefixOutcome, RunOptions, SessionDelta,
+    Simulator,
+};
 use acr_topo::Topology;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
@@ -83,6 +86,14 @@ pub struct IncrementalStats {
     pub establish: Duration,
     /// Wall-clock simulating affected prefixes and assembling FIBs.
     pub simulate: Duration,
+    /// Within `simulate`: wall-clock of per-prefix convergence alone
+    /// (worklist iteration, warm probes) — excludes merging and FIBs.
+    pub converge: Duration,
+    /// Affected prefixes whose converged fixed point was warm-started
+    /// from the committed base instead of re-iterated (still counted in
+    /// `recomputed`, so recompute/reuse accounting is identical whether
+    /// or not delta mode allows warm starts).
+    pub warm_reused: usize,
 }
 
 /// A verifier that caches per-prefix results between calls.
@@ -98,6 +109,12 @@ pub struct IncrementalVerifier<'a> {
     /// Whether candidate simulators reuse the base (construction only;
     /// invalidation analysis is identical either way).
     delta: bool,
+    /// Policy-transfer memo kept alive across the committed run and the
+    /// sequential candidate loop. Entries reference the persistent
+    /// `arena` (content-addressed, ids never invalidated); per-candidate
+    /// staleness is handled by [`PolicyMemo::begin_run`], which drops
+    /// entries on sessions adjacent to patched routers.
+    memo: PolicyMemo,
     last_stats: IncrementalStats,
 }
 
@@ -117,6 +134,7 @@ impl<'a> IncrementalVerifier<'a> {
             closures: BTreeMap::new(),
             base: None,
             delta: true,
+            memo: PolicyMemo::new(),
             last_stats: IncrementalStats::default(),
         }
     }
@@ -192,7 +210,20 @@ impl<'a> IncrementalVerifier<'a> {
         self.closures.retain(|p, _| universe.contains(p));
 
         let t = Instant::now();
-        let fresh = sim.run_prefixes_into(&affected, &mut self.arena);
+        // The committed path never warm-starts: its outcomes seed the
+        // cache (and the persistent arena), so they are always computed
+        // cold against the new configuration. The policy memo is reset
+        // (the committed models changed) and re-seeded by this run, so
+        // the first candidate already finds the base's transfers.
+        self.memo = PolicyMemo::new();
+        self.memo.begin_run(sim.sessions_arc(), &[]);
+        let (fresh, _work) = sim.run_prefixes_with(
+            &affected,
+            &mut self.arena,
+            &RunOptions::default(),
+            &mut self.memo,
+        );
+        let converge = t.elapsed();
         PREFIXES_RECOMPUTED.add(fresh.len() as u64);
         PREFIXES_REUSED.add(universe.len().saturating_sub(fresh.len()) as u64);
         count_invalidated(fresh.len() as u64, cold, info.as_ref());
@@ -204,6 +235,8 @@ impl<'a> IncrementalVerifier<'a> {
             compile: build.compile,
             establish: build.establish,
             simulate: Duration::ZERO,
+            converge,
+            warm_reused: 0,
         };
         for (p, o) in fresh {
             // Closures include rejection roots: a prefix whose route was
@@ -222,9 +255,13 @@ impl<'a> IncrementalVerifier<'a> {
         let fibs = sim.fibs_for(&self.cached, &mut self.arena);
         self.last_stats.simulate = t.elapsed();
         self.base = Some(base);
-        let cached = self.cached.clone();
-        self.verifier
-            .evaluate(&sim, &cached, &fibs, &mut self.arena, sim.session_diags())
+        self.verifier.evaluate(
+            &sim,
+            &self.cached,
+            &fibs,
+            &mut self.arena,
+            sim.session_diags(),
+        )
     }
 
     /// Verifies a **candidate** configuration (`cfg` = committed base +
@@ -240,7 +277,8 @@ impl<'a> IncrementalVerifier<'a> {
             base: self.base.as_ref(),
             delta: self.delta,
         };
-        let (verification, stats) = validator.verify_candidate(cfg, patch, &mut self.arena);
+        let (verification, stats) =
+            validator.verify_candidate_with(cfg, patch, &mut self.arena, Some(&mut self.memo));
         self.last_stats = stats;
         verification
     }
@@ -306,6 +344,29 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
         patch: &Patch,
         arena: &mut DerivArena,
     ) -> (Verification, IncrementalStats) {
+        self.verify_candidate_with(cfg, patch, arena, None)
+    }
+
+    /// [`CandidateValidator::verify_candidate`] with an optional
+    /// **cross-candidate policy memo**. The memo's entries reference
+    /// `arena` ids, so the same `(arena, memo)` pair must be threaded
+    /// through every call (the sequential repair loop owns exactly one of
+    /// each). Reuse is sound only while candidate simulators share the
+    /// committed base's device models for unpatched routers — i.e. under
+    /// delta construction — and [`PolicyMemo::begin_run`] drops entries
+    /// on sessions adjacent to routers the patch (or the previous
+    /// candidate's patch) touched, re-homing the rest by endpoint pair
+    /// when the session list changed shape. What survives — unchanged
+    /// `Arc`-shared device models evaluating pure transfer functions
+    /// over content-identical sessions — is byte-exact to recomputing,
+    /// so verdicts, derivations, and rejection records are unchanged.
+    pub fn verify_candidate_with(
+        &self,
+        cfg: &NetworkConfig,
+        patch: &Patch,
+        arena: &mut DerivArena,
+        memo: Option<&mut PolicyMemo>,
+    ) -> (Verification, IncrementalStats) {
         // Build the candidate simulator: delta-compiled from the shared
         // base when enabled, from scratch otherwise. The delta *analysis*
         // runs in both modes so the affected-prefix set (and with it every
@@ -345,8 +406,39 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
             }
             set
         };
+        // Warm-start eligibility: only under delta mode, only when the
+        // analysis proved the patch leaves the BGP dynamics unchanged
+        // (`DeltaInfo::warm_eligible`), and never across a full reset.
+        // Warm reuse is byte-exact (probe-verified fixed-point replay),
+        // so verdicts and recompute/reuse counts are still identical with
+        // delta mode off.
+        let warm_ok = self.delta && !full_reset && info.as_ref().is_some_and(|i| i.warm_eligible);
+        // The cross-candidate memo is sound exactly when this candidate
+        // was delta-built: unchanged routers then hold the base's own
+        // `Arc`'d models, so a memoized transfer between two unpatched
+        // endpoints is pure in inputs the patch cannot reach. Structural
+        // session changes are fine — `begin_run` re-homes surviving
+        // slots by endpoint pair — so `full_reset` (a prefix-cache
+        // concern) does not disqualify the memo.
+        let memo_ok = self.delta && info.is_some();
+        let mut local_memo = PolicyMemo::new();
+        let memo = match memo {
+            Some(m) if memo_ok => {
+                let mut changed: Vec<RouterId> = patch.edits.iter().map(Edit::router).collect();
+                changed.sort_unstable();
+                changed.dedup();
+                m.begin_run(sim.sessions_arc(), &changed);
+                m
+            }
+            _ => &mut local_memo,
+        };
         let t = Instant::now();
-        let fresh = sim.run_prefixes_into(&affected, arena);
+        let opts = RunOptions {
+            warm: if warm_ok { Some(self.cached) } else { None },
+            ..RunOptions::default()
+        };
+        let (fresh, work) = sim.run_prefixes_with(&affected, arena, &opts, memo);
+        let converge = t.elapsed();
         PREFIXES_RECOMPUTED.add(fresh.len() as u64);
         PREFIXES_REUSED.add(universe.len().saturating_sub(fresh.len()) as u64);
         count_invalidated(fresh.len() as u64, self.cached.is_empty(), info.as_ref());
@@ -358,16 +450,22 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
             compile: build.compile,
             establish: build.establish,
             simulate: Duration::ZERO,
+            converge,
+            warm_reused: work.warm_reused as usize,
         };
         // Merge: fresh results override the cache; prefixes outside the
-        // candidate's universe are dropped.
-        let mut merged: BTreeMap<Prefix, PrefixOutcome> = self
+        // candidate's universe are dropped. The map holds *references*
+        // (cache entries are read-only here), so validating a candidate
+        // never deep-clones the committed per-prefix state.
+        let mut merged: BTreeMap<Prefix, &PrefixOutcome> = self
             .cached
             .iter()
             .filter(|(p, _)| universe.contains(*p))
-            .map(|(p, o)| (*p, o.clone()))
+            .map(|(p, o)| (*p, o))
             .collect();
-        merged.extend(fresh);
+        for (p, o) in &fresh {
+            merged.insert(*p, o);
+        }
         let fibs = sim.fibs_for(&merged, arena);
         stats.simulate = t.elapsed();
         let verification = self

@@ -179,11 +179,13 @@ impl<'a> Verifier<'a> {
     }
 
     /// Evaluates the test suite against precomputed simulation state.
-    /// Shared by the full and incremental paths.
-    pub(crate) fn evaluate(
+    /// Shared by the full and incremental paths. Generic over `Borrow` so
+    /// the candidate-validation path can pass outcome *references* into
+    /// the committed cache instead of cloning them.
+    pub(crate) fn evaluate<O: Borrow<PrefixOutcome>>(
         &self,
         sim: &Simulator<'_>,
-        outcomes: &BTreeMap<Prefix, PrefixOutcome>,
+        outcomes: &BTreeMap<Prefix, O>,
         fibs: &[acr_sim::Fib],
         arena: &mut DerivArena,
         session_diags: &[SessionDiag],
@@ -192,7 +194,7 @@ impl<'a> Verifier<'a> {
         let mut matrix = CoverageMatrix::new();
         let flapping: Vec<Prefix> = outcomes
             .iter()
-            .filter(|(_, o)| !o.is_converged())
+            .filter(|(_, o)| !Borrow::<PrefixOutcome>::borrow(*o).is_converged())
             .map(|(p, _)| *p)
             .collect();
 
@@ -203,6 +205,7 @@ impl<'a> Verifier<'a> {
             let mut reject_roots: Vec<DerivId> = Vec::new();
             let mut flap_hit: Option<Prefix> = None;
             for (p, o) in outcomes {
+                let o = o.borrow();
                 if p.contains(test.flow.dst) {
                     roots.extend(o.deriv_roots());
                     reject_roots.extend_from_slice(o.rejection_roots());
