@@ -42,6 +42,16 @@ if [ "$conv_sparse" != "$conv_dense" ]; then
     exit 1
 fi
 
+echo "==> exp_flow --smoke (static relevance gate: skips > 0, identical reports)"
+flow_on=$(cargo run --release -q -p acr-bench --bin exp_flow -- --smoke | tee /dev/stderr | grep '^report_digest=')
+
+echo "==> exp_flow --smoke (gate off, ACR_FLOW=0; digests must agree)"
+flow_off=$(ACR_FLOW=0 cargo run --release -q -p acr-bench --bin exp_flow -- --smoke | tee /dev/stderr | grep '^report_digest=')
+if [ "$flow_on" != "$flow_off" ]; then
+    echo "FAIL: gated and ungated passes computed different repairs ($flow_on vs $flow_off)" >&2
+    exit 1
+fi
+
 echo "==> exp_obs --smoke (journal/trace schema + determinism guard)"
 obs_on=$(cargo run --release -q -p acr-bench --bin exp_obs -- --smoke | tee /dev/stderr | grep '^report_digest=')
 

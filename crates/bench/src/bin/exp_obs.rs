@@ -181,10 +181,19 @@ fn check_journal_line(line: &str) {
                 "run_start must stamp the schema: {line}"
             );
             let cfg = v.get("config").unwrap();
-            for k in ["strategy", "seed", "threads", "cache", "delta", "lint"] {
+            for k in [
+                "strategy", "seed", "threads", "cache", "delta", "lint", "flow",
+            ] {
                 assert!(cfg.get(k).is_some(), "run_start config lacks '{k}': {line}");
             }
         }
+        "flow_summary" => need(&[
+            "ts_us",
+            "fixpoint_iterations",
+            "facts",
+            "prior_lines",
+            "gate",
+        ]),
         "iteration" => {
             need(&[
                 "ts_us",
@@ -197,6 +206,7 @@ fn check_journal_line(line: &str) {
                 "validated",
                 "cached",
                 "invalid",
+                "flow_skipped",
                 "suspects",
                 "candidates",
             ]);
@@ -212,6 +222,7 @@ fn check_journal_line(line: &str) {
             "iterations",
             "validations",
             "validations_cached",
+            "validations_skipped",
         ]),
         "baseline_run" => need(&["ts_us", "baseline"]),
         other => panic!("unknown journal event '{other}': {line}"),
@@ -430,6 +441,12 @@ fn main() {
         .u64("sim_runs", counter("sim.runs"))
         .u64("cache_candidate_hits", counter("cache.candidate.hits"))
         .u64("lint_gate_rejected", counter("lint.gate.rejected"))
+        .u64(
+            "flow_fixpoint_iterations",
+            counter("flow.fixpoint.iterations"),
+        )
+        .u64("flow_facts", counter("flow.facts"))
+        .u64("flow_gate_skipped", counter("flow.gate.skipped"))
         .u64("dpll_solves", counter("smt.dpll.solves"))
         .build();
     let path = write_bench("obs", |env| {

@@ -18,10 +18,12 @@ use crate::ctx::RepairCtx;
 use crate::strategy::{crossover, Strategy};
 use crate::templates::{candidates_for_line, CandidateFix, TemplateKind};
 use crate::universal::universal_candidates;
-use crate::validate::{resolve_threads, validate_batch, CandidateOutcome, LintBase, LintMemo};
+use crate::validate::{
+    resolve_threads, validate_batch, CandidateOutcome, FlowGate, LintBase, LintMemo,
+};
 use acr_cfg::{DeviceModel, LineId, NetworkConfig, Patch};
 use acr_lint::{lint_with_models, Diagnostic};
-use acr_localize::{localize, localize_boosted, SbflFormula};
+use acr_localize::{localize, localize_boosted, Ranking, SbflFormula};
 use acr_net_types::{RouterId, SplitMix64};
 use acr_obs::metrics::Counter;
 use acr_obs::{journal, json, Stages};
@@ -40,6 +42,9 @@ static CAND_VALIDATED: Counter = Counter::new("engine.candidates.validated");
 static CAND_CACHED: Counter = Counter::new("engine.candidates.cached");
 static CAND_INVALID: Counter = Counter::new("engine.candidates.invalid");
 static CAND_KEPT: Counter = Counter::new("engine.candidates.kept");
+static CAND_FLOW_SKIPPED: Counter = Counter::new("engine.candidates.flow_skipped");
+static FLOW_FIXPOINT_ITERATIONS: Counter = Counter::new("flow.fixpoint.iterations");
+static FLOW_FACTS: Counter = Counter::new("flow.facts");
 
 /// The paper's iteration cap.
 pub const DEFAULT_MAX_ITERATIONS: usize = 500;
@@ -99,6 +104,15 @@ pub struct RepairConfig {
     /// `ACR_DELTA` environment variable sets the default (on unless
     /// `0`/`false`/`off`).
     pub delta: bool,
+    /// The `acr-flow` static relevance gate: candidates whose patch is
+    /// provably invisible to every spec property's prefix cone are
+    /// served the base verification instead of being simulated (counted
+    /// in [`RepairReport::validations_skipped`]). Serving is exact, so
+    /// reports are byte-identical with this on or off; the flow
+    /// analysis itself (lint rules, localization prior) always runs.
+    /// The `ACR_FLOW` environment variable sets the default (on unless
+    /// `0`/`false`/`off`).
+    pub flow: bool,
 }
 
 /// The `threads` default: the `ACR_THREADS` env var, else `0` (= auto).
@@ -113,6 +127,14 @@ fn default_threads() -> usize {
 fn default_delta() -> bool {
     !matches!(
         std::env::var("ACR_DELTA").ok().as_deref(),
+        Some("0") | Some("false") | Some("off")
+    )
+}
+
+/// The `flow` default: on, unless `ACR_FLOW` says `0`/`false`/`off`.
+fn default_flow() -> bool {
+    !matches!(
+        std::env::var("ACR_FLOW").ok().as_deref(),
         Some("0") | Some("false") | Some("off")
     )
 }
@@ -132,6 +154,7 @@ impl Default for RepairConfig {
             threads: default_threads(),
             cache: Some(Arc::new(SimCache::default())),
             delta: default_delta(),
+            flow: default_flow(),
         }
     }
 }
@@ -159,6 +182,9 @@ pub struct IterationStats {
     pub cached: usize,
     /// Candidates whose patch failed to apply or re-parse.
     pub invalid: usize,
+    /// Candidates skipped by the static relevance gate (served the base
+    /// verification without simulation).
+    pub flow_skipped: usize,
 }
 
 /// How a repair run ended.
@@ -224,6 +250,10 @@ pub struct RepairReport {
     /// Candidate validations served from the simulation memo-cache
     /// (identical verdicts, no simulation).
     pub validations_cached: usize,
+    /// Candidate validations skipped entirely by the `acr-flow` static
+    /// relevance gate (provably invisible patches, served the base
+    /// verification).
+    pub validations_skipped: usize,
     /// Per-stage wall-clock breakdown.
     pub stage: StageTimes,
     pub wall: Duration,
@@ -307,6 +337,19 @@ impl<'a> RepairEngine<'a> {
             .map(|b| b.diags.clone())
             .unwrap_or_default();
 
+        // Network-wide dataflow facts over the broken base. The
+        // localization prior and the journal's flow summary use them
+        // unconditionally (so `ACR_FLOW=0` cannot change trajectories);
+        // `config.flow` only arms the candidate-skipping gate.
+        let flow_facts = acr_flow::analyze(self.topo, original);
+        FLOW_FIXPOINT_ITERATIONS.add(flow_facts.iterations);
+        FLOW_FACTS.add(flow_facts.fact_count() as u64);
+        let flow_prior = flow_prior(self.spec, &base_verification, &flow_facts);
+        let flow_gate = self.config.flow.then(|| FlowGate {
+            protected: self.spec.properties.iter().map(|p| p.hs.dst).collect(),
+            base: base_verification.clone(),
+        });
+
         // Validate-stage plumbing: the memo-cache keys every candidate
         // under (verifier context, committed base, candidate config),
         // the lint memo is per-run (its verdicts depend on the base),
@@ -320,8 +363,21 @@ impl<'a> RepairEngine<'a> {
         let mut iterations = Vec::new();
         let mut validations = 0usize;
         let mut validations_cached = 0usize;
+        let mut validations_skipped = 0usize;
 
         self.journal_run_start(original, initial_failed, threads);
+        if acr_obs::enabled(acr_obs::JOURNAL) {
+            journal::emit(
+                &json::Obj::new()
+                    .str("event", "flow_summary")
+                    .u64("ts_us", journal::now_us())
+                    .u64("fixpoint_iterations", flow_facts.iterations)
+                    .int("facts", flow_facts.fact_count())
+                    .int("prior_lines", flow_prior.len())
+                    .bool("gate", self.config.flow)
+                    .build(),
+            );
+        }
 
         if initial_failed == 0 {
             return finish(
@@ -333,6 +389,7 @@ impl<'a> RepairEngine<'a> {
                 initial_failed,
                 validations,
                 validations_cached,
+                validations_skipped,
                 &stages,
             );
         }
@@ -354,7 +411,7 @@ impl<'a> RepairEngine<'a> {
             // the current best variant (no RNG draw), computed only when
             // the journal is on — reports are identical either way.
             let suspects = if acr_obs::enabled(acr_obs::JOURNAL) {
-                self.suspects_of(best_of(&population))
+                self.suspects_of(best_of(&population), &flow_prior)
             } else {
                 String::new()
             };
@@ -362,7 +419,7 @@ impl<'a> RepairEngine<'a> {
             // ---- localize + fix: generate candidate full patches -------
             let fresh: Vec<Patch> = {
                 let _g = stages.time("engine.generate", "engine");
-                self.generate(&population, &iv, &mut rng)
+                self.generate(&population, &iv, &flow_prior, &mut rng)
                     .into_iter()
                     .filter(|p| seen.insert(p.clone()))
                     .collect()
@@ -380,6 +437,7 @@ impl<'a> RepairEngine<'a> {
                     initial_failed,
                     validations,
                     validations_cached,
+                    validations_skipped,
                     &stages,
                 );
             }
@@ -394,12 +452,14 @@ impl<'a> RepairEngine<'a> {
                 lint_base.as_ref(),
                 &lint_memo,
                 cache,
+                flow_gate.as_ref(),
                 ctx_base,
                 threads,
             );
             let mut kept: Vec<Variant> = Vec::new();
             let (mut recomputed, mut reused) = (0, 0);
             let (mut lint_rejected, mut validated, mut cached_count, mut invalid) = (0, 0, 0, 0);
+            let mut flow_skipped = 0usize;
             // Journal rows for this iteration's candidates, in batch
             // (candidate-index) order.
             let mut cand_rows: Vec<String> = Vec::new();
@@ -469,14 +529,46 @@ impl<'a> RepairEngine<'a> {
                             diags,
                         });
                     }
+                    CandidateOutcome::FlowSkipped {
+                        verification,
+                        diags,
+                    } => {
+                        flow_skipped += 1;
+                        // The served verification *is* the base's, so its
+                        // fitness equals the previous baseline — never
+                        // discarded, and its derivation roots already
+                        // resolve in the persistent arena.
+                        let fitness = verification.failed_count();
+                        let discard = fitness > prev_fitness;
+                        if let Some(r) = row.take() {
+                            cand_rows.push(
+                                r.str("outcome", "flow_skipped")
+                                    .int("fitness", fitness)
+                                    .bool("discarded", discard)
+                                    .build(),
+                            );
+                        }
+                        if discard {
+                            continue;
+                        }
+                        kept.push(Variant {
+                            cfg: vc.cfg.expect("gate-served candidates carry a config"),
+                            patch: vc.patch,
+                            verification,
+                            fitness,
+                            diags,
+                        });
+                    }
                 }
             }
             validations += validated;
             validations_cached += cached_count;
+            validations_skipped += flow_skipped;
             CAND_LINT_REJECTED.add(lint_rejected as u64);
             CAND_VALIDATED.add(validated as u64);
             CAND_CACHED.add(cached_count as u64);
             CAND_INVALID.add(invalid as u64);
+            CAND_FLOW_SKIPPED.add(flow_skipped as u64);
             drop(validate_guard);
 
             let select_guard = stages.time("engine.select", "engine");
@@ -505,6 +597,7 @@ impl<'a> RepairEngine<'a> {
                 validated,
                 cached: cached_count,
                 invalid,
+                flow_skipped,
             };
             if journal_on {
                 journal_iteration(&stats, &suspects, &cand_rows);
@@ -528,6 +621,7 @@ impl<'a> RepairEngine<'a> {
                     initial_failed,
                     validations,
                     validations_cached,
+                    validations_skipped,
                     &stages,
                 );
             }
@@ -543,6 +637,7 @@ impl<'a> RepairEngine<'a> {
             initial_failed,
             validations,
             validations_cached,
+            validations_skipped,
             &stages,
         )
     }
@@ -569,6 +664,7 @@ impl<'a> RepairEngine<'a> {
             .int("threads", threads)
             .bool("cache", self.config.cache.is_some())
             .bool("delta", self.config.delta)
+            .bool("flow", self.config.flow)
             .build();
         journal::emit(
             &json::Obj::new()
@@ -585,13 +681,8 @@ impl<'a> RepairEngine<'a> {
 
     /// Top-ranked suspicious lines of a variant, rendered as a JSON array
     /// for the journal. Pure: same localization the fix stage uses, no RNG.
-    fn suspects_of(&self, variant: &Variant) -> String {
-        let boosts = boost_map(&variant.diags);
-        let ranking = if boosts.is_empty() {
-            localize(&variant.verification.matrix, self.config.formula)
-        } else {
-            localize_boosted(&variant.verification.matrix, self.config.formula, &boosts)
-        };
+    fn suspects_of(&self, variant: &Variant, prior: &BTreeMap<LineId, f64>) -> String {
+        let ranking = self.rank(variant, prior);
         json::array(ranking.entries().iter().take(8).map(|(line, score)| {
             json::Obj::new()
                 .str("line", &line.to_string())
@@ -600,12 +691,27 @@ impl<'a> RepairEngine<'a> {
         }))
     }
 
+    /// The SBFL ranking the fix stage expands: lint boosts fold in
+    /// multiplicatively (4x primary / 2x related), then the `acr-flow`
+    /// prior rescales lines that sit on a violated property's abstract
+    /// derivation path.
+    fn rank(&self, variant: &Variant, prior: &BTreeMap<LineId, f64>) -> Ranking {
+        let boosts = boost_map(&variant.diags);
+        let ranking = if boosts.is_empty() {
+            localize(&variant.verification.matrix, self.config.formula)
+        } else {
+            localize_boosted(&variant.verification.matrix, self.config.formula, &boosts)
+        };
+        ranking.with_prior(prior)
+    }
+
     /// Generates candidate *full* patches (relative to the original
     /// configuration) according to the strategy.
     fn generate(
         &self,
         population: &[Variant],
         iv: &IncrementalVerifier<'_>,
+        prior: &BTreeMap<LineId, f64>,
         rng: &mut SplitMix64,
     ) -> Vec<Patch> {
         let mut out = Vec::new();
@@ -614,7 +720,7 @@ impl<'a> RepairEngine<'a> {
                 // Expand every surviving variant: multi-place repairs
                 // accrete one template application per iteration.
                 for parent in population {
-                    let fixes = self.fixes_of(parent, iv, *top_lines, None, rng);
+                    let fixes = self.fixes_of(parent, iv, prior, *top_lines, None, rng);
                     out.extend(fixes.into_iter().map(|f| parent.patch.concat(&f.patch)));
                 }
             }
@@ -625,7 +731,7 @@ impl<'a> RepairEngine<'a> {
             } => {
                 for _ in 0..*mutations {
                     let parent = &population[rng.index(population.len())];
-                    let fixes = self.fixes_of(parent, iv, *top_k, Some(rng.next_u64()), rng);
+                    let fixes = self.fixes_of(parent, iv, prior, *top_k, Some(rng.next_u64()), rng);
                     if let Some(fix) = pick(rng, &fixes) {
                         out.push(parent.patch.concat(&fix.patch));
                     }
@@ -659,16 +765,13 @@ impl<'a> RepairEngine<'a> {
         &self,
         variant: &Variant,
         iv: &IncrementalVerifier<'_>,
+        prior: &BTreeMap<LineId, f64>,
         width: usize,
         pick_line: Option<u64>,
         _rng: &mut SplitMix64,
     ) -> Vec<CandidateFix> {
         let boosts = boost_map(&variant.diags);
-        let ranking = if boosts.is_empty() {
-            localize(&variant.verification.matrix, self.config.formula)
-        } else {
-            localize_boosted(&variant.verification.matrix, self.config.formula, &boosts)
-        };
+        let ranking = self.rank(variant, prior);
         if ranking.is_empty() {
             return Vec::new();
         }
@@ -738,6 +841,39 @@ impl<'a> RepairEngine<'a> {
     }
 }
 
+/// The `acr-flow` localization prior: every line the abstract
+/// may-propagation analysis records as *supporting* a violated
+/// property's destination cone gets a modest multiplicative *damping*.
+/// A supporting line is one the route demonstrably still flows through
+/// — and the Table-1 fault model is absence-dominated (gutted prefix
+/// lists, deleted policies, missing redistribution), where the
+/// misconfiguration is precisely the statement that *stops* the route,
+/// which by construction is off the live path. Damping the live path
+/// focuses the expansion pool on the blocking statements; the factor is
+/// mild so concrete lint boosts (4x/2x) still dominate.
+fn flow_prior(
+    spec: &Spec,
+    base: &Verification,
+    facts: &acr_flow::FlowFacts,
+) -> BTreeMap<LineId, f64> {
+    const FLOW_PRIOR_FACTOR: f64 = 0.8;
+    let failing: HashSet<&str> = base
+        .records
+        .iter()
+        .filter(|r| !r.passed)
+        .map(|r| r.property.as_str())
+        .collect();
+    let mut prior = BTreeMap::new();
+    for p in &spec.properties {
+        if failing.contains(p.name.as_str()) {
+            for line in facts.support_for(p.hs.dst) {
+                prior.insert(line, FLOW_PRIOR_FACTOR);
+            }
+        }
+    }
+    prior
+}
+
 /// Suspiciousness multipliers from lint findings: primary-span lines get
 /// 4x, related locations 2x (the strongest factor wins on overlap).
 fn boost_map(diags: &[Diagnostic]) -> BTreeMap<LineId, f64> {
@@ -767,6 +903,7 @@ fn finish(
     initial_failed: usize,
     validations: usize,
     validations_cached: usize,
+    validations_skipped: usize,
     stages: &Stages,
 ) -> RepairReport {
     let stage = StageTimes {
@@ -802,6 +939,7 @@ fn finish(
                 .int("initial_failed", initial_failed)
                 .int("validations", validations)
                 .int("validations_cached", validations_cached)
+                .int("validations_skipped", validations_skipped)
                 .build(),
         );
     }
@@ -812,6 +950,7 @@ fn finish(
         initial_failed,
         validations,
         validations_cached,
+        validations_skipped,
         stage,
         wall: stages.wall(),
     }
@@ -834,6 +973,7 @@ fn journal_iteration(stats: &IterationStats, suspects: &str, cand_rows: &[String
             .int("validated", stats.validated)
             .int("cached", stats.cached)
             .int("invalid", stats.invalid)
+            .int("flow_skipped", stats.flow_skipped)
             .int("recomputed_prefixes", stats.recomputed_prefixes)
             .int("reused_prefixes", stats.reused_prefixes)
             .raw("suspects", suspects)

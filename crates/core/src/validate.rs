@@ -38,7 +38,7 @@
 
 use acr_cfg::{DeviceModel, NetworkConfig, Patch};
 use acr_lint::{lint_with_models, DiagKey, Diagnostic};
-use acr_net_types::RouterId;
+use acr_net_types::{Prefix, RouterId};
 use acr_obs::metrics::Counter;
 use acr_obs::span;
 use acr_sim::{DerivArena, ShardedCache};
@@ -70,6 +70,20 @@ pub(crate) type LintMemo = ShardedCache<u64, Arc<(bool, Vec<Diagnostic>)>>;
 static LINT_MEMO_HITS: Counter = Counter::new("lint.memo.hits");
 static LINT_MEMO_MISSES: Counter = Counter::new("lint.memo.misses");
 static LINT_GATE_REJECTED: Counter = Counter::new("lint.gate.rejected");
+static FLOW_GATE_SKIPPED: Counter = Counter::new("flow.gate.skipped");
+
+/// The static relevance gate (`acr-flow`). A candidate whose patch is
+/// provably invisible to every protected prefix — each spec property's
+/// destination cone — is *served* the base verification instead of
+/// being simulated: invisibility means full simulation would compute
+/// exactly this value (see `acr_flow::gate`), so reports are
+/// byte-identical with the gate on or off.
+pub(crate) struct FlowGate {
+    /// Destination cones of every spec property.
+    pub protected: Vec<Prefix>,
+    /// The committed base verification served to skipped candidates.
+    pub base: Verification,
+}
 
 /// What the validate stage concluded for one candidate patch.
 // Short-lived per-batch values, one per candidate; the variant size skew
@@ -91,6 +105,14 @@ pub(crate) enum CandidateOutcome {
         arena: Option<DerivArena>,
         /// Served from the memo-cache (counts as `validations_cached`).
         cached: bool,
+    },
+    /// Skipped by the static relevance gate: the patch is provably
+    /// invisible to every protected prefix, so the base verification
+    /// *is* this candidate's verification (roots resolve in the
+    /// persistent arena, where the base was committed).
+    FlowSkipped {
+        verification: Verification,
+        diags: Vec<Diagnostic>,
     },
 }
 
@@ -114,6 +136,10 @@ enum Plan {
     Dup(usize),
     /// The memo-cache held this fingerprint at batch start.
     Hit(Arc<CandidateEntry>),
+    /// The flow gate proved the patch invisible: lint it, then serve
+    /// the base verification without simulating (and without touching
+    /// the memo-cache — there is nothing to store).
+    Serve,
     /// Simulate.
     Compute,
 }
@@ -138,6 +164,10 @@ enum Resolved {
         entry: Arc<CandidateEntry>,
         diags: Vec<Diagnostic>,
     },
+    /// Flow-gate served: lint ran (and passed), simulation was skipped.
+    Served {
+        diags: Vec<Diagnostic>,
+    },
 }
 
 /// Validates a batch of candidate patches against the committed base.
@@ -152,6 +182,7 @@ pub(crate) fn validate_batch(
     lint_base: Option<&LintBase>,
     lint_memo: &LintMemo,
     cache: Option<&SimCache>,
+    flow: Option<&FlowGate>,
     ctx_base: (u64, u64),
     threads: usize,
 ) -> Vec<ValidatedCandidate> {
@@ -195,12 +226,23 @@ pub(crate) fn validate_batch(
     let plans: Vec<Plan> = items
         .iter()
         .zip(&dups)
-        .map(|((_, it), dup)| match dup {
-            Some(j) => Plan::Dup(*j),
-            None => match cache.and_then(|c| c.peek_candidate((ctx_fp, base_fp, it.fp))) {
-                Some(entry) => Plan::Hit(entry),
-                None => Plan::Compute,
-            },
+        .map(|((_, it), dup)| {
+            // The relevance gate outranks the memo-cache and dedup: a
+            // provably invisible patch costs one clone either way, and
+            // keeping it off the cache keeps cache contents independent
+            // of gate order within a batch.
+            if let Some(g) = flow {
+                if acr_flow::patch_invisible(original, &it.patch, &g.protected) {
+                    return Plan::Serve;
+                }
+            }
+            match dup {
+                Some(j) => Plan::Dup(*j),
+                None => match cache.and_then(|c| c.peek_candidate((ctx_fp, base_fp, it.fp))) {
+                    Some(entry) => Plan::Hit(entry),
+                    None => Plan::Compute,
+                },
+            }
         })
         .collect();
 
@@ -301,10 +343,31 @@ pub(crate) fn validate_batch(
                             cached: true,
                         }
                     }
+                    // Same rendered config as a gate-served candidate:
+                    // its verification is the base's too. No cache
+                    // promotion — served verdicts are never stored.
+                    CandidateOutcome::FlowSkipped {
+                        verification,
+                        diags,
+                    } => {
+                        FLOW_GATE_SKIPPED.inc();
+                        CandidateOutcome::FlowSkipped {
+                            verification: verification.clone(),
+                            diags: diags.clone(),
+                        }
+                    }
                     CandidateOutcome::Invalid => unreachable!("dups are valid by construction"),
                 }
             }
             Some(Resolved::LintRejected) => CandidateOutcome::LintRejected,
+            Some(Resolved::Served { diags }) => {
+                FLOW_GATE_SKIPPED.inc();
+                let gate = flow.expect("Serve plans only exist with a gate");
+                CandidateOutcome::FlowSkipped {
+                    verification: gate.base.clone(),
+                    diags,
+                }
+            }
             Some(Resolved::Cached { entry, diags }) => {
                 if let Some(c) = cache {
                     c.touch_candidate(key);
@@ -404,6 +467,7 @@ fn resolve_sequential(
             entry: entry.clone(),
             diags,
         },
+        Plan::Serve => Resolved::Served { diags },
         Plan::Compute => {
             let verification = iv.verify_candidate(&it.cfg, &it.patch);
             let stats = iv.last_stats();
@@ -445,6 +509,7 @@ fn resolve_worker(
             entry: entry.clone(),
             diags,
         },
+        Plan::Serve => Resolved::Served { diags },
         Plan::Compute => {
             let arena = arena.get_or_insert_with(|| base_arena.clone());
             let (verification, stats) = validator.verify_candidate(&it.cfg, &it.patch, arena);

@@ -1,0 +1,318 @@
+//! The network-wide propagation fixed point.
+//!
+//! [`analyze`] computes, without simulating a single routing round, an
+//! over-approximate *may-propagation* relation: for every (router,
+//! origin prefix) pair, the join of every abstract route that may ever
+//! sit in that router's RIB, and per session/direction the prefixes
+//! that may be offered (survive the sender's export policy) and
+//! accepted (also survive the receiver's import policy).
+//!
+//! The driver is a standard worklist over (router, prefix) facts:
+//! originations seed the RIB (mirroring `acr_sim::origin`), each dirty
+//! fact is pushed through every established session's export → import
+//! transfer ([`crate::transfer`]), and the receiving fact joins the
+//! result. AS-path loop suppression is deliberately ignored — dropping
+//! a check only grows the may-relation, and it is exactly what
+//! `as-path overwrite` defeats in the paper's incident. Path-length
+//! intervals are widened to `[lo, inf)` once their upper bound passes
+//! `routers + 8`, which bounds the lattice height; everything else
+//! (LOCAL_PREF constants, community sets, support lines) is finite, so
+//! the fixed point terminates.
+//!
+//! The worklist is a `BTreeSet` popped in order, so iteration counts,
+//! fact contents and the transfer log are deterministic — the run
+//! journal can assert byte-identical flow summaries at any thread
+//! count.
+
+use crate::domain::AbstractRoute;
+use crate::transfer::{abstract_policy, TransferLog};
+use acr_cfg::{DeviceModel, LineId, NetworkConfig};
+use acr_net_types::{Prefix, RouterId};
+use acr_obs::metrics::Counter;
+use acr_sim::session::establish;
+use acr_sim::Session;
+use acr_topo::Topology;
+use std::collections::{BTreeMap, BTreeSet};
+
+static FIXPOINT_ITERS: Counter = Counter::new("flow.fixpoint.iterations");
+static FACTS: Counter = Counter::new("flow.facts");
+
+/// Per-direction may-propagation facts for one session.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DirFacts {
+    /// Prefixes that may survive the sender's export policy.
+    pub offered: BTreeSet<Prefix>,
+    /// Prefixes that may also survive the receiver's import policy.
+    pub accepted: BTreeSet<Prefix>,
+}
+
+/// Both directions of one established session (parallel to
+/// [`FlowFacts::sessions`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SessionFacts {
+    /// `session.a` exporting to `session.b`.
+    pub a_to_b: DirFacts,
+    /// `session.b` exporting to `session.a`.
+    pub b_to_a: DirFacts,
+}
+
+/// The analysis result: the abstract RIB plus everything the lints and
+/// the localization prior consume.
+#[derive(Debug, Clone)]
+pub struct FlowFacts {
+    /// Join of every route (router, prefix) may ever hold.
+    pub rib: BTreeMap<(RouterId, Prefix), AbstractRoute>,
+    /// Established BGP sessions (the propagation graph's edges).
+    pub sessions: Vec<Session>,
+    /// May-offered / may-accepted prefixes per session, index-parallel
+    /// to [`FlowFacts::sessions`].
+    pub session_facts: Vec<SessionFacts>,
+    /// Route-policies attached to an established session (the *applied*
+    /// policies), with one applying line for diagnostics.
+    pub applied_policies: BTreeMap<(RouterId, String), LineId>,
+    /// Liveness log: policy nodes / community clauses that may-matched
+    /// at least once anywhere in the network.
+    pub log: TransferLog,
+    /// Originated prefixes per router with their defining lines.
+    pub origins: BTreeMap<(RouterId, Prefix), Vec<LineId>>,
+    /// Worklist pops until the fixed point settled.
+    pub iterations: u64,
+}
+
+impl FlowFacts {
+    /// The abstract route `router` may hold for `prefix`, if any.
+    pub fn may_have(&self, router: RouterId, prefix: Prefix) -> Option<&AbstractRoute> {
+        self.rib.get(&(router, prefix))
+    }
+
+    /// Number of (router, prefix) facts in the abstract RIB.
+    pub fn fact_count(&self) -> usize {
+        self.rib.len()
+    }
+
+    /// Union of the abstract derivation support of every fact whose
+    /// prefix is comparable with `cone` — the lines that may influence
+    /// routing for destinations under `cone`. This is the localization
+    /// prior's line set for a violated property.
+    pub fn support_for(&self, cone: Prefix) -> BTreeSet<LineId> {
+        let mut out = BTreeSet::new();
+        for ((_, p), route) in &self.rib {
+            if p.overlaps(cone) {
+                out.extend(route.support.iter().copied());
+            }
+        }
+        out
+    }
+}
+
+/// Analyzes a network, building the semantic models itself (the shape of
+/// `acr_lint::lint_network`).
+pub fn analyze(topo: &Topology, cfg: &NetworkConfig) -> FlowFacts {
+    let models: Vec<DeviceModel> = topo
+        .routers()
+        .iter()
+        .map(|r| match cfg.device(r.id) {
+            Some(d) => DeviceModel::from_config(d),
+            None => DeviceModel {
+                name: r.name.clone(),
+                ..DeviceModel::default()
+            },
+        })
+        .collect();
+    analyze_with_models(topo, &models)
+}
+
+/// Analyzes against pre-built semantic models (`models` parallel to
+/// `topo.routers()`).
+pub fn analyze_with_models(topo: &Topology, models: &[DeviceModel]) -> FlowFacts {
+    let (sessions, _diags) = establish(topo, models);
+    let mut session_facts = vec![SessionFacts::default(); sessions.len()];
+
+    // Which sessions each router participates in.
+    let mut by_router: BTreeMap<RouterId, Vec<usize>> = BTreeMap::new();
+    let mut applied_policies: BTreeMap<(RouterId, String), LineId> = BTreeMap::new();
+    for (si, s) in sessions.iter().enumerate() {
+        by_router.entry(s.a).or_default().push(si);
+        by_router.entry(s.b).or_default().push(si);
+        for (r, policy) in [
+            (s.a, &s.a_import),
+            (s.a, &s.a_export),
+            (s.b, &s.b_import),
+            (s.b, &s.b_export),
+        ] {
+            if let Some((name, line)) = policy {
+                applied_policies.entry((r, name.clone())).or_insert(*line);
+            }
+        }
+    }
+
+    // Seed: originations, exactly the simulator's universe.
+    let mut rib: BTreeMap<(RouterId, Prefix), AbstractRoute> = BTreeMap::new();
+    let mut origins: BTreeMap<(RouterId, Prefix), Vec<LineId>> = BTreeMap::new();
+    let mut worklist: BTreeSet<(RouterId, Prefix)> = BTreeSet::new();
+    for (i, model) in models.iter().enumerate() {
+        let r = RouterId(i as u32);
+        for (p, origination) in acr_sim::origin::router_origins(topo, r, model) {
+            let lines: Vec<LineId> = origination
+                .sources
+                .iter()
+                .flat_map(|(_, ls)| ls.iter().copied())
+                .collect();
+            rib.entry((r, p))
+                .or_insert_with(|| AbstractRoute::origin(lines.iter().copied()))
+                .join_from(&AbstractRoute::origin(lines.iter().copied()));
+            origins.insert((r, p), lines);
+            worklist.insert((r, p));
+        }
+    }
+
+    let widen_cap = topo.routers().len() as u32 + 8;
+    let mut log = TransferLog::default();
+    let mut iterations = 0u64;
+
+    while let Some(&(r, p)) = worklist.iter().next() {
+        worklist.remove(&(r, p));
+        iterations += 1;
+        let fact = rib
+            .get(&(r, p))
+            .expect("worklist entries always have a fact")
+            .clone();
+        let Some(sids) = by_router.get(&r) else {
+            continue;
+        };
+        for &si in sids {
+            let session = &sessions[si];
+            let Some(out_view) = session.view_of(r) else {
+                continue;
+            };
+            let peer = out_view.peer;
+            let model = &models[r.index()];
+            let exported = abstract_policy(
+                model,
+                r,
+                out_view.export.map(|(n, _)| n),
+                p,
+                &fact,
+                true,
+                Some(&mut log),
+            );
+            let Some(mut exported) = exported else {
+                continue; // definitely denied on export
+            };
+            exported.support.extend(out_view.base_lines.iter().copied());
+            if let Some((_, line)) = out_view.export {
+                exported.support.insert(line);
+            }
+            let dir = dir_facts(&mut session_facts[si], session, r);
+            dir.offered.insert(p);
+
+            let in_view = session.view_of(peer).expect("peer_of implies a peer view");
+            let peer_model = &models[peer.index()];
+            let imported = abstract_policy(
+                peer_model,
+                peer,
+                in_view.import.map(|(n, _)| n),
+                p,
+                &exported,
+                false,
+                Some(&mut log),
+            );
+            let Some(mut imported) = imported else {
+                continue; // definitely denied on import
+            };
+            imported.support.extend(in_view.base_lines.iter().copied());
+            if let Some((_, line)) = in_view.import {
+                imported.support.insert(line);
+            }
+            imported.path_len = imported.path_len.widen(widen_cap);
+            let dir = dir_facts(&mut session_facts[si], session, r);
+            dir.accepted.insert(p);
+
+            let slot = rib.entry((peer, p)).or_insert_with(|| AbstractRoute {
+                path_len: imported.path_len,
+                local_pref: imported.local_pref,
+                communities: BTreeSet::new(),
+                support: BTreeSet::new(),
+            });
+            if slot.join_from(&imported) {
+                worklist.insert((peer, p));
+            }
+        }
+    }
+
+    FIXPOINT_ITERS.add(iterations);
+    FACTS.add(rib.len() as u64);
+
+    FlowFacts {
+        rib,
+        sessions,
+        session_facts,
+        applied_policies,
+        log,
+        origins,
+        iterations,
+    }
+}
+
+/// The direction record for `sender` on `session`.
+fn dir_facts<'f>(
+    facts: &'f mut SessionFacts,
+    session: &Session,
+    sender: RouterId,
+) -> &'f mut DirFacts {
+    if session.a == sender {
+        &mut facts.a_to_b
+    } else {
+        &mut facts.b_to_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_workloads::fig2::{fig2_incident, DCN_PREFIX, POP_A_PREFIX, POP_B_PREFIX};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fig2_customer_prefixes_reach_every_backbone_router() {
+        let fig2 = fig2_incident();
+        let facts = analyze(&fig2.topo, &fig2.broken);
+        assert_eq!(facts.sessions.len(), 7, "all Figure-2 sessions establish");
+        for prefix in [POP_A_PREFIX, POP_B_PREFIX, DCN_PREFIX] {
+            for router in [fig2.a, fig2.b, fig2.c, fig2.s] {
+                assert!(
+                    facts.may_have(router, p(prefix)).is_some(),
+                    "{prefix} must be may-reachable at router {router}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_intended_still_overapproximates_and_terminates() {
+        let fig2 = fig2_incident();
+        let facts = analyze(&fig2.topo, &fig2.intended);
+        // The scoped lists still let each customer prefix cross the core.
+        assert!(facts.may_have(fig2.b, p(DCN_PREFIX)).is_some());
+        assert!(facts.may_have(fig2.s, p(POP_B_PREFIX)).is_some());
+        assert!(facts.iterations > 0);
+        assert!(facts.fact_count() >= 3);
+    }
+
+    #[test]
+    fn support_lines_cover_the_overriding_policy() {
+        let fig2 = fig2_incident();
+        let facts = analyze(&fig2.topo, &fig2.broken);
+        let support = facts.support_for(p(POP_B_PREFIX));
+        // A's Override_All import (node header, line 10 of A's config)
+        // may rewrite 10.0/16 transit routes — it must be on the
+        // abstract derivation path of the flapping prefix.
+        assert!(
+            support.iter().any(|l| l.router == fig2.a && l.line == 10),
+            "support = {support:?}"
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! The static candidate-pruning gate: patch invisibility.
+//!
+//! `acr-core::validate` may *serve* a candidate's verification from the
+//! base configuration's — skipping its simulation entirely — when the
+//! candidate's patch is **invisible**: provably observationally
+//! equivalent to the unpatched network for every specification test.
+//! Because the served verification is the exact value full simulation
+//! would compute, the engine's trajectory (and hence the final report)
+//! is byte-identical with the gate on or off.
+//!
+//! Two proofs are attempted. The *identity* fast path applies the whole
+//! patch and checks the result is structurally the base configuration —
+//! crossover routinely splices an insert with the delete that undoes it.
+//! Failing that, the proof obligation is discharged edit by edit,
+//! replaying the patch on a working copy so each judgment sees the
+//! document state the edit actually applies to (an earlier edit may,
+//! say, retarget an `if-match ip-prefix` clause and thereby change
+//! which lists are referenced). An edit is invisible when
+//!
+//! 1. it is a [`Edit::Replace`] — inserts and deletes shift every later
+//!    line number, which would perturb the coverage matrix and the
+//!    derivation provenance even if routing were unchanged;
+//! 2. old and new statements fall in the same *replacement class*:
+//!    either both are prefix-coned top-level facts (`description`,
+//!    `network`, `ip route-static`, `ip prefix-list` entries) or both
+//!    are route-policy internals (`if-match` / `apply`). Mixing the
+//!    classes can restructure a policy node (e.g. a clause swapped for
+//!    a remark widens the node's match set), which the per-kind cones
+//!    do not bound;
+//! 3. the *influence cone* of the old statement (in the pre-edit
+//!    document) and of the new statement (in the post-edit document) is
+//!    disjoint from every protected prefix — each specification
+//!    property's destination header space.
+//!
+//! Cones: a remark influences nothing; `network p` / `ip route-static
+//! p` influence only routing for destinations under `p` (origination
+//! and FIB entries are per-prefix); a prefix-list entry influences
+//! routes under its own prefix, and nothing at all when no applied
+//! route-policy references the list; a policy-internal statement
+//! influences the routes its containing node may match — bounded by the
+//! entries of the node's `if-match ip-prefix` clause (empty or
+//! undefined list ⇒ the node matches nothing; no prefix clause ⇒
+//! unbounded), or nothing when no `peer … route-policy` statement
+//! references the containing policy. Two prefixes are comparable iff
+//! they overlap, and a route can only influence a test whose
+//! destination its prefix contains, so "no cone prefix overlaps a
+//! protected prefix" implies no test-visible route ever changes.
+
+use acr_cfg::{DeviceConfig, Edit, NetworkConfig, Patch, Stmt};
+use acr_net_types::Prefix;
+use std::collections::BTreeSet;
+
+/// The influence cone of one side of a replacement.
+#[derive(Debug, Clone)]
+enum Cone {
+    /// Unbounded: the statement may influence any destination.
+    Any,
+    /// Bounded: only destinations under one of these prefixes (empty ⇒
+    /// provably inert).
+    Prefixes(Vec<Prefix>),
+}
+
+impl Cone {
+    fn disjoint_from(&self, protected: &[Prefix]) -> bool {
+        match self {
+            Cone::Any => false,
+            Cone::Prefixes(ps) => ps.iter().all(|p| protected.iter().all(|q| !p.overlaps(*q))),
+        }
+    }
+}
+
+/// Whether `patch`, applied to `original`, is provably invisible to
+/// every test whose destination lies under one of `protected`.
+///
+/// Conservative: `false` means "could not prove it", never "visible".
+pub fn patch_invisible(original: &NetworkConfig, patch: &Patch, protected: &[Prefix]) -> bool {
+    if patch.edits.is_empty() {
+        return false; // the base itself — nothing to skip
+    }
+    // Identity fast path: a patch whose edits cancel out textually (e.g.
+    // an insert/delete pair spliced together by crossover) produces the
+    // base configuration itself — invisible regardless of edit kinds or
+    // cones. Structural equality, not a fingerprint, so this stays a
+    // proof.
+    let mut scratch = original.clone();
+    if patch.apply(&mut scratch).is_ok() && scratch == *original {
+        return true;
+    }
+    let mut work = original.clone();
+    for edit in &patch.edits {
+        let Edit::Replace {
+            router,
+            index,
+            stmt: new_stmt,
+        } = edit
+        else {
+            return false;
+        };
+        let Some(dev) = work.device(*router) else {
+            return false;
+        };
+        let Some(old_stmt) = dev.stmts().get(*index).cloned() else {
+            return false;
+        };
+        if !same_class(&old_stmt, new_stmt) {
+            return false;
+        }
+        let old_cone = stmt_cone(dev, *index, &old_stmt);
+        if !old_cone.disjoint_from(protected) {
+            return false;
+        }
+        if Patch::single(edit.clone()).apply(&mut work).is_err() {
+            return false;
+        }
+        let dev = work
+            .device(*router)
+            .expect("device survived the replacement");
+        let new_cone = stmt_cone(dev, *index, new_stmt);
+        if !new_cone.disjoint_from(protected) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Replacement-class compatibility (condition 2 of the module docs).
+fn same_class(old: &Stmt, new: &Stmt) -> bool {
+    (coned_top_level(old) && coned_top_level(new)) || (policy_internal(old) && policy_internal(new))
+}
+
+fn coned_top_level(s: &Stmt) -> bool {
+    matches!(
+        s,
+        Stmt::Remark(_)
+            | Stmt::Network(_)
+            | Stmt::StaticRoute { .. }
+            | Stmt::PrefixListEntry { .. }
+    )
+}
+
+fn policy_internal(s: &Stmt) -> bool {
+    matches!(
+        s,
+        Stmt::IfMatchPrefixList(_)
+            | Stmt::IfMatchCommunity(_)
+            | Stmt::ApplyAsPathOverwrite(_)
+            | Stmt::ApplyAsPathPrepend { .. }
+            | Stmt::ApplyLocalPref(_)
+            | Stmt::ApplyMed(_)
+            | Stmt::ApplyCommunity(_)
+    )
+}
+
+/// The influence cone of the statement at `index` of `dev` (which must
+/// be `dev.stmts()[index]`), judged against `dev`'s current text.
+fn stmt_cone(dev: &DeviceConfig, index: usize, stmt: &Stmt) -> Cone {
+    match stmt {
+        Stmt::Remark(_) => Cone::Prefixes(Vec::new()),
+        Stmt::Network(p) => Cone::Prefixes(vec![*p]),
+        Stmt::StaticRoute { prefix, .. } => Cone::Prefixes(vec![*prefix]),
+        Stmt::PrefixListEntry { list, prefix, .. } => {
+            if referenced_lists(dev).contains(list.as_str()) {
+                Cone::Prefixes(vec![*prefix])
+            } else {
+                Cone::Prefixes(Vec::new())
+            }
+        }
+        s if policy_internal(s) => node_cone(dev, index),
+        _ => Cone::Any,
+    }
+}
+
+/// Policies attached to a peer or group by a `peer … route-policy`
+/// statement anywhere in the device.
+fn referenced_policies(dev: &DeviceConfig) -> BTreeSet<&str> {
+    dev.stmts()
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::PeerPolicy { policy, .. } => Some(policy.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Prefix lists named by an `if-match ip-prefix` clause of a referenced
+/// policy. Lists only read from unreferenced policies are as dead as
+/// the policies themselves.
+fn referenced_lists(dev: &DeviceConfig) -> BTreeSet<&str> {
+    let policies = referenced_policies(dev);
+    let mut lists = BTreeSet::new();
+    let mut live_block = false;
+    for s in dev.stmts() {
+        match s {
+            Stmt::RoutePolicyDef { name, .. } => live_block = policies.contains(name.as_str()),
+            s if s.is_header() => live_block = false,
+            Stmt::IfMatchPrefixList(list) if live_block => {
+                lists.insert(list.as_str());
+            }
+            _ => {}
+        }
+    }
+    lists
+}
+
+/// The cone of a policy-internal statement: what its containing node
+/// may match.
+fn node_cone(dev: &DeviceConfig, index: usize) -> Cone {
+    let stmts = dev.stmts();
+    // Walk back to the containing `route-policy … node` header.
+    let mut header = None;
+    for i in (0..index).rev() {
+        match &stmts[i] {
+            Stmt::RoutePolicyDef { name, .. } => {
+                header = Some((i, name.as_str()));
+                break;
+            }
+            s if policy_internal(s) => continue,
+            _ => return Cone::Any, // malformed context — don't reason
+        }
+    }
+    let Some((header_idx, policy)) = header else {
+        return Cone::Any;
+    };
+    if !referenced_policies(dev).contains(policy) {
+        return Cone::Prefixes(Vec::new()); // dead policy: never evaluated
+    }
+    // Collect the node's `if-match ip-prefix` clauses (everything up to
+    // the next non-internal statement belongs to this node).
+    let mut tightest: Option<Vec<Prefix>> = None;
+    for s in &stmts[header_idx + 1..] {
+        match s {
+            Stmt::IfMatchPrefixList(list) => {
+                let entries = list_entry_prefixes(dev, list);
+                if tightest.as_ref().is_none_or(|t| entries.len() < t.len()) {
+                    tightest = Some(entries);
+                }
+            }
+            s if policy_internal(s) => continue,
+            _ => break,
+        }
+    }
+    match tightest {
+        // An unsatisfiable clause (empty or undefined list) makes the
+        // node unmatched; otherwise any one clause bounds the match set
+        // since clauses conjoin.
+        Some(entries) => Cone::Prefixes(entries),
+        None => Cone::Any, // no prefix clause: the node may match anything
+    }
+}
+
+/// Every entry prefix of `list` in `dev` (empty for undefined lists).
+fn list_entry_prefixes(dev: &DeviceConfig, list: &str) -> Vec<Prefix> {
+    dev.stmts()
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::PrefixListEntry {
+                list: l, prefix, ..
+            } if l == list => Some(*prefix),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_cfg::parse::parse_device;
+    use acr_net_types::RouterId;
+
+    fn net(text: &str) -> NetworkConfig {
+        let mut net = NetworkConfig::default();
+        net.insert(RouterId(0), parse_device("R0", text).unwrap());
+        net
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    const BASE: &str = "bgp 65001\n\
+         peer 10.9.0.2 as-number 65002\n\
+         peer 10.9.0.2 route-policy IMP import\n\
+         network 10.1.0.0 16\n\
+         route-policy IMP permit node 10\n\
+         if-match ip-prefix SCOPE\n\
+         apply local-preference 200\n\
+         route-policy DEAD permit node 10\n\
+         apply local-preference 50\n\
+         ip prefix-list SCOPE index 10 permit 10.1.0.0 16\n\
+         ip prefix-list UNUSED index 10 permit 10.2.0.0 16\n\
+         description spare\n";
+
+    /// Parses one statement line, giving it the block context it needs
+    /// (policy internals are written with a leading space).
+    fn stmt(line: &str) -> Stmt {
+        let text = if line.starts_with(' ') {
+            format!("bgp 65001\nroute-policy X permit node 10\n{line}\n")
+        } else if line.starts_with("network") {
+            format!("bgp 65001\n{line}\n")
+        } else {
+            format!("{line}\n")
+        };
+        parse_device("T", &text)
+            .unwrap()
+            .stmts()
+            .last()
+            .unwrap()
+            .clone()
+    }
+
+    fn replace(index: usize, line: &str) -> Patch {
+        Patch::single(Edit::Replace {
+            router: RouterId(0),
+            index,
+            stmt: stmt(line),
+        })
+    }
+
+    #[test]
+    fn remark_and_disjoint_network_edits_are_invisible() {
+        let net = net(BASE);
+        let protected = [p("10.1.0.0/16")];
+        // description → description: inert.
+        assert!(patch_invisible(
+            &net,
+            &replace(11, "description x"),
+            &protected
+        ));
+        // network 10.1/16 → network 10.8/16: both cones avoid 10.1/16?
+        // The old side *is* 10.1/16 — visible.
+        assert!(!patch_invisible(
+            &net,
+            &replace(3, "network 10.8.0.0 16"),
+            &protected
+        ));
+        // But with a protected cone elsewhere, the same edit is invisible.
+        assert!(patch_invisible(
+            &net,
+            &replace(3, "network 10.8.0.0 16"),
+            &[p("10.7.0.0/16")]
+        ));
+    }
+
+    #[test]
+    fn referenced_list_entries_use_their_prefix_cone() {
+        let net = net(BASE);
+        // SCOPE is referenced: its 10.1/16 entry overlaps the cone.
+        assert!(!patch_invisible(
+            &net,
+            &replace(9, "ip prefix-list SCOPE index 10 permit 10.5.0.0 16"),
+            &[p("10.1.0.0/16")],
+        ));
+        // UNUSED is read by no applied policy: entry edits are inert.
+        assert!(patch_invisible(
+            &net,
+            &replace(10, "ip prefix-list UNUSED index 10 permit 10.1.0.0 16"),
+            &[p("10.1.0.0/16")],
+        ));
+    }
+
+    #[test]
+    fn policy_internals_are_bounded_by_the_node_guard() {
+        let net = net(BASE);
+        // IMP node 10 is guarded by SCOPE = {10.1/16}: an apply edit is
+        // visible to 10.1/16 but invisible to 10.7/16.
+        assert!(!patch_invisible(
+            &net,
+            &replace(6, " apply local-preference 300"),
+            &[p("10.1.0.0/16")]
+        ));
+        assert!(patch_invisible(
+            &net,
+            &replace(6, " apply local-preference 300"),
+            &[p("10.7.0.0/16")]
+        ));
+        // DEAD is attached to no peer: its internals are inert even for
+        // the protected prefix (it has no prefix clause at all).
+        assert!(patch_invisible(
+            &net,
+            &replace(8, " apply local-preference 999"),
+            &[p("10.1.0.0/16")]
+        ));
+    }
+
+    #[test]
+    fn non_replace_and_cross_class_edits_are_never_skipped() {
+        let net = net(BASE);
+        let far = [p("10.7.0.0/16")];
+        assert!(!patch_invisible(
+            &net,
+            &Patch::single(Edit::Insert {
+                router: RouterId(0),
+                index: 12,
+                stmt: stmt("description x"),
+            }),
+            &far,
+        ));
+        assert!(!patch_invisible(
+            &net,
+            &Patch::single(Edit::Delete {
+                router: RouterId(0),
+                index: 11,
+            }),
+            &far,
+        ));
+        // apply ↔ description crosses the class boundary.
+        assert!(!patch_invisible(&net, &replace(8, "description x"), &far));
+    }
+
+    #[test]
+    fn cancelling_edit_pairs_hit_the_identity_fast_path() {
+        let net = net(BASE);
+        let hot = [p("10.1.0.0/16")];
+        // Insert + delete of the inserted line: textually the base again,
+        // invisible even though neither edit is a Replace and the
+        // statement's cone covers the protected prefix.
+        let mut patch = Patch::single(Edit::Insert {
+            router: RouterId(0),
+            index: 3,
+            stmt: stmt("network 10.1.0.0 16"),
+        });
+        patch.edits.push(Edit::Delete {
+            router: RouterId(0),
+            index: 3,
+        });
+        assert!(patch_invisible(&net, &patch, &hot));
+        // Replacing a statement with itself is likewise the identity.
+        assert!(patch_invisible(
+            &net,
+            &replace(3, "network 10.1.0.0 16"),
+            &hot
+        ));
+        // The lone insert is not.
+        assert!(!patch_invisible(
+            &net,
+            &Patch::single(Edit::Insert {
+                router: RouterId(0),
+                index: 3,
+                stmt: stmt("network 10.1.0.0 16"),
+            }),
+            &hot,
+        ));
+    }
+
+    #[test]
+    fn replay_sees_reference_changes_made_by_earlier_edits() {
+        let net = net(BASE);
+        let far = [p("10.7.0.0/16")];
+        // First edit retargets IMP's clause onto UNUSED; judging the
+        // second edit (an UNUSED entry swap) against the *original*
+        // references would wrongly call it inert. 10.2/16 (old entry)
+        // must now count as visible when protected.
+        let mut patch = replace(5, " if-match ip-prefix UNUSED");
+        patch
+            .edits
+            .extend(replace(10, "ip prefix-list UNUSED index 10 permit 10.3.0.0 16").edits);
+        assert!(patch_invisible(&net, &patch, &far));
+        assert!(!patch_invisible(&net, &patch, &[p("10.2.0.0/16")]));
+    }
+}

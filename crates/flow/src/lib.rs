@@ -1,0 +1,39 @@
+//! `acr-flow`: network-wide route-propagation dataflow analysis.
+//!
+//! A static abstract interpretation over the network's policy graph.
+//! Where `acr-sim` *simulates* BGP to a concrete fixed point, this crate
+//! runs a worklist fixed point over abstract transfer summaries compiled
+//! from the `acr-cfg` device models, producing — without a single
+//! simulation round — an over-approximate **may-propagation** relation:
+//! for each (origin prefix, router, session, direction), which abstract
+//! route attributes (AS-path length interval, LOCAL_PREF interval,
+//! community may-set, supporting config lines) may arrive and may be
+//! exported.
+//!
+//! Because the relation over-approximates every concrete behaviour, its
+//! *negatives* are definite: a prefix that **cannot** be accepted
+//! anywhere, a policy node that **cannot** match any route, a community
+//! that **cannot** have been set upstream. Three consumers build on
+//! that:
+//!
+//! - `acr-lint`'s cross-device rules report the definite negatives as
+//!   network-wide diagnostics;
+//! - `acr-core::validate` skips simulating repair candidates whose
+//!   patch is provably invisible to the violated properties
+//!   ([`gate::patch_invisible`]);
+//! - `acr-localize` boosts lines on the abstract derivation path of a
+//!   violated property ([`FlowFacts::support_for`]).
+//!
+//! The soundness argument lives in the module docs of [`transfer`] and
+//! [`gate`]; the property suite in `tests/prop_flow.rs` checks it
+//! against `acr-sim` over random topologies and Table-1 faults.
+
+pub mod analysis;
+pub mod domain;
+pub mod gate;
+pub mod transfer;
+
+pub use analysis::{analyze, analyze_with_models, DirFacts, FlowFacts, SessionFacts};
+pub use domain::{AbstractRoute, Interval};
+pub use gate::patch_invisible;
+pub use transfer::{abstract_policy, TransferLog};

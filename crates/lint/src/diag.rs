@@ -29,88 +29,112 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The lint rules. Each rule name renders kebab-case (the `error[...]`
-/// tag) and most map onto one row of the paper's Table 1 via
-/// [`Rule::table1`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Rule {
+/// Declares [`Rule`] with its kebab-case names, deriving [`Rule::ALL`]
+/// and [`Rule::name`] from one list so they can never desynchronize —
+/// adding a variant anywhere else is a compile error, forgetting the
+/// name here is one too.
+macro_rules! rules {
+    ($( $(#[$meta:meta])* $variant:ident => $name:literal ),* $(,)?) => {
+        /// The lint rules. Each rule name renders kebab-case (the
+        /// `error[...]` tag) and most map onto one row of the paper's
+        /// Table 1 via [`Rule::table1`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum Rule {
+            $( $(#[$meta])* $variant, )*
+        }
+
+        impl Rule {
+            /// Every rule, for iteration in reports and tests.
+            pub const ALL: [Rule; rules!(@count $($variant)*)] =
+                [ $(Rule::$variant),* ];
+
+            /// Kebab-case rule name (the `error[...]` tag).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( Rule::$variant => $name, )*
+                }
+            }
+        }
+    };
+    (@count) => { 0usize };
+    (@count $head:ident $($tail:ident)*) => { 1usize + rules!(@count $($tail)*) };
+}
+
+rules! {
     /// `peer … route-policy P` / `group … route-policy P` where `P` has
     /// no `route-policy P … node …` definition.
-    UndefinedRoutePolicy,
+    UndefinedRoutePolicy => "undefined-route-policy",
     /// `if-match ip-prefix L` where list `L` has no entries.
-    UndefinedPrefixList,
+    UndefinedPrefixList => "undefined-prefix-list",
     /// `peer … group G` where `G` has no `group G external` definition.
-    UndefinedPeerGroup,
+    UndefinedPeerGroup => "undefined-peer-group",
     /// A traffic-policy `match acl N …` rule whose ACL is undefined or
     /// empty.
-    UndefinedAcl,
+    UndefinedAcl => "undefined-acl",
     /// `apply traffic-policy T` where `T` is never defined.
-    UndefinedTrafficPolicy,
+    UndefinedTrafficPolicy => "undefined-traffic-policy",
     /// A route-policy / prefix-list / ACL / traffic-policy / peer-group
     /// definition nothing on the device references.
-    UnusedDefinition,
+    UnusedDefinition => "unused-definition",
     /// A prefix-list entry no route can ever reach: an earlier entry
     /// matches everything it matches (e.g. after a `0.0.0.0 0` or
     /// `… le 32` catch-all), or its own `ge`/`le` bounds are empty.
-    ShadowedPrefixListEntry,
+    ShadowedPrefixListEntry => "shadowed-prefix-list-entry",
     /// A PBR rule shadowed by an earlier rule on the same ACL or by an
     /// earlier rule whose ACL starts with a universal permit.
-    ShadowedPbrRule,
+    ShadowedPbrRule => "shadowed-pbr-rule",
     /// A route-policy node following a terminal match-all node.
-    UnreachablePolicyNode,
+    UnreachablePolicyNode => "unreachable-policy-node",
     /// `apply …` actions on a `deny` node — denied routes carry no
     /// attributes.
-    ApplyOnDenyNode,
+    ApplyOnDenyNode => "apply-on-deny-node",
     /// An `apply as-path prepend` whose effect is clobbered by a later
     /// `apply as-path overwrite` in the same node.
-    ClobberedAsPathPrepend,
+    ClobberedAsPathPrepend => "clobbered-as-path-prepend",
     /// A block sub-statement outside the block kind it requires.
-    MisplacedStatement,
+    MisplacedStatement => "misplaced-statement",
     /// A peer's configured `as-number` disagrees with the neighbor's
     /// `bgp <asn>` process.
-    SessionAsnMismatch,
+    SessionAsnMismatch => "session-asn-mismatch",
     /// A peer statement toward a neighbor that has no matching peer
     /// statement back.
-    OneSidedSession,
+    OneSidedSession => "one-sided-session",
     /// A peer address owned by no interface in the topology.
-    UnknownPeer,
+    UnknownPeer => "unknown-peer",
     /// A peer with a direct `as-number` joining a group carrying a
     /// different one — the group item is dead for this member.
-    GroupAsnConflict,
+    GroupAsnConflict => "group-asn-conflict",
     /// `apply as-path overwrite <asn>` naming an AS other than the
     /// device's own.
-    OverrideAsnMismatch,
+    OverrideAsnMismatch => "override-asn-mismatch",
     /// An import policy on a session that cannot admit a prefix the
     /// neighbor originates.
-    ImportFilterGap,
+    ImportFilterGap => "import-filter-gap",
     /// Two devices sharing one router-id.
-    DuplicateRouterId,
+    DuplicateRouterId => "duplicate-router-id",
+
+    // ---- cross-device rules over the acr-flow may-propagation facts ----
+    /// A node of an applied route-policy that no route anywhere in the
+    /// network can ever match.
+    DeadPolicyTerm => "dead-policy-term",
+    /// An originated route offered to at least one neighbor but
+    /// importable by none of them.
+    UnimportableRoute => "unimportable-route",
+    /// An `if-match community` clause in an applied policy whose
+    /// community no upstream device can ever have set.
+    CommunityNeverSet => "community-never-set",
+    /// An originated prefix that cannot leave its origin: every
+    /// established session's export definitely denies it.
+    PropagationBlackhole => "propagation-blackhole",
+    /// A session where the sender's export lets prefixes through that
+    /// the receiver's import policy then rejects wholesale.
+    ExportImportMismatch => "export-import-mismatch",
+    /// A bogon/martian (or default) route crossing a session between
+    /// different topology roles.
+    BogonLeak => "bogon-leak",
 }
 
 impl Rule {
-    /// Every rule, for iteration in reports and tests.
-    pub const ALL: [Rule; 19] = [
-        Rule::UndefinedRoutePolicy,
-        Rule::UndefinedPrefixList,
-        Rule::UndefinedPeerGroup,
-        Rule::UndefinedAcl,
-        Rule::UndefinedTrafficPolicy,
-        Rule::UnusedDefinition,
-        Rule::ShadowedPrefixListEntry,
-        Rule::ShadowedPbrRule,
-        Rule::UnreachablePolicyNode,
-        Rule::ApplyOnDenyNode,
-        Rule::ClobberedAsPathPrepend,
-        Rule::MisplacedStatement,
-        Rule::SessionAsnMismatch,
-        Rule::OneSidedSession,
-        Rule::UnknownPeer,
-        Rule::GroupAsnConflict,
-        Rule::OverrideAsnMismatch,
-        Rule::ImportFilterGap,
-        Rule::DuplicateRouterId,
-    ];
-
     /// The rule's severity (see [`Severity`] for the soundness contract).
     pub fn severity(self) -> Severity {
         match self {
@@ -148,31 +172,6 @@ impl Rule {
             Rule::OverrideAsnMismatch => Some("override to wrong AS number"),
             Rule::ImportFilterGap => Some("fail to dis-enable route map"),
             _ => None,
-        }
-    }
-
-    /// Kebab-case rule name (the `error[...]` tag).
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::UndefinedRoutePolicy => "undefined-route-policy",
-            Rule::UndefinedPrefixList => "undefined-prefix-list",
-            Rule::UndefinedPeerGroup => "undefined-peer-group",
-            Rule::UndefinedAcl => "undefined-acl",
-            Rule::UndefinedTrafficPolicy => "undefined-traffic-policy",
-            Rule::UnusedDefinition => "unused-definition",
-            Rule::ShadowedPrefixListEntry => "shadowed-prefix-list-entry",
-            Rule::ShadowedPbrRule => "shadowed-pbr-rule",
-            Rule::UnreachablePolicyNode => "unreachable-policy-node",
-            Rule::ApplyOnDenyNode => "apply-on-deny-node",
-            Rule::ClobberedAsPathPrepend => "clobbered-as-path-prepend",
-            Rule::MisplacedStatement => "misplaced-statement",
-            Rule::SessionAsnMismatch => "session-asn-mismatch",
-            Rule::OneSidedSession => "one-sided-session",
-            Rule::UnknownPeer => "unknown-peer",
-            Rule::GroupAsnConflict => "group-asn-conflict",
-            Rule::OverrideAsnMismatch => "override-asn-mismatch",
-            Rule::ImportFilterGap => "import-filter-gap",
-            Rule::DuplicateRouterId => "duplicate-router-id",
         }
     }
 }

@@ -41,6 +41,7 @@
 
 mod ctx;
 mod diag;
+mod flow;
 mod pbr;
 mod policy;
 mod refs;
@@ -83,6 +84,8 @@ pub fn lint_with_models(
     policy::run(&ctx, &mut diagnostics);
     pbr::run(&ctx, &mut diagnostics);
     session::run(&ctx, &mut diagnostics);
+    let facts = acr_flow::analyze_with_models(topo, models);
+    flow::run(&ctx, &facts, &mut diagnostics);
     diagnostics.sort_by(|a, b| {
         (a.device, a.span, a.rule)
             .cmp(&(b.device, b.span, b.rule))

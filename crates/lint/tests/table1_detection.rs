@@ -31,6 +31,9 @@ fn expected_rules(fault: FaultType) -> &'static [Rule] {
             Rule::ImportFilterGap,
             Rule::UndefinedPrefixList,
             Rule::UnusedDefinition,
+            // Cross-device: the gutted list leaves the neighbor's
+            // originations with no import that can admit them.
+            Rule::UnimportableRoute,
         ],
     }
 }

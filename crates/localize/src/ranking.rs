@@ -84,6 +84,27 @@ impl Ranking {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Applies a multiplicative prior and re-sorts: each listed line's
+    /// score is scaled by its factor (`> 1` boosts, `< 1` dampens),
+    /// everything else keeps its score. Used by the repair engine to
+    /// fold static evidence — e.g. membership in a violated property's
+    /// abstract derivation path (`acr-flow`) — into the spectrum
+    /// ranking without touching the SBFL formula itself.
+    pub fn with_prior(self, prior: &std::collections::BTreeMap<LineId, f64>) -> Ranking {
+        if prior.is_empty() {
+            return self;
+        }
+        Ranking::new(
+            self.entries
+                .into_iter()
+                .map(|(line, score)| match prior.get(&line) {
+                    Some(factor) => (line, score * factor),
+                    None => (line, score),
+                })
+                .collect(),
+        )
+    }
 }
 
 impl fmt::Display for Ranking {
@@ -133,6 +154,17 @@ mod tests {
         assert_eq!(r.exam_score(l(0, 1)), Some(0.25));
         assert_eq!(r.exam_score(l(0, 4)), Some(1.0));
         assert_eq!(r.exam_score(l(9, 9)), None);
+    }
+
+    #[test]
+    fn prior_rescales_and_resorts() {
+        let r = Ranking::new(vec![(l(0, 1), 0.8), (l(0, 2), 0.7), (l(0, 3), 0.1)]);
+        let prior = std::collections::BTreeMap::from([(l(0, 2), 1.5)]);
+        let boosted = r.clone().with_prior(&prior);
+        assert_eq!(boosted.top(), Some((l(0, 2), 0.7 * 1.5)));
+        assert_eq!(boosted.rank_of(l(0, 1)), Some(2));
+        // An empty prior is the identity.
+        assert_eq!(r.clone().with_prior(&Default::default()), r);
     }
 
     #[test]
