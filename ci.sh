@@ -29,6 +29,9 @@ ACR_THREADS=1 cargo test -q
 echo "==> cargo test (delta construction off, ACR_DELTA=0)"
 ACR_DELTA=0 cargo test -q --test determinism_differential --test repair_incidents
 
+echo "==> cargo test (dense reference engine, ACR_SPARSE=0; multi-patch determinism)"
+ACR_SPARSE=0 cargo test -q --test determinism_differential
+
 echo "==> exp_delta --smoke (delta/full equivalence regression guard)"
 cargo run --release -q -p acr-bench --bin exp_delta -- --smoke
 
@@ -62,12 +65,28 @@ if [ "$obs_on" != "$obs_off" ]; then
     exit 1
 fi
 
+echo "==> exp_scenarios --smoke (scenario corpus + strategy A/B + golden digest)"
+scen_on=$(cargo run --release -q -p acr-bench --bin exp_scenarios -- --smoke | tee /dev/stderr | grep -E '^(report|corpus)_digest=')
+
+echo "==> exp_scenarios --smoke (gate off, ACR_FLOW=0; digests must agree)"
+scen_off=$(ACR_FLOW=0 cargo run --release -q -p acr-bench --bin exp_scenarios -- --smoke | tee /dev/stderr | grep -E '^(report|corpus)_digest=')
+if [ "$scen_on" != "$scen_off" ]; then
+    echo "FAIL: scenario corpus or repairs diverged under ACR_FLOW=0 ($scen_on vs $scen_off)" >&2
+    exit 1
+fi
+# The corpus content itself is regression-pinned (golden_corpus.rs); the
+# bench must be running on exactly that corpus.
+if ! grep -q 'b1380ed19022fbaf' <<<"$scen_on"; then
+    echo "FAIL: exp_scenarios ran on a corpus that does not match the golden pin" >&2
+    exit 1
+fi
+
 echo "==> trace_repair example (ACR_TRACE/ACR_JOURNAL env path)"
 obs_tmp=$(mktemp -d)
 ACR_TRACE="$obs_tmp/trace.json" ACR_JOURNAL="$obs_tmp/journal.jsonl" \
     cargo run --release -q --example trace_repair >/dev/null
 grep -q '"traceEvents"' "$obs_tmp/trace.json"
-grep -q '"schema":"acr-journal/v1"' "$obs_tmp/journal.jsonl"
+grep -q '"schema":"acr-journal/v2"' "$obs_tmp/journal.jsonl"
 rm -rf "$obs_tmp"
 
 echo "==> cargo test (heavy-tests)"

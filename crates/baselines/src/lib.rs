@@ -21,6 +21,8 @@
 
 pub mod aed;
 pub mod metaprov;
+pub mod strategies;
 
 pub use aed::{aed_repair, aed_repair_cached, AedOutcome, AedReport};
 pub use metaprov::{metaprov_repair, metaprov_repair_cached, MetaProvReport};
+pub use strategies::{AedStrategy, MetaProvStrategy};

@@ -5,7 +5,7 @@
 //! matrix:
 //!
 //! 1. **Schema** — every journal line parses as JSON and carries the
-//!    fields its `event` kind promises (`acr-journal/v1`), and the
+//!    fields its `event` kind promises (`acr-journal/v2`), and the
 //!    exported trace is loadable Chrome trace-event JSON.
 //! 2. **Determinism** — two identical runs produce byte-identical
 //!    journals after timestamp scrubbing; journals across thread counts
@@ -160,7 +160,7 @@ fn repair_all(loads: &[Workload], threads: usize, delta: bool) -> Vec<RepairRepo
         .collect()
 }
 
-/// Asserts one journal line satisfies the `acr-journal/v1` schema.
+/// Asserts one journal line satisfies the `acr-journal/v2` schema.
 fn check_journal_line(line: &str) {
     let v = json::parse(line).unwrap_or_else(|e| panic!("journal line is not JSON ({e}): {line}"));
     let event = v
@@ -182,7 +182,7 @@ fn check_journal_line(line: &str) {
             );
             let cfg = v.get("config").unwrap();
             for k in [
-                "strategy", "seed", "threads", "cache", "delta", "lint", "flow",
+                "strategy", "seed", "threads", "cache", "delta", "lint", "flow", "tags",
             ] {
                 assert!(cfg.get(k).is_some(), "run_start config lacks '{k}': {line}");
             }
@@ -211,19 +211,32 @@ fn check_journal_line(line: &str) {
                 "candidates",
             ]);
             for c in v.get("candidates").unwrap().as_arr().unwrap() {
-                assert!(c.get("patch").is_some() && c.get("outcome").is_some());
+                assert!(
+                    c.get("patch").is_some()
+                        && c.get("outcome").is_some()
+                        && c.get("segments").is_some()
+                );
             }
         }
-        "run_end" => need(&[
-            "ts_us",
-            "outcome",
-            "patch",
-            "fitness",
-            "iterations",
-            "validations",
-            "validations_cached",
-            "validations_skipped",
-        ]),
+        "run_end" => {
+            need(&[
+                "ts_us",
+                "outcome",
+                "patch",
+                "fitness",
+                "iterations",
+                "validations",
+                "validations_cached",
+                "validations_skipped",
+                "attribution",
+                "tags",
+            ]);
+            for seg in v.get("attribution").unwrap().as_arr().unwrap() {
+                for k in ["iteration", "op", "edits"] {
+                    assert!(seg.get(k).is_some(), "attribution segment lacks '{k}'");
+                }
+            }
+        }
         "baseline_run" => need(&["ts_us", "baseline"]),
         other => panic!("unknown journal event '{other}': {line}"),
     }

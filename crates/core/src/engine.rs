@@ -113,6 +113,12 @@ pub struct RepairConfig {
     /// The `ACR_FLOW` environment variable sets the default (on unless
     /// `0`/`false`/`off`).
     pub flow: bool,
+    /// Free-form labels carried verbatim into [`RepairReport::tags`] and
+    /// the run journal — the scenario harness stamps the scenario family
+    /// (e.g. `family:interacting`) here so every report and journal line
+    /// is attributable to its corpus slice. Never interpreted by the
+    /// engine.
+    pub tags: Vec<String>,
 }
 
 /// The `threads` default: the `ACR_THREADS` env var, else `0` (= auto).
@@ -155,6 +161,36 @@ impl Default for RepairConfig {
             cache: Some(Arc::new(SimCache::default())),
             delta: default_delta(),
             flow: default_flow(),
+            tags: Vec::new(),
+        }
+    }
+}
+
+/// Provenance of one slice of a repair patch: which template produced
+/// it, at which suspicious line, in which iteration, and how many edits
+/// it contributed. A multi-patch repair's [`RepairReport::attribution`]
+/// is the ordered list of segments behind the winning patch — the answer
+/// to "which fix addressed which fault".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchSegment {
+    /// Iteration that produced this segment (0 = the empty root).
+    pub iteration: usize,
+    /// The producing operator: a `TemplateKind` debug name, `"crossover"`
+    /// for recombined offspring, or `"pair"` for a beam pairwise combine.
+    pub op: String,
+    /// The suspicious line the operator expanded (crossover has none).
+    pub origin: Option<LineId>,
+    /// Edits this segment contributed to the full patch.
+    pub edits: usize,
+}
+
+impl PatchSegment {
+    fn of_fix(iteration: usize, fix: &CandidateFix) -> Self {
+        PatchSegment {
+            iteration,
+            op: format!("{:?}", fix.template),
+            origin: Some(fix.origin),
+            edits: fix.patch.len(),
         }
     }
 }
@@ -257,12 +293,80 @@ pub struct RepairReport {
     /// Per-stage wall-clock breakdown.
     pub stage: StageTimes,
     pub wall: Duration,
+    /// Per-patch provenance of the best patch: one [`PatchSegment`] per
+    /// operator application that built it, in application order.
+    pub attribution: Vec<PatchSegment>,
+    /// The [`RepairConfig::tags`] of the producing run, verbatim.
+    pub tags: Vec<String>,
 }
 
 impl RepairReport {
     /// Number of iterations executed.
     pub fn iteration_count(&self) -> usize {
         self.iterations.len()
+    }
+
+    /// The candidate-accounting identity every report must satisfy:
+    /// per iteration, every generated candidate lands in exactly one
+    /// outcome bucket (`generated` equals the sum of `invalid`,
+    /// `lint_rejected`, `validated`, `cached` and `flow_skipped`), so
+    /// the candidates that survive the static gates decompose as
+    /// *attempted = simulated plus cached plus flow-skipped*; and the
+    /// report totals are exactly the per-iteration sums. Returns a
+    /// description of the first violated equation.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        let (mut sim, mut cached, mut skipped) = (0usize, 0usize, 0usize);
+        for it in &self.iterations {
+            let buckets =
+                it.invalid + it.lint_rejected + it.validated + it.cached + it.flow_skipped;
+            if it.generated != buckets {
+                return Err(format!(
+                    "iteration {}: generated {} != invalid {} + lint_rejected {} + validated {} + cached {} + flow_skipped {}",
+                    it.iteration, it.generated, it.invalid, it.lint_rejected, it.validated,
+                    it.cached, it.flow_skipped
+                ));
+            }
+            let attempted = it.generated - it.invalid - it.lint_rejected;
+            if attempted != it.validated + it.cached + it.flow_skipped {
+                return Err(format!(
+                    "iteration {}: attempted {} != simulated {} + cached {} + flow_skipped {}",
+                    it.iteration, attempted, it.validated, it.cached, it.flow_skipped
+                ));
+            }
+            sim += it.validated;
+            cached += it.cached;
+            skipped += it.flow_skipped;
+        }
+        if sim != self.validations {
+            return Err(format!(
+                "validations {} != per-iteration sum {sim}",
+                self.validations
+            ));
+        }
+        if cached != self.validations_cached {
+            return Err(format!(
+                "validations_cached {} != per-iteration sum {cached}",
+                self.validations_cached
+            ));
+        }
+        if skipped != self.validations_skipped {
+            return Err(format!(
+                "validations_skipped {} != per-iteration sum {skipped}",
+                self.validations_skipped
+            ));
+        }
+        let attributed: usize = self.attribution.iter().map(|s| s.edits).sum();
+        let patch_len = match &self.outcome {
+            RepairOutcome::Fixed { patch, .. } => patch.len(),
+            RepairOutcome::NoCandidates { best_patch, .. }
+            | RepairOutcome::IterationLimit { best_patch, .. } => best_patch.len(),
+        };
+        if attributed != patch_len {
+            return Err(format!(
+                "attribution covers {attributed} edits but the best patch has {patch_len}"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -276,6 +380,8 @@ struct Variant {
     /// Lint findings on this variant (empty when linting is off) — they
     /// boost localization when the variant is expanded.
     diags: Vec<Diagnostic>,
+    /// Provenance of `patch`, one segment per operator application.
+    segments: Vec<PatchSegment>,
 }
 
 /// The repair engine, bound to a topology and spec.
@@ -391,6 +497,8 @@ impl<'a> RepairEngine<'a> {
                 validations_cached,
                 validations_skipped,
                 &stages,
+                Vec::new(),
+                &self.config.tags,
             );
         }
 
@@ -400,6 +508,7 @@ impl<'a> RepairEngine<'a> {
             fitness: initial_failed,
             verification: base_verification,
             diags: base_diags,
+            segments: Vec::new(),
         }];
         let mut prev_fitness = initial_failed;
         let mut seen: HashSet<Patch> = HashSet::new();
@@ -417,11 +526,11 @@ impl<'a> RepairEngine<'a> {
             };
 
             // ---- localize + fix: generate candidate full patches -------
-            let fresh: Vec<Patch> = {
+            let fresh: Vec<(Patch, Vec<PatchSegment>)> = {
                 let _g = stages.time("engine.generate", "engine");
-                self.generate(&population, &iv, &flow_prior, &mut rng)
+                self.generate(&population, &iv, &flow_prior, iteration, &mut rng)
                     .into_iter()
-                    .filter(|p| seen.insert(p.clone()))
+                    .filter(|(p, _)| seen.insert(p.clone()))
                     .collect()
             };
             let generated = fresh.len();
@@ -439,13 +548,17 @@ impl<'a> RepairEngine<'a> {
                     validations_cached,
                     validations_skipped,
                     &stages,
+                    best.segments.clone(),
+                    &self.config.tags,
                 );
             }
+            let (fresh_patches, fresh_segments): (Vec<Patch>, Vec<Vec<PatchSegment>>) =
+                fresh.into_iter().unzip();
 
             // ---- validate: lint gate + memo-cache + worker pool --------
             let validate_guard = stages.time("engine.validate", "engine");
             let batch = validate_batch(
-                fresh,
+                fresh_patches,
                 original,
                 &mut iv,
                 self.topo,
@@ -464,9 +577,12 @@ impl<'a> RepairEngine<'a> {
             // (candidate-index) order.
             let mut cand_rows: Vec<String> = Vec::new();
             let journal_on = acr_obs::enabled(acr_obs::JOURNAL);
-            for vc in batch {
-                let mut row =
-                    journal_on.then(|| json::Obj::new().str("patch", &vc.patch.to_string()));
+            for (vc, segs) in batch.into_iter().zip(fresh_segments) {
+                let mut row = journal_on.then(|| {
+                    json::Obj::new()
+                        .str("patch", &vc.patch.to_string())
+                        .int("segments", segs.len())
+                });
                 match vc.outcome {
                     CandidateOutcome::Invalid => {
                         invalid += 1;
@@ -527,6 +643,7 @@ impl<'a> RepairEngine<'a> {
                             verification,
                             fitness,
                             diags,
+                            segments: segs,
                         });
                     }
                     CandidateOutcome::FlowSkipped {
@@ -557,6 +674,7 @@ impl<'a> RepairEngine<'a> {
                             verification,
                             fitness,
                             diags,
+                            segments: segs,
                         });
                     }
                 }
@@ -623,6 +741,8 @@ impl<'a> RepairEngine<'a> {
                     validations_cached,
                     validations_skipped,
                     &stages,
+                    winner.segments.clone(),
+                    &self.config.tags,
                 );
             }
         }
@@ -639,6 +759,8 @@ impl<'a> RepairEngine<'a> {
             validations_cached,
             validations_skipped,
             &stages,
+            best.segments.clone(),
+            &self.config.tags,
         )
     }
 
@@ -665,6 +787,7 @@ impl<'a> RepairEngine<'a> {
             .bool("cache", self.config.cache.is_some())
             .bool("delta", self.config.delta)
             .bool("flow", self.config.flow)
+            .raw("tags", &tags_json(&self.config.tags))
             .build();
         journal::emit(
             &json::Obj::new()
@@ -706,22 +829,30 @@ impl<'a> RepairEngine<'a> {
     }
 
     /// Generates candidate *full* patches (relative to the original
-    /// configuration) according to the strategy.
+    /// configuration) according to the strategy, each paired with its
+    /// provenance segments.
     fn generate(
         &self,
         population: &[Variant],
         iv: &IncrementalVerifier<'_>,
         prior: &BTreeMap<LineId, f64>,
+        iteration: usize,
         rng: &mut SplitMix64,
-    ) -> Vec<Patch> {
+    ) -> Vec<(Patch, Vec<PatchSegment>)> {
         let mut out = Vec::new();
+        // A parent's patch extended by one fix, with provenance.
+        let extend = |parent: &Variant, fix: &CandidateFix| {
+            let mut segments = parent.segments.clone();
+            segments.push(PatchSegment::of_fix(iteration, fix));
+            (parent.patch.concat(&fix.patch), segments)
+        };
         match &self.config.strategy {
             Strategy::BruteForce { top_lines } => {
                 // Expand every surviving variant: multi-place repairs
                 // accrete one template application per iteration.
                 for parent in population {
                     let fixes = self.fixes_of(parent, iv, prior, *top_lines, None, rng);
-                    out.extend(fixes.into_iter().map(|f| parent.patch.concat(&f.patch)));
+                    out.extend(fixes.iter().map(|f| extend(parent, f)));
                 }
             }
             Strategy::Genetic {
@@ -733,7 +864,7 @@ impl<'a> RepairEngine<'a> {
                     let parent = &population[rng.index(population.len())];
                     let fixes = self.fixes_of(parent, iv, prior, *top_k, Some(rng.next_u64()), rng);
                     if let Some(fix) = pick(rng, &fixes) {
-                        out.push(parent.patch.concat(&fix.patch));
+                        out.push(extend(parent, fix));
                     }
                 }
                 for _ in 0..*crossovers {
@@ -749,7 +880,57 @@ impl<'a> RepairEngine<'a> {
                     let pb = rng.index(b.patch.len() + 1);
                     let child = crossover(&a.patch, &b.patch, pa, pb);
                     if !child.is_empty() {
-                        out.push(child);
+                        // Offspring mix two lineages; provenance collapses
+                        // to a single recombination segment.
+                        let segments = vec![PatchSegment {
+                            iteration,
+                            op: "crossover".to_string(),
+                            origin: None,
+                            edits: child.len(),
+                        }];
+                        out.push((child, segments));
+                    }
+                }
+            }
+            Strategy::SinglePatch { top_lines } => {
+                // Expand only the unpatched root: every candidate is one
+                // template application to the original configuration.
+                // Once the root is evicted (or its pool is exhausted via
+                // dedup) the search dries up — by design.
+                for parent in population.iter().filter(|v| v.patch.is_empty()) {
+                    let fixes = self.fixes_of(parent, iv, prior, *top_lines, None, rng);
+                    out.extend(fixes.iter().map(|f| extend(parent, f)));
+                }
+            }
+            Strategy::Beam {
+                width,
+                top_lines,
+                max_pairs,
+            } => {
+                // The population is sorted by (fitness, patch size) at
+                // the end of every iteration, so its prefix is the beam.
+                for parent in population.iter().take(*width) {
+                    let fixes = self.fixes_of(parent, iv, prior, *top_lines, None, rng);
+                    out.extend(fixes.iter().map(|f| extend(parent, f)));
+                    // Pairwise patch-set combinations at distinct
+                    // suspicious lines: a coordinated two-site edit in a
+                    // single candidate, instead of two accretion rounds.
+                    let mut pairs = 0usize;
+                    'outer: for i in 0..fixes.len() {
+                        for j in (i + 1)..fixes.len() {
+                            if fixes[i].origin == fixes[j].origin {
+                                continue;
+                            }
+                            if pairs >= *max_pairs {
+                                break 'outer;
+                            }
+                            let combined = fixes[i].patch.concat(&fixes[j].patch);
+                            let mut segments = parent.segments.clone();
+                            segments.push(PatchSegment::of_fix(iteration, &fixes[i]));
+                            segments.push(PatchSegment::of_fix(iteration, &fixes[j]));
+                            out.push((parent.patch.concat(&combined), segments));
+                            pairs += 1;
+                        }
                     }
                 }
             }
@@ -893,10 +1074,30 @@ fn boost_map(diags: &[Diagnostic]) -> BTreeMap<LineId, f64> {
     boosts
 }
 
+/// Renders a tag list as a JSON string array.
+fn tags_json(tags: &[String]) -> String {
+    json::array(tags.iter().map(|t| format!("\"{}\"", json::escape(t))))
+}
+
+/// Renders an attribution list as a JSON array of segment objects.
+fn attribution_json(segments: &[PatchSegment]) -> String {
+    json::array(segments.iter().map(|s| {
+        let obj = json::Obj::new()
+            .int("iteration", s.iteration)
+            .str("op", &s.op);
+        let obj = match &s.origin {
+            Some(line) => obj.str("origin", &line.to_string()),
+            None => obj,
+        };
+        obj.int("edits", s.edits).build()
+    }))
+}
+
 /// The single place a [`RepairReport`] is assembled: every return path
 /// of the repair loop funnels here, so the [`StageTimes`] derivation from
 /// the run's [`Stages`] accumulator exists exactly once. Also emits the
 /// journal's `run_end` record and flushes every obs sink.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     outcome: RepairOutcome,
     iterations: Vec<IterationStats>,
@@ -905,6 +1106,8 @@ fn finish(
     validations_cached: usize,
     validations_skipped: usize,
     stages: &Stages,
+    attribution: Vec<PatchSegment>,
+    tags: &[String],
 ) -> RepairReport {
     let stage = StageTimes {
         commit: stages.get("engine.commit"),
@@ -940,6 +1143,8 @@ fn finish(
                 .int("validations", validations)
                 .int("validations_cached", validations_cached)
                 .int("validations_skipped", validations_skipped)
+                .raw("attribution", &attribution_json(&attribution))
+                .raw("tags", &tags_json(tags))
                 .build(),
         );
     }
@@ -953,6 +1158,8 @@ fn finish(
         validations_skipped,
         stage,
         wall: stages.wall(),
+        attribution,
+        tags: tags.to_vec(),
     }
 }
 

@@ -30,6 +30,7 @@
 //!   donor-based plastic-surgery copying from same-role devices, an
 //!   operator set that needs no incident history.
 
+pub mod api;
 pub mod ctx;
 pub mod engine;
 pub mod space;
@@ -40,10 +41,11 @@ pub mod universal;
 mod validate;
 
 pub use acr_verify::SimCache;
+pub use api::{AcrStrategy, RepairStrategy, StrategyVerdict};
 pub use ctx::RepairCtx;
 pub use engine::{
-    IterationStats, OperatorSet, RepairConfig, RepairEngine, RepairOutcome, RepairReport,
-    StageTimes,
+    IterationStats, OperatorSet, PatchSegment, RepairConfig, RepairEngine, RepairOutcome,
+    RepairReport, StageTimes,
 };
 pub use strategy::Strategy;
 pub use templates::{templates_for, CandidateFix, TemplateKind};

@@ -30,6 +30,30 @@ pub enum Strategy {
         /// Suspicious-line pool size to sample from.
         top_k: usize,
     },
+    /// One template application to the *original* configuration only: no
+    /// patch accretion across iterations, no crossover. This is the
+    /// ablation arm of the multi-patch A/B — by construction it cannot
+    /// assemble repairs that need edits at two independent fault sites.
+    SinglePatch {
+        /// How many top-ranked lines to expand beyond the tied maximum.
+        top_lines: usize,
+    },
+    /// Multi-patch beam search over patch *sets*: the best `width`
+    /// variants are each expanded with every per-suspect template fix
+    /// *and* with pairwise combinations of fixes at distinct suspicious
+    /// lines (capped at `max_pairs` per parent). Combined with the
+    /// parent's accumulated patch this searches sets of coordinated
+    /// edits directly, instead of waiting for them to accrete one
+    /// iteration at a time; the lint and flow gates prune the
+    /// combinations like any other candidate.
+    Beam {
+        /// Beam width: surviving variants expanded per iteration.
+        width: usize,
+        /// How many top-ranked lines to expand beyond the tied maximum.
+        top_lines: usize,
+        /// Pairwise fix combinations attempted per expanded parent.
+        max_pairs: usize,
+    },
 }
 
 impl Default for Strategy {
@@ -46,6 +70,20 @@ impl Strategy {
     /// A brute-force strategy with a sensible expansion width.
     pub fn brute_force() -> Self {
         Strategy::BruteForce { top_lines: 15 }
+    }
+
+    /// The single-patch ablation arm with a sensible expansion width.
+    pub fn single_patch() -> Self {
+        Strategy::SinglePatch { top_lines: 15 }
+    }
+
+    /// A multi-patch beam with sensible defaults.
+    pub fn beam() -> Self {
+        Strategy::Beam {
+            width: 4,
+            top_lines: 10,
+            max_pairs: 24,
+        }
     }
 }
 

@@ -4,15 +4,19 @@
 //! iteration / candidate-index order, so a journal is byte-identical
 //! across runs (and across worker-thread counts) once `"ts_us"` fields
 //! are scrubbed — see [`scrub_timestamps`]. The schema
-//! (`acr-journal/v1`) is what `exp_obs` validates in CI:
+//! (`acr-journal/v2`) is what `exp_obs` validates in CI:
 //!
 //! - `run_start` — network shape, initial failures, the engine
 //!   configuration under a `config` key (the only run-parameter-bearing
 //!   field, so cross-configuration diffs scrub exactly one object);
+//!   since v2 the config carries the run's scenario `tags`;
 //! - `iteration` — ranked suspects (line + suspiciousness), the
-//!   candidate patches of the iteration with their verdicts and fitness,
-//!   and the iteration counters;
-//! - `run_end` — outcome, winning/best patch, totals;
+//!   candidate patches of the iteration with their verdicts, fitness
+//!   and (v2) provenance-segment counts, and the iteration counters;
+//! - `run_end` — outcome, winning/best patch, totals; since v2 also the
+//!   per-patch `attribution` array (iteration / operator / origin line /
+//!   edit count per segment — the multi-patch audit trail) and the
+//!   run's `tags`;
 //! - `baseline_run` — one-line summaries from the MetaProv/AED
 //!   baselines, so Figure-3 comparisons share the audit trail.
 //!
@@ -25,7 +29,7 @@ use std::io::Write;
 use std::sync::Mutex;
 
 /// The journal schema version stamped into `run_start` records.
-pub const SCHEMA: &str = "acr-journal/v1";
+pub const SCHEMA: &str = "acr-journal/v2";
 
 enum Sink {
     File(File),

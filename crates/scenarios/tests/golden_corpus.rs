@@ -1,0 +1,93 @@
+//! Golden corpus regression pins.
+//!
+//! The scenario corpus is the substrate every strategy is benchmarked
+//! on; if its content drifts (a generator tweak, an injection-order
+//! change, a hashing refactor), cross-run comparisons silently stop
+//! being apples-to-apples. These pins turn any drift into an explicit
+//! test diff: the fix is to *review* the new digests and re-pin, never
+//! to loosen the assertion.
+
+use acr_scenarios::{compose, corpus, corpus_digest, Scenario, ScenarioFamily};
+use acr_topo::gen;
+use acr_workloads::{generate, GeneratedNetwork};
+
+fn wan48() -> GeneratedNetwork {
+    generate(&gen::wan(4, 8))
+}
+
+const CORPUS_SEED: u64 = 2024;
+
+/// Pinned per-scenario digests for `corpus(wan(4,8), 2, 2024)`.
+const GOLDEN: &[(&str, u64)] = &[
+    ("multi-independent/0", 0xea5d55b241fb2a24),
+    ("multi-independent/1", 0x2e6937c54ca76189),
+    ("interacting/0", 0x515dc7827b21df35),
+    ("interacting/1", 0x2a50e7cb2b5deed0),
+    ("cascading/0", 0xfe89a4e8d0ef5a6a),
+    ("cascading/1", 0xf13317377263276f),
+    ("partial-observability/0", 0x8326f9058d49d827),
+    ("partial-observability/1", 0xfb487605ae1759e0),
+];
+
+const GOLDEN_CORPUS_DIGEST: u64 = 0xb1380ed19022fbaf;
+
+#[test]
+fn corpus_digests_match_golden_pins() {
+    let net = wan48();
+    let scenarios = corpus(&net, 2, CORPUS_SEED);
+    let got: Vec<(String, u64)> = scenarios
+        .iter()
+        .map(|s| (s.label.clone(), s.digest))
+        .collect();
+    let want: Vec<(String, u64)> = GOLDEN.iter().map(|(l, d)| (l.to_string(), *d)).collect();
+    assert_eq!(
+        got, want,
+        "scenario corpus drifted — review the change, then re-pin"
+    );
+    assert_eq!(corpus_digest(&scenarios), GOLDEN_CORPUS_DIGEST);
+}
+
+#[test]
+fn corpus_covers_every_family_twice() {
+    let net = wan48();
+    let scenarios = corpus(&net, 2, CORPUS_SEED);
+    for family in ScenarioFamily::ALL {
+        assert_eq!(
+            scenarios.iter().filter(|s| s.family == family).count(),
+            2,
+            "family {family} under-filled at seed {CORPUS_SEED}"
+        );
+    }
+}
+
+#[test]
+fn compose_digest_is_a_pure_function_of_seed() {
+    let net = wan48();
+    for family in ScenarioFamily::ALL {
+        let found: Vec<Scenario> = (0..64u64)
+            .filter_map(|s| compose(family, &net, s))
+            .take(3)
+            .collect();
+        assert!(!found.is_empty(), "{family}: no composition in 64 seeds");
+        for s in &found {
+            let again = compose(family, &net, s.seed).expect("seed replays");
+            assert_eq!(s.digest, again.digest, "{family} seed {} drifted", s.seed);
+            assert_eq!(
+                s.broken.fingerprint(),
+                again.broken.fingerprint(),
+                "{family} seed {}: broken config drifted",
+                s.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn digests_are_distinct_across_the_corpus() {
+    let net = wan48();
+    let scenarios = corpus(&net, 2, CORPUS_SEED);
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &scenarios {
+        assert!(seen.insert(s.digest), "{}: duplicate digest", s.label);
+    }
+}

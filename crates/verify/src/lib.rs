@@ -7,6 +7,9 @@
 //!   test generator samples one (or more) concrete packets per property,
 //!   exactly as the paper's §4.1 proposes ("for each property, we sample a
 //!   packet from its header space as a test").
+//! - [`mask`] — partial-observability masking: a deterministic
+//!   [`ObsMask`] selects the subset of properties the verifier actually
+//!   sees, modelling sampled-FIB / partial-intent diagnosis.
 //! - [`verify`] — full verification: simulate, walk every test packet,
 //!   classify violations (flapping, loops, blackholes, policy breaches)
 //!   and extract per-test configuration-line coverage for SBFL.
@@ -20,6 +23,7 @@
 
 pub mod cache;
 pub mod incremental;
+pub mod mask;
 pub mod spec;
 pub mod testgen;
 pub mod verify;
@@ -27,6 +31,7 @@ pub mod violation;
 
 pub use cache::{make_entry, rebase_verification, CandidateEntry, CandidateKey, FullKey, SimCache};
 pub use incremental::{CandidateValidator, IncrementalStats, IncrementalVerifier};
+pub use mask::ObsMask;
 pub use spec::{Property, PropertyKind, Spec, TestCase};
 pub use testgen::{coverage_guided_suite, derive_spec, SuiteStats};
 pub use verify::{TestRecord, Verification, Verifier};

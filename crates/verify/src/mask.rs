@@ -1,0 +1,168 @@
+//! Partial-observability masking.
+//!
+//! Production incidents are rarely diagnosed with a full view of the
+//! network: the monitoring plane samples FIBs, probes a subset of flows,
+//! and the operator's intent suite covers only the properties someone
+//! thought to write down. An [`ObsMask`] models this by selecting a
+//! deterministic subset of a [`Spec`]'s properties; [`ObsMask::restrict`]
+//! produces the spec the verifier actually sees.
+//!
+//! Because every property's verdict is judged independently (a test
+//! record depends only on its own sampled packet and the converged
+//! state), masking is *sound by construction*: a property visible under
+//! the mask receives exactly the verdict it would receive under full
+//! observability. `tests/prop_scenarios.rs` pins that theorem with a
+//! proptest; what masking changes is *completeness* — violations of
+//! hidden properties are invisible, so a repair accepted under a mask may
+//! leave hidden failures behind. The scenario harness measures exactly
+//! that gap.
+
+use crate::spec::Spec;
+use acr_net_types::SplitMix64;
+use std::collections::BTreeSet;
+
+/// A deterministic subset of a spec's property indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObsMask {
+    visible: BTreeSet<usize>,
+    total: usize,
+}
+
+impl ObsMask {
+    /// Full observability over a spec with `total` properties.
+    pub fn full(total: usize) -> Self {
+        ObsMask {
+            visible: (0..total).collect(),
+            total,
+        }
+    }
+
+    /// Samples a mask keeping roughly `keep_percent`% of `spec`'s
+    /// properties, deterministically from `seed`. At least one property
+    /// is always kept (an all-blind verifier is not a scenario, it's an
+    /// outage of the monitoring plane).
+    pub fn sample(spec: &Spec, keep_percent: u32, seed: u64) -> Self {
+        let total = spec.len();
+        let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut visible = BTreeSet::new();
+        for i in 0..total {
+            if rng.next_f64() * 100.0 < keep_percent as f64 {
+                visible.insert(i);
+            }
+        }
+        if visible.is_empty() && total > 0 {
+            visible.insert((seed as usize) % total);
+        }
+        ObsMask { visible, total }
+    }
+
+    /// Forces property `idx` to be visible (used by scenario generation
+    /// to guarantee at least one *failing* property stays observable).
+    pub fn ensure_visible(&mut self, idx: usize) {
+        if idx < self.total {
+            self.visible.insert(idx);
+        }
+    }
+
+    /// Whether property `idx` of the full spec is visible.
+    pub fn is_visible(&self, idx: usize) -> bool {
+        self.visible.contains(&idx)
+    }
+
+    /// Visible property indices, ascending.
+    pub fn visible(&self) -> impl Iterator<Item = usize> + '_ {
+        self.visible.iter().copied()
+    }
+
+    /// Number of visible properties.
+    pub fn visible_count(&self) -> usize {
+        self.visible.len()
+    }
+
+    /// Number of hidden properties.
+    pub fn hidden_count(&self) -> usize {
+        self.total - self.visible.len()
+    }
+
+    /// Size of the full spec this mask was drawn over.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the mask hides nothing.
+    pub fn is_full(&self) -> bool {
+        self.visible.len() == self.total
+    }
+
+    /// The spec the masked verifier sees: the visible properties of
+    /// `spec`, in their original order.
+    pub fn restrict(&self, spec: &Spec) -> Spec {
+        let properties = spec
+            .properties
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.visible.contains(i))
+            .map(|(_, p)| p.clone())
+            .collect();
+        Spec { properties }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Property;
+    use acr_net_types::{Prefix, RouterId};
+
+    fn spec(n: usize) -> Spec {
+        let mut s = Spec::new();
+        for i in 0..n {
+            s = s.with(Property::reach(
+                format!("p{i}"),
+                RouterId(0),
+                Prefix::DEFAULT,
+                format!("10.{i}.0.0/16").parse().unwrap(),
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_nonempty() {
+        let s = spec(10);
+        for seed in 0..50u64 {
+            let a = ObsMask::sample(&s, 50, seed);
+            let b = ObsMask::sample(&s, 50, seed);
+            assert_eq!(a, b);
+            assert!(a.visible_count() >= 1, "seed {seed} produced a blind mask");
+            assert_eq!(a.visible_count() + a.hidden_count(), 10);
+        }
+        // Different seeds eventually produce different masks.
+        let distinct: std::collections::HashSet<_> = (0..50u64)
+            .map(|seed| ObsMask::sample(&s, 50, seed))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn restrict_preserves_order_and_identity() {
+        let s = spec(6);
+        let mut m = ObsMask::sample(&s, 40, 7);
+        m.ensure_visible(3);
+        let restricted = m.restrict(&s);
+        assert_eq!(restricted.len(), m.visible_count());
+        let names: Vec<_> = restricted.properties.iter().map(|p| &p.name).collect();
+        let expect: Vec<String> = m.visible().map(|i| format!("p{i}")).collect();
+        assert_eq!(names, expect.iter().collect::<Vec<_>>());
+        assert!(m.is_visible(3));
+    }
+
+    #[test]
+    fn full_mask_is_identity() {
+        let s = spec(4);
+        let m = ObsMask::full(s.len());
+        assert!(m.is_full());
+        assert_eq!(m.restrict(&s), s);
+        assert_eq!(m.hidden_count(), 0);
+    }
+}

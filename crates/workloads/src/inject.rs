@@ -102,7 +102,22 @@ pub struct Incident {
 /// starting at one chosen by `seed`. Returns `None` when the network
 /// offers no site where the fault is observable.
 pub fn try_inject(fault: FaultType, net: &GeneratedNetwork, seed: u64) -> Option<Incident> {
-    let routers = net.cfg.routers();
+    try_inject_into(fault, net, &net.cfg, seed)
+}
+
+/// Like [`try_inject`], but injects into `current` — which may already
+/// carry earlier faults — instead of the pristine generated config. This
+/// is the composition primitive for multi-fault scenarios: the second
+/// fault's eligible structure is located in the *current* (possibly
+/// already-broken) config, and the resulting incident's `violations`
+/// count the failures of the combined state.
+pub fn try_inject_into(
+    fault: FaultType,
+    net: &GeneratedNetwork,
+    current: &NetworkConfig,
+    seed: u64,
+) -> Option<Incident> {
+    let routers = current.routers();
     let n = routers.len();
     if n == 0 {
         return None;
@@ -110,33 +125,43 @@ pub fn try_inject(fault: FaultType, net: &GeneratedNetwork, seed: u64) -> Option
     let start = (seed as usize) % n;
     for k in 0..n {
         let router = routers[(start + k) % n];
-        let Some(patch) = build_fault(fault, net, router) else {
-            continue;
-        };
-        let Ok(broken) = patch.apply_cloned(&net.cfg) else {
-            continue;
-        };
-        let verifier = Verifier::new(&net.topo, &net.spec);
-        let (v, _) = verifier.run_full(&broken);
-        let violations = v.failed_count();
-        if violations == 0 {
-            continue; // latent fault — not an incident
+        if let Some(incident) = inject_at(fault, net, current, router) {
+            return Some(incident);
         }
-        let description = format!(
-            "{fault} on {} ({} violated test{})",
-            net.topo.router(router).name,
-            violations,
-            if violations == 1 { "" } else { "s" }
-        );
-        return Some(Incident {
-            fault,
-            patch,
-            broken,
-            violations,
-            description,
-        });
     }
     None
+}
+
+/// Injects `fault` at a specific `router` of `current`, with no site
+/// rotation. Used by cascading-fault composition, where the second
+/// fault's site is dictated by the first fault's converged state.
+pub fn inject_at(
+    fault: FaultType,
+    net: &GeneratedNetwork,
+    current: &NetworkConfig,
+    router: RouterId,
+) -> Option<Incident> {
+    let patch = build_fault(fault, net, current, router)?;
+    let broken = patch.apply_cloned(current).ok()?;
+    let verifier = Verifier::new(&net.topo, &net.spec);
+    let (v, _) = verifier.run_full(&broken);
+    let violations = v.failed_count();
+    if violations == 0 {
+        return None; // latent fault — not an incident
+    }
+    let description = format!(
+        "{fault} on {} ({} violated test{})",
+        net.topo.router(router).name,
+        violations,
+        if violations == 1 { "" } else { "s" }
+    );
+    Some(Incident {
+        fault,
+        patch,
+        broken,
+        violations,
+        description,
+    })
 }
 
 /// Samples `count` incidents following the Table-1 distribution.
@@ -164,10 +189,15 @@ pub fn sample_incidents(net: &GeneratedNetwork, count: usize, seed: u64) -> Vec<
     out
 }
 
-/// Builds the breaking patch for `fault` at `router`, or `None` when the
-/// device has no eligible structure.
-fn build_fault(fault: FaultType, net: &GeneratedNetwork, router: RouterId) -> Option<Patch> {
-    let device = net.cfg.device(router)?;
+/// Builds the breaking patch for `fault` at `router` of `cfg`, or `None`
+/// when the device has no eligible structure.
+fn build_fault(
+    fault: FaultType,
+    net: &GeneratedNetwork,
+    cfg: &NetworkConfig,
+    router: RouterId,
+) -> Option<Patch> {
+    let device = cfg.device(router)?;
     let stmts = device.stmts();
     let find = |pred: &dyn Fn(&Stmt) -> bool| stmts.iter().position(pred);
     let find_all = |pred: &dyn Fn(&Stmt) -> bool| -> Vec<usize> {
@@ -227,15 +257,10 @@ fn build_fault(fault: FaultType, net: &GeneratedNetwork, router: RouterId) -> Op
         FaultType::ExtraPbrRedirect => {
             // Insert a catch-all redirect at the top of the applied policy,
             // aimed at a deterministic neighbor.
-            let applied = net
-                .cfg
-                .device(router)?
-                .stmts()
-                .iter()
-                .find_map(|s| match s {
-                    Stmt::ApplyTrafficPolicy(name) => Some(name.clone()),
-                    _ => None,
-                })?;
+            let applied = device.stmts().iter().find_map(|s| match s {
+                Stmt::ApplyTrafficPolicy(name) => Some(name.clone()),
+                _ => None,
+            })?;
             let policy_header = find(&|s| matches!(s, Stmt::PbrPolicyDef(n) if *n == applied))?;
             let broad_acl = find_all(&|s| matches!(s, Stmt::AclDef(_)))
                 .into_iter()
@@ -433,6 +458,27 @@ mod tests {
         assert!(incidents.len() >= 10, "got {}", incidents.len());
         for inc in &incidents {
             assert!(inc.violations >= 1, "{}", inc.description);
+        }
+    }
+
+    #[test]
+    fn second_fault_composes_onto_broken_base() {
+        let net = wan48();
+        let first = try_inject(FaultType::MissingPrefixListItems, &net, 0).expect("first fault");
+        let second =
+            try_inject_into(FaultType::WrongOverrideAsn, &net, &first.broken, 1).expect("second");
+        // The composed config carries both breaking patches.
+        assert!(second.violations >= first.violations.min(1));
+        assert_ne!(
+            second.broken.fingerprint(),
+            first.broken.fingerprint(),
+            "second injection must change the config"
+        );
+        // And the composed config still reparses.
+        for (r, d) in second.broken.devices() {
+            let text = d.to_text();
+            acr_cfg::parse::parse_device(d.name(), &text)
+                .unwrap_or_else(|e| panic!("composed fault on {r}: {e}\n{text}"));
         }
     }
 

@@ -24,5 +24,7 @@ pub mod inject;
 pub mod netgen;
 
 pub use fig2::{fig2_incident, Fig2};
-pub use inject::{sample_incidents, try_inject, FaultType, Incident, TABLE1};
+pub use inject::{
+    inject_at, sample_incidents, try_inject, try_inject_into, FaultType, Incident, TABLE1,
+};
 pub use netgen::{generate, GeneratedNetwork, CUSTOMER_AS};

@@ -38,6 +38,7 @@ pub use acr_localize as localize;
 pub use acr_net_types as net_types;
 pub use acr_obs as obs;
 pub use acr_prov as prov;
+pub use acr_scenarios as scenarios;
 pub use acr_sim as sim;
 pub use acr_smt as smt;
 pub use acr_topo as topo;
@@ -47,12 +48,16 @@ pub use acr_workloads as workloads;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use acr_cfg::{DeviceConfig, Edit, LineId, NetworkConfig, Patch, Stmt};
-    pub use acr_core::{RepairConfig, RepairEngine, RepairOutcome, Strategy};
+    pub use acr_core::{
+        AcrStrategy, RepairConfig, RepairEngine, RepairOutcome, RepairStrategy, Strategy,
+        StrategyVerdict,
+    };
     pub use acr_lint::{lint_network, Diagnostic, LintReport, Rule, Severity};
     pub use acr_localize::{localize, localize_boosted, SbflFormula};
     pub use acr_net_types::{Asn, Flow, Ipv4Addr, Prefix, RouterId};
+    pub use acr_scenarios::{corpus, Scenario, ScenarioFamily};
     pub use acr_sim::Simulator;
     pub use acr_topo::{Role, Topology, TopologyBuilder};
-    pub use acr_verify::{IncrementalVerifier, Property, Spec, Verifier, Violation};
+    pub use acr_verify::{IncrementalVerifier, ObsMask, Property, Spec, Verifier, Violation};
     pub use acr_workloads::{generate, sample_incidents, try_inject, FaultType};
 }

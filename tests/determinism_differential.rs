@@ -13,6 +13,7 @@
 //! the comparison is over the report, never over raw `Verification`s.
 
 use acr::prelude::*;
+use acr::scenarios::{corpus, Scenario};
 use acr_core::RepairReport;
 use acr_core::SimCache;
 use acr_workloads::GeneratedNetwork;
@@ -103,6 +104,15 @@ fn assert_reports_identical(a: &RepairReport, b: &RepairReport, what: &str) {
         a.validations_cached, b.validations_cached,
         "{what}: cached-validation count diverged"
     );
+    assert_eq!(
+        a.validations_skipped, b.validations_skipped,
+        "{what}: flow-skip count diverged"
+    );
+    assert_eq!(
+        a.attribution, b.attribution,
+        "{what}: patch attribution diverged"
+    );
+    assert_eq!(a.tags, b.tags, "{what}: tags diverged");
 }
 
 /// The headline harness: 12 incidents × 3 seeds, `threads ∈ {1, 4, 8}`
@@ -167,6 +177,131 @@ fn delta_compilation_never_changes_a_repair() {
                     incident.fault
                 ),
             );
+        }
+    }
+}
+
+/// Multi-patch beam search must be exactly as deterministic as the
+/// single-fault genetic path: for composed multi-fault scenarios (every
+/// family), repairs under `threads ∈ {1, 4, 8}` × `delta ∈ {on, off}`
+/// must agree on every observable field — outcome, patch, iteration
+/// trace, *per-segment attribution*, tags, and all three validation
+/// counters — and every report must satisfy the candidate-accounting
+/// identity. (`ACR_SPARSE` is process-global, so the sparse axis is
+/// differenced cross-process by `ci.sh`; journal byte-identity for the
+/// beam path lives in `obs_pipeline.rs`, which owns the global sink.)
+#[test]
+fn beam_multi_patch_repair_is_thread_and_delta_invariant() {
+    let net = wan();
+    let scenarios: Vec<Scenario> = corpus(&net, 1, 2024);
+    assert!(
+        scenarios.len() >= 4,
+        "corpus too small: {}",
+        scenarios.len()
+    );
+    for scenario in &scenarios {
+        let spec = scenario.visible_spec(&net.spec);
+        let run = |threads: usize, delta: bool| {
+            let engine = RepairEngine::new(
+                &net.topo,
+                &spec,
+                RepairConfig {
+                    seed: 11,
+                    threads,
+                    delta,
+                    strategy: acr::core::Strategy::beam(),
+                    cache: Some(Arc::new(SimCache::default())),
+                    tags: scenario.tags(),
+                    ..RepairConfig::default()
+                },
+            );
+            engine.repair(&scenario.broken)
+        };
+        let base = run(1, true);
+        base.check_accounting()
+            .unwrap_or_else(|e| panic!("{}: accounting violated: {e}", scenario.label));
+        assert_eq!(
+            base.tags,
+            scenario.tags(),
+            "{}: tags dropped",
+            scenario.label
+        );
+        for threads in [1usize, 4, 8] {
+            for delta in [true, false] {
+                if threads == 1 && delta {
+                    continue; // that is `base`
+                }
+                let other = run(threads, delta);
+                other
+                    .check_accounting()
+                    .unwrap_or_else(|e| panic!("{}: accounting violated: {e}", scenario.label));
+                assert_reports_identical(
+                    &base,
+                    &other,
+                    &format!(
+                        "scenario {} , threads {threads}, delta {delta}",
+                        scenario.label
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The flow gate replaces simulations with exactly-equal served
+/// verdicts, so it shifts candidates between the `validated`, `cached`
+/// and `flow_skipped` buckets without ever changing the search: with the
+/// gate on vs off, a beam repair must walk the same trajectory (outcome,
+/// patch, attribution, per-iteration generated/kept/fitness) and conserve
+/// the attempted-candidate total per iteration.
+#[test]
+fn flow_gate_never_changes_a_beam_repair() {
+    let net = wan();
+    let scenarios: Vec<Scenario> = corpus(&net, 1, 2024);
+    for scenario in &scenarios {
+        let spec = scenario.visible_spec(&net.spec);
+        let run = |flow: bool| {
+            let engine = RepairEngine::new(
+                &net.topo,
+                &spec,
+                RepairConfig {
+                    seed: 11,
+                    threads: 1,
+                    flow,
+                    strategy: acr::core::Strategy::beam(),
+                    cache: Some(Arc::new(SimCache::default())),
+                    tags: scenario.tags(),
+                    ..RepairConfig::default()
+                },
+            );
+            engine.repair(&scenario.broken)
+        };
+        let on = run(true);
+        let off = run(false);
+        let what = format!("scenario {}, flow on vs off", scenario.label);
+        assert_eq!(signature(&on), signature(&off), "{what}: outcome diverged");
+        assert_eq!(
+            on.attribution, off.attribution,
+            "{what}: attribution diverged"
+        );
+        assert_eq!(on.iterations.len(), off.iterations.len(), "{what}");
+        for (a, b) in on.iterations.iter().zip(&off.iterations) {
+            assert_eq!(a.generated, b.generated, "{what}: generated diverged");
+            assert_eq!(a.kept, b.kept, "{what}: kept diverged");
+            assert_eq!(a.fitness, b.fitness, "{what}: fitness diverged");
+            assert_eq!(
+                a.validated + a.cached + a.flow_skipped,
+                b.validated + b.cached + b.flow_skipped,
+                "{what}: attempted-candidate total diverged"
+            );
+        }
+        assert_eq!(
+            off.validations_skipped, 0,
+            "{what}: gate off but skips counted"
+        );
+        for r in [&on, &off] {
+            r.check_accounting()
+                .unwrap_or_else(|e| panic!("{what}: accounting violated: {e}"));
         }
     }
 }

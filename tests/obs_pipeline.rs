@@ -181,3 +181,79 @@ fn instrumentation_never_changes_a_repair() {
         assert!(on.outcome.is_fixed(), "fig2 must be repairable");
     }
 }
+
+/// Journal byte-identity for the *multi-patch beam* path: a composed
+/// multi-fault scenario repaired with `Strategy::beam` must journal
+/// byte-identically (after timestamp scrubbing) across repeat runs, and
+/// identically outside `run_start` across worker-thread counts and the
+/// delta toggle — including the v2 fields this path exercises hardest
+/// (per-candidate `segments` counts, `run_end` attribution and tags).
+#[test]
+fn beam_journal_is_deterministic_and_carries_attribution() {
+    let _g = lock();
+    obs::set_flags(obs::JOURNAL);
+    let net = acr::workloads::generate(&acr::topo::gen::wan(4, 8));
+    let scenario = acr::scenarios::corpus(&net, 1, 2024)
+        .into_iter()
+        .next()
+        .expect("corpus is non-empty");
+    let spec = scenario.visible_spec(&net.spec);
+    let run = |threads: usize, delta: bool| {
+        let engine = RepairEngine::new(
+            &net.topo,
+            &spec,
+            RepairConfig {
+                seed: 11,
+                threads,
+                delta,
+                strategy: acr::core::Strategy::beam(),
+                cache: Some(Arc::new(SimCache::default())),
+                tags: scenario.tags(),
+                ..RepairConfig::default()
+            },
+        );
+        engine.repair(&scenario.broken)
+    };
+    let mut bodies: Vec<(String, String)> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        for delta in [true, false] {
+            let label = format!("threads={threads}, delta={delta}");
+            journal::capture_to_memory();
+            let a = run(threads, delta);
+            let raw_a = journal::take_captured();
+            journal::capture_to_memory();
+            let b = run(threads, delta);
+            let raw_b = journal::take_captured();
+            assert!(!raw_a.is_empty(), "{label}: journal must not be empty");
+            assert_eq!(
+                journal::scrub_timestamps(&raw_a),
+                journal::scrub_timestamps(&raw_b),
+                "{label}: identical beam runs must journal byte-identically"
+            );
+            assert_eq!(signature(&a), signature(&b), "{label}: repeat diverged");
+            // The run_end line carries the attribution array and the
+            // scenario tags.
+            let run_end = raw_a
+                .lines()
+                .find(|l| l.contains("\"event\":\"run_end\""))
+                .expect("journal has a run_end");
+            let v = json::parse(run_end).expect("run_end parses");
+            assert!(v.get("attribution").and_then(|a| a.as_arr()).is_some());
+            let tags = v.get("tags").and_then(|t| t.as_arr()).unwrap();
+            assert!(
+                tags.iter()
+                    .any(|t| t.as_str() == Some(&format!("family:{}", scenario.family.tag()))),
+                "{label}: family tag missing from journal"
+            );
+            bodies.push((label, body(&journal::scrub_timestamps(&raw_a))));
+        }
+    }
+    for (label, b) in &bodies[1..] {
+        assert_eq!(
+            b, &bodies[0].1,
+            "beam journal body diverged between {} and {label}",
+            bodies[0].0
+        );
+    }
+    obs::disable_all();
+}

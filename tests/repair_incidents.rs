@@ -27,6 +27,14 @@ fn repair_and_check(net: &GeneratedNetwork, fault: FaultType, seed: u64) {
         },
     );
     let report = engine.repair(&inc.broken);
+    // The candidate-accounting identity (generated = invalid +
+    // lint-rejected + simulated + cached + flow-skipped, and attempted =
+    // simulated + cached + flow-skipped) holds for every run; the
+    // multi-patch search reuses the same bookkeeping, so the single-fault
+    // suite pins it too.
+    report
+        .check_accounting()
+        .unwrap_or_else(|e| panic!("{fault}: accounting violated: {e}"));
     let RepairOutcome::Fixed { patch, repaired } = &report.outcome else {
         panic!(
             "{fault}: not fixed after {} iterations / {} validations: {:?} ({})",
@@ -116,6 +124,9 @@ fn universal_operators_repair_omission_faults() {
             },
         );
         let report = engine.repair(&inc.broken);
+        report
+            .check_accounting()
+            .unwrap_or_else(|e| panic!("{fault}: accounting violated: {e}"));
         let RepairOutcome::Fixed { repaired, .. } = &report.outcome else {
             panic!("{fault}: universal operators failed: {:?}", report.outcome);
         };
