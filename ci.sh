@@ -35,13 +35,20 @@ ACR_SPARSE=0 cargo test -q --test determinism_differential
 echo "==> exp_delta --smoke (delta/full equivalence regression guard)"
 cargo run --release -q -p acr-bench --bin exp_delta -- --smoke
 
-echo "==> exp_converge --smoke (sparse engine: strictly-less-work guard)"
+echo "==> exp_converge --smoke (sparse engine + smoke-sized scale-frontier loads)"
 conv_sparse=$(cargo run --release -q -p acr-bench --bin exp_converge -- --smoke | tee /dev/stderr | grep '^report_digest=')
 
 echo "==> exp_converge --smoke (dense engine, ACR_SPARSE=0; digests must agree)"
 conv_dense=$(ACR_SPARSE=0 cargo run --release -q -p acr-bench --bin exp_converge -- --smoke | tee /dev/stderr | grep '^report_digest=')
 if [ "$conv_sparse" != "$conv_dense" ]; then
     echo "FAIL: sparse and dense engines computed different repairs ($conv_sparse vs $conv_dense)" >&2
+    exit 1
+fi
+
+echo "==> exp_converge --smoke (sharding off, ACR_SHARD=0; digests must agree)"
+conv_noshard=$(ACR_SHARD=0 cargo run --release -q -p acr-bench --bin exp_converge -- --smoke | tee /dev/stderr | grep '^report_digest=')
+if [ "$conv_sparse" != "$conv_noshard" ]; then
+    echo "FAIL: sharded and unsharded runs computed different repairs ($conv_sparse vs $conv_noshard)" >&2
     exit 1
 fi
 

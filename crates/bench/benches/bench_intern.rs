@@ -1,0 +1,110 @@
+//! Criterion: the hash-consed route arena's hot paths.
+//!
+//! The sparse engine leans on three interner operations per transfer:
+//! re-interning a route it has seen before (a *hit* — hash, bucket scan,
+//! full-content confirm), resolving ids back to routes / key ids, and
+//! comparing candidates. The rows below pin each hit path against its
+//! by-value twin so a regression in the arena shows up as a ratio shift,
+//! not just absolute noise: id comparison must stay integer-cheap next
+//! to full `Route` equality, and `select_best_id` must track
+//! `select_best` minus the clone traffic.
+
+use acr_net_types::{AsPath, Asn, Ipv4Addr, Prefix, RouterId};
+use acr_sim::route::select_best;
+use acr_sim::{select_best_id, Route, RouteId, RouteInterner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A synthetic-but-plausible route population: distinct AS paths, MEDs,
+/// and next hops over a few hundred prefixes — the shape a wan(24,48)
+/// run pushes through the memo, without coupling the bench to the sim.
+fn population(n: usize) -> Vec<Route> {
+    (0..n)
+        .map(|i| {
+            let hops: Vec<Asn> = (0..(i % 5 + 1))
+                .map(|h| Asn(65000 + (i + h) as u32))
+                .collect();
+            Route {
+                prefix: Prefix::from_octets(10, (i % 200) as u8, (i / 200) as u8, 0, 24),
+                as_path: AsPath::from_hops(hops),
+                local_pref: 100 + (i % 3) as u32 * 50,
+                med: (i % 7) as u32,
+                communities: vec![],
+                next_hop: Ipv4Addr::new(172, 16, (i % 16) as u8, (i % 250) as u8 + 1),
+                learned_from: Some(RouterId((i % 24) as u32)),
+                deriv: acr_sim::DerivId(i as u32),
+            }
+        })
+        .collect()
+}
+
+fn bench_intern(c: &mut Criterion) {
+    let routes = population(1024);
+    let mut it = RouteInterner::new();
+    let ids: Vec<RouteId> = routes.iter().map(|r| it.intern(r)).collect();
+    assert_eq!(it.len(), routes.len(), "population must be duplicate-free");
+
+    let mut group = c.benchmark_group("route_interner");
+
+    // Hit path: every route is already interned, so each call is
+    // hash + bucket probe + one full-content confirm, no clone.
+    group.bench_function("intern_hit_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in &routes {
+                acc += it.intern(black_box(r)).0 as u64;
+            }
+            black_box(acc)
+        })
+    });
+
+    // Lookup path: id -> route reference and id -> key id, the two
+    // resolutions the engine does per candidate per round.
+    group.bench_function("get_and_key_id_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids {
+                acc += it.get(black_box(id)).local_pref as u64;
+                acc += it.key_id(black_box(id)) as u64;
+            }
+            black_box(acc)
+        })
+    });
+
+    // Compare path: interned-id equality vs full-route equality on the
+    // worst case for by-value comparison — equal routes, where every
+    // field (AS path included) must be walked before `==` returns.
+    let clones: Vec<Route> = routes.clone();
+    group.bench_function("compare_ids_1024", |b| {
+        b.iter(|| {
+            let mut eq = 0usize;
+            for (a, b2) in ids.iter().zip(ids.iter()) {
+                eq += usize::from(black_box(a) == black_box(b2));
+            }
+            black_box(eq)
+        })
+    });
+    group.bench_function("compare_routes_1024", |b| {
+        b.iter(|| {
+            let mut eq = 0usize;
+            for (a, b2) in routes.iter().zip(clones.iter()) {
+                eq += usize::from(black_box(a) == black_box(b2));
+            }
+            black_box(eq)
+        })
+    });
+
+    // Best-path selection over the full candidate set: the id variant
+    // compares through the arena without cloning a single route.
+    group.bench_function("select_best_id_1024", |b| {
+        b.iter(|| black_box(select_best_id(&it, ids.iter().copied())))
+    });
+    group.bench_function("select_best_value_1024", |b| {
+        b.iter(|| black_box(select_best(routes.iter().cloned())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_intern);
+criterion_main!(benches);

@@ -237,6 +237,7 @@ fn check_journal_line(line: &str) {
                 }
             }
         }
+        "shard_summary" => need(&["ts_us", "sharded_runs", "sharded_prefixes"]),
         "baseline_run" => need(&["ts_us", "baseline"]),
         other => panic!("unknown journal event '{other}': {line}"),
     }
@@ -461,6 +462,8 @@ fn main() {
         .u64("flow_facts", counter("flow.facts"))
         .u64("flow_gate_skipped", counter("flow.gate.skipped"))
         .u64("dpll_solves", counter("smt.dpll.solves"))
+        .u64("sim_shard_runs", counter("sim.shard_runs"))
+        .u64("sim_shard_prefixes", counter("sim.shard_prefixes"))
         .build();
     let path = write_bench("obs", |env| {
         env.bool("smoke", smoke)

@@ -7,6 +7,10 @@
 //! cache hit-rate. Every cell repairs the same corpus with the same
 //! seeds; outcomes are identical by construction (the differential
 //! determinism test proves it), so the table is a pure cost comparison.
+//! Cache-on rows run the corpus **twice against one cache** and report a
+//! cold/warm pair: the cold walk pays cache population (historically
+//! reported alone as a misleading sub-1x "speedup" at `threads=1`), the
+//! warm walk is the steady state the cache exists for.
 //! Part 2 breaks the hit-rate down per incident. Part 3 re-walks the
 //! corpus against the already-warm cache — the A/B-experiment shape
 //! where memoization approaches a 100% hit-rate. Part 4 shares one
@@ -93,8 +97,18 @@ fn main() {
 
     // ---- Part 1: threads × cache sweep --------------------------------
     let header = format!(
-        "{:<10} {:<6} {:>9} {:>9} {:>7} {:>10} {:>9} {:>8} {:>6}",
-        "Threads", "Cache", "Wall", "Speedup", "Proxy", "Simulated", "Cached", "Hit-rate", "Fixed"
+        "{:<10} {:<6} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10} {:>9} {:>8} {:>6}",
+        "Threads",
+        "Cache",
+        "Cold",
+        "ColdSpd",
+        "Warm",
+        "WarmSpd",
+        "Proxy",
+        "Simulated",
+        "Cached",
+        "Hit-rate",
+        "Fixed"
     );
     println!("{header}");
     rule(header.len());
@@ -142,6 +156,9 @@ fn main() {
             measured.push((effective, cache_on));
             let cache = cache_on.then(|| Arc::new(SimCache::default()));
             let cell = run_corpus(threads, cache.as_ref());
+            // Second walk against the now-populated cache: steady-state
+            // cost without the population overhead the cold walk paid.
+            let warm = cache_on.then(|| run_corpus(threads, cache.as_ref()));
             if threads == 1 && !cache_on {
                 baseline_wall = cell.wall;
                 batches = cell
@@ -150,46 +167,102 @@ fn main() {
                     .flat_map(|r| r.iterations.iter().map(|s| s.validated))
                     .collect();
             }
+            let speedup = |w: Duration| baseline_wall.as_secs_f64() / w.as_secs_f64().max(1e-9);
             println!(
-                "{:<10} {:<6} {:>8.2}s {:>8.2}x {:>6.2}x {:>10} {:>9} {:>7.1}% {:>6}",
+                "{:<10} {:<6} {:>8.2}s {:>8.2}x {:>9} {:>9} {:>6.2}x {:>10} {:>9} {:>7.1}% {:>6}",
                 threads,
                 if cache_on { "on" } else { "off" },
                 cell.wall.as_secs_f64(),
-                baseline_wall.as_secs_f64() / cell.wall.as_secs_f64().max(1e-9),
+                speedup(cell.wall),
+                warm.as_ref()
+                    .map_or("-".into(), |w| format!("{:.2}s", w.wall.as_secs_f64())),
+                warm.as_ref()
+                    .map_or("-".into(), |w| format!("{:.2}x", speedup(w.wall))),
                 proxy_speedup(&batches, threads),
                 cell.validations,
                 cell.cached,
                 hit_rate(cell.cached, cell.validations),
                 format!("{}/{}", cell.fixed, incidents.len()),
             );
-            sweep_rows.push(
-                json::Obj::new()
-                    .int("threads", threads)
-                    .int("effective_threads", effective)
-                    .bool("oversubscribed", threads > avail)
-                    .bool("cache", cache_on)
-                    .num("wall_s", cell.wall.as_secs_f64())
-                    .num(
-                        "speedup",
-                        baseline_wall.as_secs_f64() / cell.wall.as_secs_f64().max(1e-9),
-                    )
-                    .int("work_units", batches.iter().sum::<usize>())
-                    .num("proxy_speedup", proxy_speedup(&batches, threads))
-                    .int("simulated", cell.validations)
-                    .int("cached", cell.cached)
-                    .int("fixed", cell.fixed)
-                    .build(),
-            );
+            let mut row = json::Obj::new()
+                .int("threads", threads)
+                .int("effective_threads", effective)
+                .bool("oversubscribed", threads > avail)
+                .bool("cache", cache_on)
+                .num("wall_cold_s", cell.wall.as_secs_f64())
+                .num("speedup_cold", speedup(cell.wall))
+                .int("work_units", batches.iter().sum::<usize>())
+                .num("proxy_speedup", proxy_speedup(&batches, threads))
+                .int("simulated", cell.validations)
+                .int("cached", cell.cached)
+                .int("fixed", cell.fixed);
+            if let Some(w) = &warm {
+                row = row
+                    .num("wall_warm_s", w.wall.as_secs_f64())
+                    .num("speedup_warm", speedup(w.wall))
+                    .int("warm_simulated", w.validations)
+                    .int("warm_cached", w.cached);
+            }
+            sweep_rows.push(row.build());
         }
     }
     rule(header.len());
     println!(
         "speedup is measured wall against the legacy threads=1, cache-off path; \
-         proxy = Σb_i / Σ⌈b_i/t⌉ over that run's validation batches (host-independent)\n"
+         cache-on rows list cold (population) and warm (steady-state) walks separately; \
+         proxy = Σb_i / Σ⌈b_i/t⌉ over the baseline run's validation batches (host-independent)\n"
     );
+    // ---- Part 1b: sharded convergence on the scale-frontier WAN -------
+    // Worker sweep over the per-prefix sharded runner on wan(200,400) —
+    // 600 routers, 600 prefixes. Outcome/arena byte-identity across
+    // worker counts is asserted by `exp_converge` and `prop_shard_sim`;
+    // this table is the cost curve (on a single-core host the >1 rows
+    // measure honest thread overhead, not parallel speedup).
+    let big = acr_bench::scaled_network(200);
+    let sim = acr_sim::Simulator::new(&big.topo, &big.cfg);
+    let universe = sim.universe();
+    let mut shard_rows = Vec::new();
+    println!(
+        "sharded convergence, wan(200,400) ({} prefixes):",
+        universe.len()
+    );
+    let mut shard_base = Duration::ZERO;
+    for workers in [1usize, 2, 4] {
+        let opts = acr_sim::RunOptions {
+            engine: acr_sim::ConvergeEngine::Sparse,
+            warm: None,
+            shard: acr_sim::ShardMode::Workers(workers),
+        };
+        let mut arena = acr_sim::DerivArena::new();
+        let t = Instant::now();
+        let (_outcomes, work) = sim.run_prefixes_opts(&universe, &mut arena, &opts);
+        let wall = t.elapsed();
+        if workers == 1 {
+            shard_base = wall;
+        }
+        println!(
+            "  workers={workers}: {:>8.2}s ({:.2}x vs workers=1), {} policy evals",
+            wall.as_secs_f64(),
+            shard_base.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+            work.policy_evals,
+        );
+        shard_rows.push(
+            json::Obj::new()
+                .int("workers", workers)
+                .int("prefixes", universe.len())
+                .num("wall_s", wall.as_secs_f64())
+                .int("policy_evals", work.policy_evals as usize)
+                .int("sharded_runs", work.sharded_runs as usize)
+                .int("sharded_prefixes", work.sharded_prefixes as usize)
+                .build(),
+        );
+    }
+    println!();
+
     let path = write_bench("parallel", |env| {
         env.int("incidents", incidents.len())
             .raw("sweep", &json::array(sweep_rows))
+            .raw("shard_sweep", &json::array(shard_rows))
     });
     println!("wrote {path}\n");
 

@@ -496,6 +496,7 @@ impl<'a> RepairEngine<'a> {
                 validations,
                 validations_cached,
                 validations_skipped,
+                iv.shard_totals(),
                 &stages,
                 Vec::new(),
                 &self.config.tags,
@@ -547,6 +548,7 @@ impl<'a> RepairEngine<'a> {
                     validations,
                     validations_cached,
                     validations_skipped,
+                    iv.shard_totals(),
                     &stages,
                     best.segments.clone(),
                     &self.config.tags,
@@ -740,6 +742,7 @@ impl<'a> RepairEngine<'a> {
                     validations,
                     validations_cached,
                     validations_skipped,
+                    iv.shard_totals(),
                     &stages,
                     winner.segments.clone(),
                     &self.config.tags,
@@ -758,6 +761,7 @@ impl<'a> RepairEngine<'a> {
             validations,
             validations_cached,
             validations_skipped,
+            iv.shard_totals(),
             &stages,
             best.segments.clone(),
             &self.config.tags,
@@ -1105,6 +1109,7 @@ fn finish(
     validations: usize,
     validations_cached: usize,
     validations_skipped: usize,
+    shard_totals: (u64, u64),
     stages: &Stages,
     attribution: Vec<PatchSegment>,
     tags: &[String],
@@ -1131,6 +1136,19 @@ fn finish(
                 best_fitness,
             } => ("iteration_limit", best_patch.to_string(), *best_fitness),
         };
+        // Sharded-convergence accounting for the run: how many committed
+        // verifications dispatched the sharded runner and how many
+        // prefixes they covered. Both are worker-count independent (the
+        // dispatch decision is on/off, not a count), so journals stay
+        // byte-identical across thread counts and shard widths.
+        journal::emit(
+            &json::Obj::new()
+                .str("event", "shard_summary")
+                .u64("ts_us", journal::now_us())
+                .u64("sharded_runs", shard_totals.0)
+                .u64("sharded_prefixes", shard_totals.1)
+                .build(),
+        );
         journal::emit(
             &json::Obj::new()
                 .str("event", "run_end")

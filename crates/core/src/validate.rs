@@ -536,17 +536,7 @@ pub(crate) fn reparses(cfg: &NetworkConfig, patch: &Patch) -> bool {
     })
 }
 
-/// Worker-thread count: `0` = available parallelism; explicit requests
-/// are clamped to the host's available parallelism. Candidate validation
-/// is CPU-bound with no blocking I/O, so oversubscription only adds
-/// contention (measured 1.7× slower at threads=4 on a 1-core host) —
-/// there is no workload where more workers than cores helps.
-pub(crate) fn resolve_threads(configured: usize) -> usize {
-    let avail = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if configured != 0 {
-        return configured.min(avail);
-    }
-    avail
-}
+// The worker-thread clamp moved to `acr-sim`'s shard module so the
+// sharded convergence runner and this candidate pool share one budget
+// policy; re-exported here to keep the crate-local import paths.
+pub(crate) use acr_sim::resolve_threads;

@@ -51,7 +51,7 @@
 use crate::deriv::{DerivArena, DerivId, DerivKind};
 use crate::fxhash::FxHashMap;
 use crate::policy::{eval_policy_into, PolicyOutcome};
-use crate::route::{select_best, Route};
+use crate::route::{select_best, select_best_id, Route, RouteId, RouteInterner};
 use crate::session::Session;
 use acr_cfg::model::DeviceModel;
 use acr_cfg::LineId;
@@ -197,6 +197,11 @@ pub struct ConvergeWork {
     pub warm_reused: u64,
     /// Probes that failed and fell back to a cold sparse run.
     pub warm_fallbacks: u64,
+    /// Sharded multi-prefix runs performed (see `acr-sim`'s `shard`
+    /// module). Zero when sharding is disabled.
+    pub sharded_runs: u64,
+    /// Prefixes routed through sharded workers.
+    pub sharded_prefixes: u64,
 }
 
 impl ConvergeWork {
@@ -211,18 +216,29 @@ impl ConvergeWork {
         self.warm_probes += other.warm_probes;
         self.warm_reused += other.warm_reused;
         self.warm_fallbacks += other.warm_fallbacks;
+        self.sharded_runs += other.sharded_runs;
+        self.sharded_prefixes += other.sharded_prefixes;
     }
 }
 
 /// Result of one policy transfer (export by the sender, then import by
-/// the receiver) over one session in one direction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the receiver) over one session in one direction, with the accepted
+/// route hash-consed into the memo's [`RouteInterner`] — the memoized
+/// value is two machine words and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Transfer {
     /// The receiver accepted this route into its candidate set.
-    Accepted(Route),
+    Accepted(RouteId),
     /// A policy denied the announcement (negative provenance).
     Denied(DerivId),
     /// Nothing config-attributable happened (AS-path loop, no BGP).
+    Silent,
+}
+
+/// An unmemoized transfer result, before the accepted route is interned.
+enum Evaluated {
+    Accepted(Route),
+    Denied(DerivId),
     Silent,
 }
 
@@ -242,10 +258,16 @@ enum Transfer {
 #[derive(Default)]
 pub struct PolicyMemo {
     /// `slots[2 * session_index + direction]`, direction = sender is `a`.
-    /// Keyed with the crate's fast hasher — the memo is looked up on
-    /// every transfer attempt, and `HashMap` semantics (not hash quality)
-    /// carry the correctness argument.
-    slots: Vec<FxHashMap<Route, MemoEntry>>,
+    /// Keyed by [`RouteId`] — id equality is full-route equality within
+    /// `routes`, so a lookup is one integer-keyed probe instead of a
+    /// deep route hash + comparison. `HashMap` semantics (not hash
+    /// quality) carry the correctness argument.
+    slots: Vec<FxHashMap<RouteId, MemoEntry>>,
+    /// The hash-consed route arena all keys and accepted values live in.
+    /// Append-only, so ids survive [`PolicyMemo::begin_run`]; it may only
+    /// be shared across runs that share a content-addressed `DerivArena`
+    /// (the routes carry `DerivId`s).
+    routes: RouteInterner,
     /// Reused per-evaluation buffers for the unmemoized path.
     eval: EvalScratch,
     /// Current run generation; entries remember the last generation that
@@ -266,6 +288,7 @@ pub struct PolicyMemo {
 }
 
 /// One memoized transfer and the generation that last attempted it.
+#[derive(Clone, Copy)]
 struct MemoEntry {
     t: Transfer,
     gen: u64,
@@ -375,25 +398,33 @@ impl PolicyMemo {
         receiver: &RouterCtx<'_>,
         sender: &RouterCtx<'_>,
         session: &Session,
-        best: &Route,
+        best: RouteId,
         arena: &mut DerivArena,
         work: &mut ConvergeWork,
-    ) -> (bool, &Transfer) {
+    ) -> (bool, Transfer) {
         let idx = self.slot_index(si, session.a == sender.id);
         let gen = self.gen;
-        if self.slots[idx].contains_key(best) {
+        if let Some(e) = self.slots[idx].get_mut(&best) {
             work.memo_hits += 1;
-            let e = self.slots[idx].get_mut(best).expect("checked above");
             let first = e.gen != gen;
             e.gen = gen;
-            return (first, &self.slots[idx][best].t);
+            return (first, e.t);
         }
         work.policy_evals += 1;
-        let t = transfer(receiver, sender, session, best, arena, &mut self.eval);
-        let e = self.slots[idx]
-            .entry(best.clone())
-            .or_insert(MemoEntry { t, gen });
-        (true, &e.t)
+        let t = match transfer(
+            receiver,
+            sender,
+            session,
+            self.routes.get(best),
+            arena,
+            &mut self.eval,
+        ) {
+            Evaluated::Accepted(r) => Transfer::Accepted(self.routes.intern_owned(r)),
+            Evaluated::Denied(d) => Transfer::Denied(d),
+            Evaluated::Silent => Transfer::Silent,
+        };
+        self.slots[idx].insert(best, MemoEntry { t, gen });
+        (true, t)
     }
 
     /// A transfer lookup for the warm probe: reuses (and fills) the memo
@@ -409,22 +440,71 @@ impl PolicyMemo {
         receiver: &RouterCtx<'_>,
         sender: &RouterCtx<'_>,
         session: &Session,
-        best: &Route,
+        best: RouteId,
         arena: &mut DerivArena,
         work: &mut ConvergeWork,
-    ) -> &Transfer {
+    ) -> Transfer {
         let idx = self.slot_index(si, session.a == sender.id);
-        if self.slots[idx].contains_key(best) {
+        if let Some(e) = self.slots[idx].get(&best) {
             work.memo_hits += 1;
-            return &self.slots[idx][best].t;
+            return e.t;
         }
         work.policy_evals += 1;
-        let t = transfer(receiver, sender, session, best, arena, &mut self.eval);
+        let t = match transfer(
+            receiver,
+            sender,
+            session,
+            self.routes.get(best),
+            arena,
+            &mut self.eval,
+        ) {
+            Evaluated::Accepted(r) => Transfer::Accepted(self.routes.intern_owned(r)),
+            Evaluated::Denied(d) => Transfer::Denied(d),
+            Evaluated::Silent => Transfer::Silent,
+        };
         let gen = self.gen.wrapping_sub(1);
-        let e = self.slots[idx]
-            .entry(best.clone())
-            .or_insert(MemoEntry { t, gen });
-        &e.t
+        self.slots[idx].insert(best, MemoEntry { t, gen });
+        t
+    }
+
+    /// Merges a shard worker's memo into this one. `deriv_map` translates
+    /// the worker arena's derivation ids (worker arenas start empty, so
+    /// the map is total) into the caller's arena. Slots are visited in
+    /// index order and entries in worker-route-id order, so given
+    /// deterministic workers the merged interner contents are
+    /// deterministic too. Existing entries win: the memo is semantically
+    /// transparent, so which copy survives only affects wall time.
+    pub(crate) fn absorb_worker(&mut self, worker: &PolicyMemo, deriv_map: &[DerivId]) {
+        let gen = self.gen;
+        for (idx, slot) in worker.slots.iter().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            if self.slots.len() <= idx {
+                self.slots.resize_with(idx + 1, FxHashMap::default);
+            }
+            let mut keys: Vec<RouteId> = slot.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                let entry = slot[&k];
+                let mut key_route = worker.routes.get(k).clone();
+                key_route.deriv = deriv_map[key_route.deriv.0 as usize];
+                let key_id = self.routes.intern_owned(key_route);
+                if self.slots[idx].contains_key(&key_id) {
+                    continue;
+                }
+                let t = match entry.t {
+                    Transfer::Accepted(rid) => {
+                        let mut r = worker.routes.get(rid).clone();
+                        r.deriv = deriv_map[r.deriv.0 as usize];
+                        Transfer::Accepted(self.routes.intern_owned(r))
+                    }
+                    Transfer::Denied(d) => Transfer::Denied(deriv_map[d.0 as usize]),
+                    Transfer::Silent => Transfer::Silent,
+                };
+                self.slots[idx].insert(key_id, MemoEntry { t, gen });
+            }
+        }
     }
 }
 
@@ -437,15 +517,15 @@ fn transfer(
     best: &Route,
     arena: &mut DerivArena,
     scratch: &mut EvalScratch,
-) -> Transfer {
+) -> Evaluated {
     match export(sender, session, receiver.id, best, arena, scratch) {
         Ok(msg) => match import(receiver, session, sender.id, &msg, arena, scratch) {
-            Ok(imported) => Transfer::Accepted(imported),
-            Err(Some(denied)) => Transfer::Denied(denied),
-            Err(None) => Transfer::Silent,
+            Ok(imported) => Evaluated::Accepted(imported),
+            Err(Some(denied)) => Evaluated::Denied(denied),
+            Err(None) => Evaluated::Silent,
         },
-        Err(Some(denied)) => Transfer::Denied(denied),
-        Err(None) => Transfer::Silent,
+        Err(Some(denied)) => Evaluated::Denied(denied),
+        Err(None) => Evaluated::Silent,
     }
 }
 
@@ -511,6 +591,29 @@ fn intern_locals(
         .collect()
 }
 
+/// Id-level twin of [`intern_locals`] for the interned sparse engine:
+/// same arena intern calls in the same order, with the routes hash-consed
+/// into `routes` instead of cloned per round.
+fn intern_locals_ids(
+    prefix: Prefix,
+    originations: &[Origination],
+    arena: &mut DerivArena,
+    routes: &mut RouteInterner,
+) -> Vec<Vec<RouteId>> {
+    originations
+        .iter()
+        .map(|o| {
+            o.sources
+                .iter()
+                .map(|(kind, lines)| {
+                    let deriv = arena.intern(*kind, lines.clone(), vec![]);
+                    routes.intern_owned(Route::local(prefix, deriv))
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Session indices per member router, in session order — the candidate
 /// evaluation order both engines share. Prefix-independent: callers
 /// running many prefixes build this once and pass it to every engine
@@ -533,12 +636,12 @@ pub fn index_sessions(sessions: &[Session], n: usize) -> Vec<Vec<u32>> {
 #[derive(Default)]
 pub struct SparseScratch {
     slot_hash: Vec<u64>,
-    logs: Vec<Vec<(usize, Option<Route>)>>,
+    logs: Vec<Vec<(usize, Option<RouteId>)>>,
     seen_states: FxHashMap<u64, usize>,
     dirty: Vec<bool>,
     next_dirty: Vec<bool>,
-    pending: Vec<(usize, Option<Route>)>,
-    candidates: Vec<Route>,
+    pending: Vec<(usize, Option<RouteId>)>,
+    candidates: Vec<RouteId>,
 }
 
 impl SparseScratch {
@@ -677,30 +780,33 @@ pub fn run_prefix_dense(
 /// The full state hash is the XOR of all slots, so a change to router `i`
 /// updates it in O(1): `H ^= old_slot ^ new_slot`.
 ///
-/// Uses the crate's fast hasher: the sparse engine *verifies* every hash
-/// hit against the reconstructed key state before declaring a cycle, so a
-/// collision between distinct states costs a spurious comparison (and, if
-/// it persisted, a delayed detection) rather than a *false* cycle — the
-/// same ~2^-64 regime as the dense engine's [`hash_state`], which trusts
-/// its fingerprint outright and therefore keeps SipHash.
-fn hash_slot(i: usize, r: &Option<Route>) -> u64 {
+/// The key is identified by its hash-consed key id, so hashing a slot
+/// never touches the AS path. Uses the crate's fast hasher, and need not
+/// match the dense engine's [`hash_state`]: the sparse engine's hash only
+/// has to be self-consistent (equal key states hash equal, which key-id
+/// equality gives exactly), and every hit is *verified* against the true
+/// key state before a cycle is declared — a collision between distinct
+/// states costs a spurious comparison rather than a false cycle, the
+/// same ~2^-64 regime as the dense engine, which trusts its SipHash
+/// fingerprint outright.
+fn hash_slot_id(routes: &RouteInterner, i: usize, r: Option<RouteId>) -> u64 {
     let mut hasher = crate::fxhash::FxHasher::default();
     i.hash(&mut hasher);
     match r {
-        Some(r) => {
+        Some(id) => {
             1u8.hash(&mut hasher);
-            r.key().hash(&mut hasher);
+            routes.key_id(id).hash(&mut hasher);
         }
         None => 0u8.hash(&mut hasher),
     }
     hasher.finish()
 }
 
-/// Protocol-key equality of two slots (what convergence and cycle
-/// detection are defined over; derivations and communities excluded).
-fn keys_eq(a: &Option<Route>, b: &Option<Route>) -> bool {
+/// Protocol-key equality of two id slots — an integer compare, since key
+/// ids are hash-consed over [`crate::route::RouteKey`].
+fn keys_eq_id(routes: &RouteInterner, a: Option<RouteId>, b: Option<RouteId>) -> bool {
     match (a, b) {
-        (Some(x), Some(y)) => x.key() == y.key(),
+        (Some(x), Some(y)) => x == y || routes.key_id(x) == routes.key_id(y),
         (None, None) => true,
         _ => false,
     }
@@ -708,12 +814,12 @@ fn keys_eq(a: &Option<Route>, b: &Option<Route>) -> bool {
 
 /// The value router `i`'s change log held at `round` (logs are seeded at
 /// round 0 and gain an entry per change, sorted by round).
-fn log_value_at(log: &[(usize, Option<Route>)], round: usize) -> &Option<Route> {
+fn log_value_at(log: &[(usize, Option<RouteId>)], round: usize) -> Option<RouteId> {
     let idx = match log.binary_search_by_key(&round, |e| e.0) {
         Ok(k) => k,
         Err(k) => k - 1, // log[0].0 == 0 <= round, so k >= 1
     };
-    &log[idx].1
+    log[idx].1
 }
 
 /// The sparse worklist engine. Produces outcomes byte-identical to
@@ -752,24 +858,28 @@ pub fn run_prefix_sparse(
 ) -> PrefixOutcome {
     let n = routers.len();
     work.prefixes += 1;
-    let locals = intern_locals(prefix, originations, arena);
+    let locals = intern_locals_ids(prefix, originations, arena, &mut memo.routes);
 
-    let mut best: Vec<Option<Route>> = (0..n)
-        .map(|i| select_best(locals[i].iter().cloned()))
+    let mut best: Vec<Option<RouteId>> = (0..n)
+        .map(|i| select_best_id(&memo.routes, locals[i].iter().copied()))
         .collect();
     // Incremental state hash and per-router change logs (round, value) —
     // the compact replacement for the dense engine's per-round history.
     // All working buffers live in `scratch` and are reset here.
     let slot_hash = &mut scratch.slot_hash;
     slot_hash.clear();
-    slot_hash.extend(best.iter().enumerate().map(|(i, r)| hash_slot(i, r)));
+    slot_hash.extend(
+        best.iter()
+            .enumerate()
+            .map(|(i, r)| hash_slot_id(&memo.routes, i, *r)),
+    );
     let mut state_hash: u64 = slot_hash.iter().fold(0, |acc, h| acc ^ h);
     let logs = &mut scratch.logs;
     logs.truncate(n);
     logs.resize_with(n, Vec::new);
     for (log, r) in logs.iter_mut().zip(&best) {
         log.clear();
-        log.push((0usize, r.clone()));
+        log.push((0usize, *r));
     }
     let seen_states = &mut scratch.seen_states;
     seen_states.clear();
@@ -798,7 +908,7 @@ pub fn run_prefix_sparse(
             let equal = logs
                 .iter()
                 .zip(&best)
-                .all(|(log, cur)| keys_eq(log_value_at(log, first), cur));
+                .all(|(log, cur)| keys_eq_id(&memo.routes, log_value_at(log, first), *cur));
             if equal {
                 let cycle_len = round - first;
                 if cycle_len == 0 {
@@ -808,11 +918,17 @@ pub fn run_prefix_sparse(
                 // first occurrence of each distinct key over the cycle
                 // rounds [first, round), in round order.
                 let mut observed: Vec<Vec<Route>> = vec![Vec::new(); n];
+                let mut observed_ids: Vec<Vec<RouteId>> = vec![Vec::new(); n];
                 for (i, log) in logs.iter().enumerate() {
                     for r in first..round {
-                        if let Some(route) = log_value_at(log, r) {
-                            if !observed[i].iter().any(|o: &Route| o.key() == route.key()) {
-                                observed[i].push(route.clone());
+                        if let Some(id) = log_value_at(log, r) {
+                            let kid = memo.routes.key_id(id);
+                            if !observed_ids[i]
+                                .iter()
+                                .any(|o| memo.routes.key_id(*o) == kid)
+                            {
+                                observed_ids[i].push(id);
+                                observed[i].push(memo.routes.get(id).clone());
                             }
                         }
                     }
@@ -842,27 +958,30 @@ pub fn run_prefix_sparse(
             }
             work.recomputed_routers += 1;
             let me = &routers[i];
-            candidates.extend(locals[i].iter().cloned());
+            candidates.extend(locals[i].iter().copied());
             for &si in &sessions_of[i] {
                 let session = &sessions[si as usize];
                 let view = session.view_of(me.id).expect("indexed by member");
-                let Some(neighbor_best) = &best[view.peer.index()] else {
+                let Some(neighbor_best) = best[view.peer.index()] else {
                     continue;
                 };
                 let neighbor = &routers[view.peer.index()];
                 let (fresh, t) =
                     memo.transfer(si, me, neighbor, session, neighbor_best, arena, work);
                 match t {
-                    Transfer::Accepted(r) => candidates.push(r.clone()),
+                    Transfer::Accepted(id) => candidates.push(id),
                     Transfer::Denied(d) => {
                         if fresh {
-                            rejections.push(*d);
+                            rejections.push(d);
                         }
                     }
                     Transfer::Silent => {}
                 }
             }
-            let new = select_best(candidates.drain(..));
+            // Full-route identity is id identity, so the dirtiness check
+            // (and the candidate comparisons inside `select_best_id`'s
+            // comparator) never deep-compare routes.
+            let new = select_best_id(&memo.routes, candidates.drain(..));
             if new != best[i] {
                 pending.push((i, new));
             }
@@ -870,13 +989,15 @@ pub fn run_prefix_sparse(
 
         // Key-stability, dense semantics: changes that only touch
         // non-key fields (derivation, communities) still converge.
-        let stable = pending.iter().all(|(i, new)| keys_eq(new, &best[*i]));
+        let stable = pending
+            .iter()
+            .all(|(i, new)| keys_eq_id(&memo.routes, *new, best[*i]));
         for (i, new) in pending.drain(..) {
-            let h = hash_slot(i, &new);
+            let h = hash_slot_id(&memo.routes, i, new);
             state_hash ^= slot_hash[i] ^ h;
             slot_hash[i] = h;
             best[i] = new;
-            logs[i].push((round + 1, best[i].clone()));
+            logs[i].push((round + 1, new));
             for &si in &sessions_of[i] {
                 let s = &sessions[si as usize];
                 let peer = if s.a.index() == i { s.b } else { s.a };
@@ -888,7 +1009,10 @@ pub fn run_prefix_sparse(
             rejections.dedup();
             return PrefixOutcome::Converged {
                 rounds: round + 1,
-                best,
+                best: best
+                    .into_iter()
+                    .map(|o| o.map(|id| memo.routes.get(id).clone()))
+                    .collect(),
                 rejections,
             };
         }
@@ -904,7 +1028,7 @@ pub fn run_prefix_sparse(
         observed: vec![
             best.into_iter()
                 .flatten()
-                .map(|r| vec![r])
+                .map(|id| vec![memo.routes.get(id).clone()])
                 .next()
                 .unwrap_or_default();
             n
@@ -949,26 +1073,32 @@ pub fn warm_probe(
         return None;
     }
     work.warm_probes += 1;
-    let mut candidates: Vec<Route> = Vec::new();
+    // Intern the cached bests so every per-router comparison below is an
+    // id compare (id equality ⟺ full-route equality within the interner).
+    let best_ids: Vec<Option<RouteId>> = best
+        .iter()
+        .map(|r| r.as_ref().map(|r| memo.routes.intern(r)))
+        .collect();
+    let mut candidates: Vec<RouteId> = Vec::new();
     for i in 0..n {
         let me = &routers[i];
         for (kind, lines) in &originations[i].sources {
             let deriv = arena.intern(*kind, lines.clone(), vec![]);
-            candidates.push(Route::local(prefix, deriv));
+            candidates.push(memo.routes.intern_owned(Route::local(prefix, deriv)));
         }
         for &si in &sessions_of[i] {
             let session = &sessions[si as usize];
             let view = session.view_of(me.id).expect("indexed by member");
-            let Some(neighbor_best) = &best[view.peer.index()] else {
+            let Some(neighbor_best) = best_ids[view.peer.index()] else {
                 continue;
             };
             let neighbor = &routers[view.peer.index()];
             let t = memo.probe_transfer(si, me, neighbor, session, neighbor_best, arena, work);
-            if let Transfer::Accepted(r) = t {
-                candidates.push(r.clone());
+            if let Transfer::Accepted(id) = t {
+                candidates.push(id);
             }
         }
-        if select_best(candidates.drain(..)) != best[i] {
+        if select_best_id(&memo.routes, candidates.drain(..)) != best_ids[i] {
             return None;
         }
     }

@@ -32,15 +32,17 @@ pub mod origin;
 pub mod policy;
 pub mod route;
 pub mod session;
+pub mod shard;
 pub mod sim;
 
 pub use base::{CompiledBase, DeltaInfo, SessionDelta, SessionPart, SimBuild};
 pub use bgp::{ConvergeEngine, ConvergeWork, PolicyMemo, PrefixOutcome, MAX_ROUNDS_BASE};
 pub use cache::{CacheStats, ShardedCache};
 pub use deriv::{DerivArena, DerivId, DerivKind, DerivNode};
-pub use fib::{Fib, FibAction, FibEntry};
+pub use fib::{bgp_fragment, Fib, FibAction, FibEntry};
 pub use forward::{ForwardOutcome, ForwardResult};
 pub use origin::OriginIndex;
-pub use route::{Route, RouteKey};
+pub use route::{select_best_id, Route, RouteId, RouteInterner, RouteKey};
 pub use session::{Session, SessionDiag, SessionFailure};
+pub use shard::{resolve_threads, ShardMode};
 pub use sim::{RunOptions, SimOutcome, Simulator};

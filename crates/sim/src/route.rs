@@ -1,8 +1,10 @@
-//! BGP routes and best-path selection.
+//! BGP routes, best-path selection, and the hash-consed route arena.
 
 use crate::deriv::DerivId;
+use crate::fxhash::{FxHashMap, FxHasher};
 use acr_net_types::{AsPath, Community, Ipv4Addr, Prefix, RouterId};
 use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
 
 /// Default LOCAL_PREF when no policy sets one.
 pub const DEFAULT_LOCAL_PREF: u32 = 100;
@@ -101,6 +103,169 @@ pub fn select_best(candidates: impl IntoIterator<Item = Route>) -> Option<Route>
     candidates
         .into_iter()
         .max_by(|a, b| a.prefer(b).then_with(|| b.next_hop.cmp(&a.next_hop)))
+}
+
+/// Handle into a [`RouteInterner`]: `u32`-sized, `Copy`, and with the
+/// guarantee that two handles from the *same* interner are equal iff the
+/// full routes (communities and derivation id included) are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteId(pub u32);
+
+/// Hash-consed route arena. Interning is content-addressed twice over:
+///
+/// * the **route id** identifies the full route (id equality ⟺ `Route`
+///   equality), so candidate comparison, memo lookup, and dirty-set
+///   checks in the sparse engine collapse to integer ops;
+/// * each route additionally carries a **key id**, hash-consed over
+///   [`RouteKey`] (key-id equality ⟺ `RouteKey` equality), so
+///   convergence/stability checks and state hashing never materialise a
+///   `RouteKey` (which would clone the AS path).
+///
+/// The arena is append-only: ids stay valid for the interner's lifetime,
+/// which lets a [`crate::bgp::PolicyMemo`] keep one interner alive across
+/// an entire repair loop. Bucket + full-content confirm mirrors
+/// `DerivArena::intern_ref` — the 64-bit hash only narrows the search.
+#[derive(Debug, Default, Clone)]
+pub struct RouteInterner {
+    routes: Vec<Route>,
+    key_ids: Vec<u32>,
+    /// Representative route per key id (first route interned with it).
+    key_repr: Vec<RouteId>,
+    index: FxHashMap<u64, Vec<RouteId>>,
+    key_index: FxHashMap<u64, Vec<u32>>,
+}
+
+fn same_key(a: &Route, b: &Route) -> bool {
+    a.prefix == b.prefix
+        && a.as_path == b.as_path
+        && a.local_pref == b.local_pref
+        && a.med == b.med
+        && a.next_hop == b.next_hop
+        && a.learned_from == b.learned_from
+}
+
+impl RouteInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    pub fn get(&self, id: RouteId) -> &Route {
+        &self.routes[id.0 as usize]
+    }
+
+    /// The hash-consed [`RouteKey`] identity of `id`. Equal key ids ⟺
+    /// equal route keys, across all routes in this interner.
+    pub fn key_id(&self, id: RouteId) -> u32 {
+        self.key_ids[id.0 as usize]
+    }
+
+    fn route_hash(r: &Route) -> u64 {
+        let mut h = FxHasher::default();
+        r.hash(&mut h);
+        h.finish()
+    }
+
+    fn key_hash(r: &Route) -> u64 {
+        let mut h = FxHasher::default();
+        r.prefix.hash(&mut h);
+        r.as_path.hash(&mut h);
+        r.local_pref.hash(&mut h);
+        r.med.hash(&mut h);
+        r.next_hop.hash(&mut h);
+        r.learned_from.hash(&mut h);
+        h.finish()
+    }
+
+    fn lookup(&self, hash: u64, r: &Route) -> Option<RouteId> {
+        self.index
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|id| self.routes[id.0 as usize] == *r)
+    }
+
+    fn push(&mut self, hash: u64, r: Route) -> RouteId {
+        let id = RouteId(self.routes.len() as u32);
+        // Key interning inspects `self.routes` via representatives, so
+        // push the route first and backfill the key id.
+        self.routes.push(r);
+        self.key_ids.push(0);
+        let kh = Self::key_hash(&self.routes[id.0 as usize]);
+        let mut kid = None;
+        if let Some(bucket) = self.key_index.get(&kh) {
+            for &cand in bucket.iter() {
+                let repr = self.key_repr[cand as usize];
+                if same_key(&self.routes[repr.0 as usize], &self.routes[id.0 as usize]) {
+                    kid = Some(cand);
+                    break;
+                }
+            }
+        }
+        let kid = match kid {
+            Some(k) => k,
+            None => {
+                let fresh = self.key_repr.len() as u32;
+                self.key_index.entry(kh).or_default().push(fresh);
+                self.key_repr.push(id);
+                fresh
+            }
+        };
+        self.key_ids[id.0 as usize] = kid;
+        self.index.entry(hash).or_default().push(id);
+        id
+    }
+
+    /// Interns a route by reference, cloning only on a miss.
+    pub fn intern(&mut self, r: &Route) -> RouteId {
+        let hash = Self::route_hash(r);
+        if let Some(id) = self.lookup(hash, r) {
+            return id;
+        }
+        self.push(hash, r.clone())
+    }
+
+    /// Interns an owned route; on a hit the value is dropped.
+    pub fn intern_owned(&mut self, r: Route) -> RouteId {
+        let hash = Self::route_hash(&r);
+        if let Some(id) = self.lookup(hash, &r) {
+            return id;
+        }
+        self.push(hash, r)
+    }
+}
+
+/// Id-level twin of [`select_best`]: identical comparator, identical
+/// last-maximal-wins semantics (`max_by` keeps the *last* among equal
+/// candidates), so for any candidate sequence
+/// `select_best_id(it, ids).map(|id| it.get(id))` ==
+/// `select_best(routes)` by reference.
+pub fn select_best_id(
+    interner: &RouteInterner,
+    ids: impl IntoIterator<Item = RouteId>,
+) -> Option<RouteId> {
+    let mut best: Option<RouteId> = None;
+    for id in ids {
+        best = Some(match best {
+            None => id,
+            Some(b) => {
+                let (rb, rc) = (interner.get(b), interner.get(id));
+                if rb.prefer(rc).then_with(|| rc.next_hop.cmp(&rb.next_hop)) == Ordering::Greater {
+                    b
+                } else {
+                    id
+                }
+            }
+        });
+    }
+    best
 }
 
 #[cfg(test)]
@@ -215,5 +380,73 @@ mod tests {
             ..base()
         };
         assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn intern_is_content_addressed() {
+        let mut it = RouteInterner::new();
+        let a = it.intern(&base());
+        let b = it.intern_owned(base());
+        assert_eq!(a, b, "identical routes intern to one id");
+        assert_eq!(it.len(), 1);
+        let c = it.intern_owned(Route {
+            local_pref: 200,
+            ..base()
+        });
+        assert_ne!(a, c);
+        assert_eq!(it.get(a), &base());
+        assert_eq!(it.get(c).local_pref, 200);
+    }
+
+    #[test]
+    fn key_id_tracks_route_key_not_full_route() {
+        let mut it = RouteInterner::new();
+        let a = it.intern(&base());
+        // Same key, different deriv / communities -> distinct route ids,
+        // same key id.
+        let b = it.intern_owned(Route {
+            deriv: DerivId(7),
+            ..base()
+        });
+        let c = it.intern_owned(Route {
+            communities: vec![Community {
+                asn: 65000,
+                value: 1,
+            }],
+            ..base()
+        });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(it.key_id(a), it.key_id(b));
+        assert_eq!(it.key_id(a), it.key_id(c));
+        // Different key -> different key id.
+        let d = it.intern_owned(Route { med: 9, ..base() });
+        assert_ne!(it.key_id(a), it.key_id(d));
+    }
+
+    #[test]
+    fn select_best_id_matches_select_best() {
+        let mk = |lp: u32, nh: u8, from: u32| Route {
+            local_pref: lp,
+            next_hop: Ipv4Addr::new(172, 16, 0, nh),
+            learned_from: Some(RouterId(from)),
+            ..base()
+        };
+        // Include an exact tie (same route twice) and a next-hop-only
+        // difference to exercise the last-maximal tiebreak path.
+        let cases: Vec<Vec<Route>> = vec![
+            vec![],
+            vec![base()],
+            vec![mk(100, 1, 1), mk(200, 2, 2), mk(100, 3, 3)],
+            vec![mk(100, 2, 1), mk(100, 1, 1), mk(100, 2, 1)],
+            vec![mk(100, 9, 2), mk(100, 1, 2)],
+        ];
+        for routes in cases {
+            let mut it = RouteInterner::new();
+            let ids: Vec<RouteId> = routes.iter().map(|r| it.intern(r)).collect();
+            let by_id = select_best_id(&it, ids).map(|id| it.get(id).clone());
+            let by_val = select_best(routes.clone());
+            assert_eq!(by_id, by_val, "candidates: {routes:?}");
+        }
     }
 }

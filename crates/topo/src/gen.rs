@@ -92,15 +92,33 @@ pub fn leaf_spine(spines: usize, leaves: usize) -> Topology {
     b.build()
 }
 
+/// The attachment prefix for global attachment index `i`: the first 256
+/// get `10.i.0.0/16` — byte-identical to the historical scheme every
+/// pinned corpus and golden digest depends on — and indices from 256 up
+/// get /24s carved from `20.0.0.0/8` (`20.hi.lo.0/24`), which never
+/// overlap the /16 space.
+fn attachment_prefix(i: usize) -> Prefix {
+    if i < 256 {
+        Prefix::from_octets(10, i as u8, 0, 0, 16)
+    } else {
+        let k = i - 256;
+        assert!(k < 65536, "attachment prefix space exhausted");
+        Prefix::from_octets(20, (k >> 8) as u8, (k & 255) as u8, 0, 24)
+    }
+}
+
 /// A WAN: a *line* backbone (bb0 — bb1 — … — bb{n-1}) with `customers`
 /// single-homed PoP routers attached round-robin. Every backbone router
-/// owns `10.i/16`; customer *j* owns `10.(n+j)/16`.
+/// owns attachment index *i*, customer *j* index `n+j` (see
+/// [`attachment_prefix`]: `10.i/16` below 256, `20/8` /24s above — so
+/// scale-frontier shapes like `wan(200, 400)` work while small corpora
+/// keep their historical addressing).
 ///
 /// The line (every backbone router is a cut vertex) makes single-device
 /// faults observable instead of being masked by rerouting — which is what
 /// the incident-injection experiments need.
 pub fn wan(n_bb: usize, customers: usize) -> Topology {
-    assert!(n_bb >= 2 && n_bb + customers <= 256);
+    assert!(n_bb >= 2 && n_bb + customers <= 256 + 65536);
     let mut b = TopologyBuilder::new();
     let bb: Vec<RouterId> = (0..n_bb)
         .map(|i| b.router(&format!("BB{i}"), Role::Backbone))
@@ -109,12 +127,55 @@ pub fn wan(n_bb: usize, customers: usize) -> Topology {
         b.link(w[0], w[1]);
     }
     for (i, id) in bb.iter().enumerate() {
-        b.attach(*id, Prefix::from_octets(10, i as u8, 0, 0, 16));
+        b.attach(*id, attachment_prefix(i));
     }
     for j in 0..customers {
         let cust = b.router(&format!("C{j}"), Role::PoP);
         b.link(bb[j % n_bb], cust);
-        b.attach(cust, Prefix::from_octets(10, (n_bb + j) as u8, 0, 0, 16));
+        b.attach(cust, attachment_prefix(n_bb + j));
+    }
+    b.build()
+}
+
+/// A leaf–spine fabric where each leaf carries `prefixes_per_leaf` rack
+/// /24s — the 100k-prefix scale-frontier shape. Leaf *l*'s *k*-th prefix
+/// is `10+hi.mid.lo.0/24` for global index `n = l*prefixes_per_leaf + k`
+/// (carved upward from `10.0.0.0/8`, disjoint across leaves; capped at
+/// 2²⁰ total prefixes, far beyond what memory allows anyway). Router
+/// count stays modest on purpose: the point is many *prefixes*, not many
+/// devices.
+pub fn leaf_spine_multi(spines: usize, leaves: usize, prefixes_per_leaf: usize) -> Topology {
+    assert!(spines >= 1 && (1..=256).contains(&leaves) && prefixes_per_leaf >= 1);
+    assert!(
+        leaves * prefixes_per_leaf <= 1 << 20,
+        "prefix space exhausted"
+    );
+    let mut b = TopologyBuilder::new();
+    let spine_ids: Vec<RouterId> = (0..spines)
+        .map(|i| b.router(&format!("S{i}"), Role::Spine))
+        .collect();
+    let leaf_ids: Vec<RouterId> = (0..leaves)
+        .map(|i| b.router(&format!("L{i}"), Role::Leaf))
+        .collect();
+    for l in &leaf_ids {
+        for s in &spine_ids {
+            b.link(*l, *s);
+        }
+    }
+    for (i, l) in leaf_ids.iter().enumerate() {
+        for k in 0..prefixes_per_leaf {
+            let n = i * prefixes_per_leaf + k;
+            b.attach(
+                *l,
+                Prefix::from_octets(
+                    10 + (n >> 16) as u8,
+                    ((n >> 8) & 255) as u8,
+                    (n & 255) as u8,
+                    0,
+                    24,
+                ),
+            );
+        }
     }
     b.build()
 }
@@ -217,5 +278,50 @@ mod tests {
         let c4 = t.by_name("C4").unwrap();
         assert!(t.neighbors(bb0).iter().any(|(n, _)| *n == c0));
         assert!(t.neighbors(bb0).iter().any(|(n, _)| *n == c4));
+    }
+
+    #[test]
+    fn wan_scales_past_256_attachments() {
+        let t = wan(200, 400);
+        assert_eq!(t.len(), 600);
+        assert_eq!(t.links().len(), 199 + 400);
+        // First 256 attachment indices keep the historical /16 scheme;
+        // the rest move to 20/8 /24s, and all stay distinct.
+        let attached: Vec<Prefix> = t.attachments().map(|(_, p)| p).collect();
+        assert_eq!(attached.len(), 600);
+        assert!(attached.contains(&Prefix::from_octets(10, 255, 0, 0, 16)));
+        assert!(attached.contains(&Prefix::from_octets(20, 0, 0, 0, 24)));
+        assert!(attached.contains(&Prefix::from_octets(20, 1, 87, 0, 24)));
+        let mut uniq = attached.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), attached.len());
+        // Indices below 256 are byte-identical to the historical scheme.
+        let small = wan(4, 8);
+        let t2 = wan(4, 8);
+        assert_eq!(
+            small.attachments().collect::<Vec<_>>(),
+            t2.attachments().collect::<Vec<_>>()
+        );
+        assert!(small
+            .attachments()
+            .any(|(_, p)| p == Prefix::from_octets(10, 11, 0, 0, 16)));
+    }
+
+    #[test]
+    fn leaf_spine_multi_carries_many_prefixes() {
+        let t = leaf_spine_multi(2, 4, 300);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.attachments().count(), 1200);
+        // Global prefix index 300 (leaf 1, k = 0) crosses the mid octet.
+        let l1 = t.by_name("L1").unwrap();
+        assert_eq!(
+            t.router(l1).attached[0],
+            Prefix::from_octets(10, 1, 44, 0, 24)
+        );
+        let mut seen: Vec<Prefix> = t.attachments().map(|(_, p)| p).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 1200);
     }
 }

@@ -217,7 +217,13 @@ impl TopologyBuilder {
             "duplicate router name `{name}`"
         );
         let id = RouterId(self.topo.routers.len() as u32);
-        let loopback = Ipv4Addr::new(1, 1, ((id.0 >> 8) & 0xff) as u8, (id.0 & 0xff) as u8 + 1);
+        // Loopback `1.1.0.0 + id + 1`: router i gets 1.1.0.(i+1) below
+        // 255, carrying into the third octet past that (the old
+        // per-octet arithmetic overflowed at index 255; the carry form is
+        // byte-identical everywhere the old form was defined).
+        let n = id.0 + 1;
+        assert!(n < 1 << 16, "loopback space exhausted");
+        let loopback = Ipv4Addr::new(1, 1, (n >> 8) as u8, (n & 0xff) as u8);
         self.topo.routers.push(RouterInfo {
             id,
             name: name.to_string(),

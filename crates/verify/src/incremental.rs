@@ -31,15 +31,17 @@
 
 use crate::spec::Spec;
 use crate::verify::{Verification, Verifier};
+use acr_cfg::model::DeviceModel;
 use acr_cfg::{Edit, LineId, NetworkConfig, Patch, Stmt};
 use acr_net_types::{Prefix, RouterId};
 use acr_obs::metrics::Counter;
 use acr_sim::{
-    CompiledBase, DeltaInfo, DerivArena, PolicyMemo, PrefixOutcome, RunOptions, SessionDelta,
-    Simulator,
+    bgp_fragment, CompiledBase, DeltaInfo, DerivArena, Fib, FibEntry, PolicyMemo, PrefixOutcome,
+    RunOptions, SessionDelta, ShardMode, Simulator,
 };
 use acr_topo::Topology;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 static PREFIXES_RECOMPUTED: Counter = Counter::new("verify.prefixes_recomputed");
@@ -52,6 +54,38 @@ static INV_FULL: Counter = Counter::new("verify.invalidated.full");
 static INV_STRUCTURAL: Counter = Counter::new("verify.invalidated.structural");
 static INV_LINES_ONLY: Counter = Counter::new("verify.invalidated.lines_only");
 static INV_UNCHANGED: Counter = Counter::new("verify.invalidated.unchanged");
+// FIB-fragment reuse: per-router base FIBs (connected + static) are
+// rebuilt only when the router's device model changed (delta builds share
+// unpatched models by `Arc`), and per-prefix BGP fragments are re-derived
+// only for freshly simulated prefixes.
+static FIB_ROUTERS_REBUILT: Counter = Counter::new("verify.fib_routers_rebuilt");
+static FIB_ROUTERS_REUSED: Counter = Counter::new("verify.fib_routers_reused");
+static FIB_FRAGS_RECOMPUTED: Counter = Counter::new("verify.fib_frags_recomputed");
+static FIB_FRAGS_REUSED: Counter = Counter::new("verify.fib_frags_reused");
+
+/// Rebuilds, in place, the base FIB of exactly those routers whose device
+/// model is not the `Arc` the cache was computed against; returns
+/// `(rebuilt, reused)` counts. Skipped rebuilds are sound because a base
+/// FIB is a pure function of (topology, device model), and skipped
+/// derivation interns would have been dedup hits in the content-addressed
+/// arena — so the arena stays byte-identical to assembling from scratch.
+fn refresh_base_fibs(
+    fibs: &mut [Fib],
+    cached_models: &[Arc<DeviceModel>],
+    sim: &Simulator,
+    arena: &mut DerivArena,
+) -> (u64, u64) {
+    let (mut rebuilt, mut reused) = (0u64, 0u64);
+    for (i, m) in sim.models().iter().enumerate() {
+        if Arc::ptr_eq(m, &cached_models[i]) {
+            reused += 1;
+        } else {
+            fibs[i] = sim.base_fib_of(RouterId(i as u32), arena);
+            rebuilt += 1;
+        }
+    }
+    (rebuilt, reused)
+}
 
 /// Attributes `n` invalidated prefixes to their session-delta class.
 fn count_invalidated(n: u64, cold: bool, info: Option<&DeltaInfo>) {
@@ -115,6 +149,20 @@ pub struct IncrementalVerifier<'a> {
     /// staleness is handled by [`PolicyMemo::begin_run`], which drops
     /// entries on sessions adjacent to patched routers.
     memo: PolicyMemo,
+    /// Per-router base FIBs (connected + static) of the committed
+    /// configuration, and the device models they were computed against —
+    /// a router's base FIB is reused while its model `Arc` is unchanged.
+    fib_base: Vec<Fib>,
+    fib_models: Vec<Arc<DeviceModel>>,
+    /// Per-prefix BGP FIB fragments, keyed like the outcome cache: the
+    /// install list `(router index, entry)` derived from each cached
+    /// prefix's converged best routes.
+    fib_frags: BTreeMap<Prefix, Vec<(usize, FibEntry)>>,
+    /// Cumulative sharded-convergence accounting across committed
+    /// verifications (candidate validation always runs unsharded),
+    /// surfaced in the engine's `shard_summary` journal event.
+    sharded_runs: u64,
+    sharded_prefixes: u64,
     last_stats: IncrementalStats,
 }
 
@@ -135,6 +183,11 @@ impl<'a> IncrementalVerifier<'a> {
             base: None,
             delta: true,
             memo: PolicyMemo::new(),
+            fib_base: Vec::new(),
+            fib_models: Vec::new(),
+            fib_frags: BTreeMap::new(),
+            sharded_runs: 0,
+            sharded_prefixes: 0,
             last_stats: IncrementalStats::default(),
         }
     }
@@ -160,6 +213,12 @@ impl<'a> IncrementalVerifier<'a> {
     /// Stats of the most recent call.
     pub fn last_stats(&self) -> IncrementalStats {
         self.last_stats
+    }
+
+    /// Cumulative `(sharded runs, prefixes run sharded)` across committed
+    /// verifications — the engine's `shard_summary` journal event.
+    pub fn shard_totals(&self) -> (u64, u64) {
+        (self.sharded_runs, self.sharded_prefixes)
     }
 
     /// The persistent arena (derivation roots in returned records resolve
@@ -208,6 +267,7 @@ impl<'a> IncrementalVerifier<'a> {
         // Drop cache entries for prefixes that left the universe.
         self.cached.retain(|p, _| universe.contains(p));
         self.closures.retain(|p, _| universe.contains(p));
+        self.fib_frags.retain(|p, _| universe.contains(p));
 
         let t = Instant::now();
         // The committed path never warm-starts: its outcomes seed the
@@ -217,12 +277,14 @@ impl<'a> IncrementalVerifier<'a> {
         // the first candidate already finds the base's transfers.
         self.memo = PolicyMemo::new();
         self.memo.begin_run(sim.sessions_arc(), &[]);
-        let (fresh, _work) = sim.run_prefixes_with(
+        let (fresh, work) = sim.run_prefixes_with(
             &affected,
             &mut self.arena,
             &RunOptions::default(),
             &mut self.memo,
         );
+        self.sharded_runs += work.sharded_runs;
+        self.sharded_prefixes += work.sharded_prefixes;
         let converge = t.elapsed();
         PREFIXES_RECOMPUTED.add(fresh.len() as u64);
         PREFIXES_REUSED.add(universe.len().saturating_sub(fresh.len()) as u64);
@@ -249,10 +311,35 @@ impl<'a> IncrementalVerifier<'a> {
                 .collect();
             let closure: BTreeSet<LineId> = self.arena.closure_lines(roots).into_iter().collect();
             self.closures.insert(p, closure);
+            self.fib_frags.insert(p, bgp_fragment(&o));
             self.cached.insert(p, o);
         }
 
-        let fibs = sim.fibs_for(&self.cached, &mut self.arena);
+        // FIB assembly from cached pieces: rebuild base FIBs only for
+        // routers whose model changed, and BGP fragments only for the
+        // prefixes just re-simulated (fragments of reused prefixes are
+        // already cached). Identical output to `sim.fibs_for` — install
+        // order across prefixes is irrelevant (distinct trie keys) and
+        // base entries always precede BGP installs.
+        let models = sim.models();
+        if self.fib_base.len() != models.len() {
+            self.fib_base = sim.base_fibs(&mut self.arena);
+            FIB_ROUTERS_REBUILT.add(models.len() as u64);
+        } else {
+            let (rebuilt, reused) =
+                refresh_base_fibs(&mut self.fib_base, &self.fib_models, &sim, &mut self.arena);
+            FIB_ROUTERS_REBUILT.add(rebuilt);
+            FIB_ROUTERS_REUSED.add(reused);
+        }
+        self.fib_models = models.to_vec();
+        FIB_FRAGS_RECOMPUTED.add(self.last_stats.recomputed as u64);
+        FIB_FRAGS_REUSED.add((self.fib_frags.len() - self.last_stats.recomputed) as u64);
+        let mut fibs = self.fib_base.clone();
+        for (prefix, frag) in &self.fib_frags {
+            for (i, entry) in frag {
+                fibs[*i].install(*prefix, entry.clone());
+            }
+        }
         self.last_stats.simulate = t.elapsed();
         self.base = Some(base);
         self.verifier.evaluate(
@@ -276,6 +363,9 @@ impl<'a> IncrementalVerifier<'a> {
             closures: &self.closures,
             base: self.base.as_ref(),
             delta: self.delta,
+            fib_base: &self.fib_base,
+            fib_models: &self.fib_models,
+            fib_frags: &self.fib_frags,
         };
         let (verification, stats) =
             validator.verify_candidate_with(cfg, patch, &mut self.arena, Some(&mut self.memo));
@@ -295,6 +385,9 @@ impl<'a> IncrementalVerifier<'a> {
             closures: &self.closures,
             base: self.base.as_ref(),
             delta: self.delta,
+            fib_base: &self.fib_base,
+            fib_models: &self.fib_models,
+            fib_frags: &self.fib_frags,
         }
     }
 
@@ -326,6 +419,13 @@ pub struct CandidateValidator<'v, 'a> {
     closures: &'v BTreeMap<Prefix, BTreeSet<LineId>>,
     base: Option<&'v CompiledBase<'a>>,
     delta: bool,
+    /// The committed base FIBs, their models, and per-prefix fragments
+    /// (read-only views of the owning verifier's caches): candidates
+    /// rebuild base FIBs only for routers the patch recompiled and reuse
+    /// fragments of every prefix served from the outcome cache.
+    fib_base: &'v [Fib],
+    fib_models: &'v [Arc<DeviceModel>],
+    fib_frags: &'v BTreeMap<Prefix, Vec<(usize, FibEntry)>>,
 }
 
 impl<'v, 'a> CandidateValidator<'v, 'a> {
@@ -433,8 +533,13 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
             _ => &mut local_memo,
         };
         let t = Instant::now();
+        // Candidates run unsharded, explicitly: the sharded runner starts
+        // each worker from a fresh memo/arena (and skips warm starts), so
+        // it would forfeit exactly the cross-candidate reuse this path is
+        // built around — affected sets here are small by construction.
         let opts = RunOptions {
             warm: if warm_ok { Some(self.cached) } else { None },
+            shard: ShardMode::Off,
             ..RunOptions::default()
         };
         let (fresh, work) = sim.run_prefixes_with(&affected, arena, &opts, memo);
@@ -466,7 +571,40 @@ impl<'v, 'a> CandidateValidator<'v, 'a> {
         for (p, o) in &fresh {
             merged.insert(*p, o);
         }
-        let fibs = sim.fibs_for(&merged, arena);
+        // Candidate FIB assembly mirrors the committed path: start from
+        // the committed base FIBs (under delta construction, unpatched
+        // routers still hold the committed model `Arc`s, so only patched
+        // routers rebuild), install cached fragments for reused prefixes
+        // and derive fragments only for re-simulated ones. A validator
+        // with no committed FIB state falls back to full assembly.
+        let fibs = if self.fib_base.len() == sim.models().len() {
+            let mut fibs = self.fib_base.to_vec();
+            let (rebuilt, reused) = refresh_base_fibs(&mut fibs, self.fib_models, &sim, arena);
+            FIB_ROUTERS_REBUILT.add(rebuilt);
+            FIB_ROUTERS_REUSED.add(reused);
+            let (mut frags_fresh, mut frags_reused) = (0u64, 0u64);
+            for (p, o) in &merged {
+                match self.fib_frags.get(p) {
+                    Some(frag) if !fresh.contains_key(p) => {
+                        frags_reused += 1;
+                        for (i, entry) in frag {
+                            fibs[*i].install(*p, entry.clone());
+                        }
+                    }
+                    _ => {
+                        frags_fresh += 1;
+                        for (i, entry) in bgp_fragment(o) {
+                            fibs[i].install(*p, entry);
+                        }
+                    }
+                }
+            }
+            FIB_FRAGS_RECOMPUTED.add(frags_fresh);
+            FIB_FRAGS_REUSED.add(frags_reused);
+            fibs
+        } else {
+            sim.fibs_for(&merged, arena)
+        };
         stats.simulate = t.elapsed();
         let verification = self
             .verifier

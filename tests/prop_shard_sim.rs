@@ -1,0 +1,194 @@
+//! Sharded convergence ≡ unsharded sparse engine, property-tested.
+//!
+//! The sharded runner (`acr-sim`'s `shard` module) partitions the prefix
+//! universe round-robin across workers, runs one dirty-set sparse engine
+//! per shard into a private arena and policy memo, then joins the workers
+//! deterministically: created arena ranges replay node-by-node in global
+//! sorted order through the main arena, and worker memos are absorbed
+//! with remapped derivation ids. Its contract is **byte-for-byte
+//! equality** with the unsharded sparse engine — outcome maps, the
+//! derivation arena's content-addressed node order, and every work
+//! counter except the `sharded_*` accounting fields — for *any* worker
+//! count, including widths larger than the prefix universe.
+//!
+//! The property is exercised over random WAN sizes × random Table-1
+//! fault injections × random follow-up patches (the same adversarial
+//! surface `prop_sparse_sim` drives), with a shard-count sweep covering
+//! the degenerate single-worker shape, a mid split, and one-prefix-per-
+//! worker.
+
+// Gated: run with `cargo test --features heavy-tests` (vendored proptest shim).
+#![cfg(feature = "heavy-tests")]
+
+use acr::prelude::*;
+use acr::workloads::{try_inject, GeneratedNetwork, TABLE1};
+use acr_sim::{ConvergeEngine, ConvergeWork, DerivArena, RunOptions, ShardMode};
+use proptest::prelude::{any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+use std::collections::BTreeMap;
+
+fn wan(shape: usize) -> GeneratedNetwork {
+    // Three small WAN shapes keep case runtime bounded while varying the
+    // prefix universe (and hence the shard partitions) across cases.
+    let (bb, cust) = [(2, 3), (3, 4), (4, 5)][shape % 3];
+    generate(&acr::topo::gen::wan(bb, cust))
+}
+
+/// One edit against `cfg` from raw fuzz inputs — the same shapes
+/// `prop_sparse_sim` uses, so sharding is tested on exactly the
+/// configurations the repair loop simulates.
+fn edit_from(cfg: &NetworkConfig, ri: usize, pos: u16, kind: u8) -> Edit {
+    let routers = cfg.routers();
+    let router = routers[ri % routers.len()];
+    let len = cfg.device(router).unwrap().len();
+    match kind % 4 {
+        0 => Edit::Delete {
+            router,
+            index: pos as usize % len,
+        },
+        1 => Edit::Insert {
+            router,
+            index: len,
+            stmt: Stmt::StaticRoute {
+                prefix: Prefix::from_octets(10, (pos % 200) as u8, 0, 0, 16),
+                next_hop: acr::cfg::NextHop::Null0,
+            },
+        },
+        2 => Edit::Insert {
+            router,
+            index: len,
+            stmt: Stmt::Network(Prefix::from_octets(10, (pos % 200) as u8, 0, 0, 16)),
+        },
+        _ => Edit::Replace {
+            router,
+            index: pos as usize % len,
+            stmt: Stmt::Remark("mutated".into()),
+        },
+    }
+}
+
+/// Runs the full prefix universe under the sparse engine with an explicit
+/// shard mode into a fresh arena, returning (outcomes, arena, work).
+fn run_shard(
+    sim: &Simulator,
+    shard: ShardMode,
+) -> (
+    BTreeMap<Prefix, acr_sim::PrefixOutcome>,
+    DerivArena,
+    ConvergeWork,
+) {
+    let mut arena = DerivArena::new();
+    let opts = RunOptions {
+        engine: ConvergeEngine::Sparse,
+        warm: None,
+        shard,
+    };
+    let (outcomes, work) = sim.run_prefixes_opts(&sim.universe(), &mut arena, &opts);
+    (outcomes, arena, work)
+}
+
+/// Every work counter except the `sharded_*` accounting pair must match:
+/// memo keys embed the prefix, so a private per-worker memo can never
+/// lose a hit the shared unsharded memo would have earned.
+fn assert_same_work(base: &ConvergeWork, sharded: &ConvergeWork) -> Result<(), String> {
+    let pairs = [
+        ("prefixes", base.prefixes, sharded.prefixes),
+        ("rounds", base.rounds, sharded.rounds),
+        (
+            "recomputed_routers",
+            base.recomputed_routers,
+            sharded.recomputed_routers,
+        ),
+        (
+            "skipped_routers",
+            base.skipped_routers,
+            sharded.skipped_routers,
+        ),
+        ("policy_evals", base.policy_evals, sharded.policy_evals),
+        ("memo_hits", base.memo_hits, sharded.memo_hits),
+    ];
+    for (name, b, s) in pairs {
+        if b != s {
+            return Err(format!("{name}: unsharded {b} != sharded {s}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded and unsharded sparse runs agree byte-for-byte — outcome
+    /// maps, derivation arenas (content *and* intern order), and work
+    /// counters — across worker counts {1, 2, n_prefixes} on random
+    /// WAN shapes × Table-1 faults × follow-up patches.
+    #[test]
+    fn sharded_run_equals_unsharded_run(
+        shape in any::<usize>(),
+        fi in any::<usize>(),
+        seed in 0u64..48,
+        ri in any::<usize>(),
+        pos in any::<u16>(),
+        kind in any::<u8>(),
+    ) {
+        let net = wan(shape);
+        let incident = try_inject(TABLE1[fi % TABLE1.len()].0, &net, seed);
+        prop_assume!(incident.is_some());
+        let base_cfg = incident.unwrap().broken;
+
+        let patch = Patch::single(edit_from(&base_cfg, ri, pos, kind));
+        prop_assume!(patch.apply_cloned(&base_cfg).is_ok());
+        let patched = patch.apply_cloned(&base_cfg).unwrap();
+
+        let sim = Simulator::new(&net.topo, &patched);
+        let n_prefixes = sim.universe().len();
+        prop_assume!(n_prefixes > 1);
+
+        let (base, base_arena, base_work) = run_shard(&sim, ShardMode::Off);
+
+        for workers in [1, 2, n_prefixes] {
+            let (sharded, sharded_arena, sharded_work) =
+                run_shard(&sim, ShardMode::Workers(workers));
+            prop_assert_eq!(&base, &sharded, "outcomes diverged at {} workers", workers);
+            // Arena equality covers both content and intern *order*: the
+            // node list is content-addressed, so equal vectors mean the
+            // join replayed derivations in exactly the unsharded sequence.
+            prop_assert_eq!(
+                &base_arena,
+                &sharded_arena,
+                "arena diverged at {} workers",
+                workers
+            );
+            if let Err(msg) = assert_same_work(&base_work, &sharded_work) {
+                prop_assert!(false, "work diverged at {} workers: {}", workers, msg);
+            }
+            // The sharded run must also account for itself.
+            prop_assert_eq!(sharded_work.sharded_runs, 1);
+            prop_assert_eq!(sharded_work.sharded_prefixes, n_prefixes as u64);
+            prop_assert_eq!(base_work.sharded_runs, 0);
+        }
+    }
+}
+
+/// Worker counts far beyond the prefix universe leave some shards empty;
+/// the join must still replay the populated shards in global prefix
+/// order and produce the identical arena.
+#[test]
+fn oversubscribed_workers_are_byte_identical() {
+    let net = generate(&acr::topo::gen::wan(3, 4));
+    let sim = Simulator::new(&net.topo, &net.cfg);
+    let n = sim.universe().len();
+    assert!(n > 1, "wan(3,4) must expose a multi-prefix universe");
+
+    let (base, base_arena, base_work) = run_shard(&sim, ShardMode::Off);
+    for workers in [n + 1, 4 * n, 256] {
+        let (sharded, sharded_arena, sharded_work) = run_shard(&sim, ShardMode::Workers(workers));
+        assert_eq!(base, sharded, "outcomes diverged at {workers} workers");
+        assert_eq!(
+            base_arena, sharded_arena,
+            "arena diverged at {workers} workers"
+        );
+        assert_same_work(&base_work, &sharded_work)
+            .unwrap_or_else(|msg| panic!("work diverged at {workers} workers: {msg}"));
+        assert_eq!(sharded_work.sharded_prefixes, n as u64);
+    }
+}
